@@ -1,0 +1,60 @@
+// Command pbs-experiments regenerates the paper's tables and figures (and
+// this repository's ablations). Run with -list to see experiment IDs, -run
+// all for the full evaluation, or -run <id> for one artifact. Results print
+// as aligned tables and ASCII charts matching the paper's row/series
+// structure; EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pbs/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id to run, or \"all\"")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	fast := flag.Bool("fast", false, "shrink sample counts for a quick pass")
+	seed := flag.Uint64("seed", 42, "random seed")
+	trials := flag.Int("trials", 0, "Monte Carlo trials (0 = default)")
+	epochs := flag.Int("epochs", 0, "store-simulation epochs (0 = default)")
+	flag.Parse()
+
+	if *list {
+		for _, spec := range experiments.Registry() {
+			fmt.Printf("%-22s %s\n", spec.ID, spec.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Seed:   *seed,
+		Trials: *trials,
+		Epochs: *epochs,
+		Fast:   *fast,
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = []string{*run}
+	}
+
+	exit := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbs-experiments: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		fmt.Print(res.String())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,127 @@
+// Command pbs-fit fits Pareto-body + exponential-tail mixture
+// distributions to latency percentile summaries, reproducing the paper's
+// Table 3 pipeline. It fits either a built-in table (the paper's Tables
+// 1-2) or a CSV of "percentile,latency_ms" lines.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pbs/internal/dist"
+	"pbs/internal/fit"
+	"pbs/internal/tabular"
+)
+
+func builtinTable(name string) (dist.PercentileTable, bool) {
+	switch name {
+	case "t1ssd":
+		return dist.Table1SSD(), true
+	case "t1disk":
+		return dist.Table1Disk(), true
+	case "t2reads":
+		return dist.Table2Reads(), true
+	case "t2writes":
+		return dist.Table2Writes(), true
+	default:
+		return dist.PercentileTable{}, false
+	}
+}
+
+func readCSV(path string) (dist.PercentileTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return dist.PercentileTable{}, err
+	}
+	defer f.Close()
+	table := dist.PercentileTable{Name: path}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return table, fmt.Errorf("%s:%d: want \"percentile,latency_ms\"", path, line)
+		}
+		p, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return table, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		l, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return table, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		table.Points = append(table.Points, dist.PercentilePoint{Percentile: p, LatencyMs: l})
+	}
+	return table, sc.Err()
+}
+
+func main() {
+	tableName := flag.String("table", "", "built-in table: t1ssd, t1disk, t2reads, t2writes")
+	csvPath := flag.String("csv", "", "CSV file of percentile,latency_ms lines")
+	skipMax := flag.Bool("skip-max", true, "exclude the 100th percentile from the objective")
+	restarts := flag.Int("restarts", 24, "random restarts")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var table dist.PercentileTable
+	switch {
+	case *tableName != "":
+		var ok bool
+		table, ok = builtinTable(*tableName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pbs-fit: unknown table %q\n", *tableName)
+			os.Exit(2)
+		}
+	case *csvPath != "":
+		var err error
+		table, err = readCSV(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbs-fit:", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pbs-fit: need -table or -csv (see -h)")
+		os.Exit(2)
+	}
+
+	res, err := fit.FitMixture(table, fit.Options{
+		Seed: *seed, Restarts: *restarts, SkipMax: *skipMax,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbs-fit:", err)
+		os.Exit(2)
+	}
+	_, expNRMSE, err := fit.FitExponential(table)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbs-fit:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("dataset: %s (%d points)\n\n", table.Name, len(table.Points))
+	fmt.Printf("mixture fit:       %s\n", res.Params)
+	fmt.Printf("quantile N-RMSE:   %s (exponential-only baseline: %s)\n\n",
+		tabular.Pct(res.NRMSE), tabular.Pct(expNRMSE))
+
+	d := res.Params.Dist()
+	tb := tabular.New("observed vs fitted quantiles", "percentile", "observed (ms)", "fitted (ms)")
+	for _, pt := range table.Points {
+		q := pt.Percentile / 100
+		if q <= 0 {
+			q = 0.005
+		}
+		if q >= 1 {
+			q = 0.9999
+		}
+		tb.AddRow(fmt.Sprintf("%g", pt.Percentile), tabular.Ms(pt.LatencyMs), tabular.Ms(d.Quantile(q)))
+	}
+	fmt.Print(tb.String())
+}

@@ -1,0 +1,190 @@
+// Command pbs is the PBS calculator: closed-form k-staleness, monotonic
+// reads, and quorum load answers, plus Monte Carlo t-visibility and latency
+// predictions for named or custom latency models.
+//
+// Usage:
+//
+//	pbs kstaleness -n 3 -r 1 -w 1 -k 5
+//	pbs monotonic  -n 3 -r 1 -w 1 -gw 10 -cr 5
+//	pbs load       -p 0.001 -k 3 -nodes 100
+//	pbs tvisibility -model lnkd-disk -n 3 -r 1 -w 2 -p 0.999 -t 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbs"
+	"pbs/internal/core"
+	"pbs/internal/wars"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `pbs: probabilistically bounded staleness calculator
+
+subcommands:
+  kstaleness   P(read within k versions) for N/R/W (Eq. 2)
+  monotonic    P(monotonic-reads violation) for rate ratio (Eq. 3)
+  load         quorum load lower bound under staleness tolerance (Sec. 3.3)
+  tvisibility  Monte Carlo t-visibility + latency for a latency model (Sec. 5)
+  report       full PBS profile: every metric for one configuration
+
+run "pbs <subcommand> -h" for flags
+`)
+	os.Exit(2)
+}
+
+func model(name string) pbs.LatencyModel {
+	switch name {
+	case "lnkd-ssd":
+		return pbs.LNKDSSD()
+	case "lnkd-disk":
+		return pbs.LNKDDISK()
+	case "ymmr":
+		return pbs.YMMR()
+	default:
+		fmt.Fprintf(os.Stderr, "pbs: unknown model %q (want lnkd-ssd, lnkd-disk, ymmr or wan)\n", name)
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "kstaleness":
+		cmdKStaleness(os.Args[2:])
+	case "monotonic":
+		cmdMonotonic(os.Args[2:])
+	case "load":
+		cmdLoad(os.Args[2:])
+	case "tvisibility":
+		cmdTVisibility(os.Args[2:])
+	case "report":
+		cmdReport(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	modelName := fs.String("model", "lnkd-ssd", "latency model: lnkd-ssd, lnkd-disk, ymmr, wan")
+	n := fs.Int("n", 3, "replication factor N")
+	r := fs.Int("r", 1, "read quorum size R")
+	w := fs.Int("w", 1, "write quorum size W")
+	trials := fs.Int("trials", 100000, "Monte Carlo trials")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	var sc wars.Scenario
+	if *modelName == "wan" {
+		sc = pbs.WANScenario(*n, pbs.LNKDDISK(), pbs.WANDelayMs)
+	} else {
+		sc = pbs.IIDScenario(*n, model(*modelName))
+	}
+	rep, err := core.Analyze(core.Request{
+		Scenario: sc, R: *r, W: *w, Trials: *trials, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbs:", err)
+		os.Exit(2)
+	}
+	fmt.Println(rep.Render())
+}
+
+func cmdKStaleness(args []string) {
+	fs := flag.NewFlagSet("kstaleness", flag.ExitOnError)
+	n := fs.Int("n", 3, "replication factor N")
+	r := fs.Int("r", 1, "read quorum size R")
+	w := fs.Int("w", 1, "write quorum size W")
+	k := fs.Int("k", 1, "staleness tolerance in versions")
+	target := fs.Float64("target", 0, "if set, also print the smallest k reaching this consistency probability")
+	fs.Parse(args)
+
+	cfg := pbs.Config{N: *n, R: *r, W: *w}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbs:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("configuration       N=%d R=%d W=%d (strict: %v)\n", *n, *r, *w, cfg.IsStrict())
+	fmt.Printf("P(miss 1 version)   %.6f   (Eq. 1)\n", cfg.NonIntersectionProb())
+	fmt.Printf("P(within %d vers.)   %.6f   (1 - Eq. 2)\n", *k, cfg.KStalenessConsistency(*k))
+	if *target > 0 {
+		if mk, ok := cfg.MinKForConsistency(*target); ok {
+			fmt.Printf("min k for p>=%.4g    %d\n", *target, mk)
+		} else {
+			fmt.Printf("min k for p>=%.4g    unreachable\n", *target)
+		}
+	}
+}
+
+func cmdMonotonic(args []string) {
+	fs := flag.NewFlagSet("monotonic", flag.ExitOnError)
+	n := fs.Int("n", 3, "replication factor N")
+	r := fs.Int("r", 1, "read quorum size R")
+	w := fs.Int("w", 1, "write quorum size W")
+	gw := fs.Float64("gw", 1, "global write rate to the key (γgw)")
+	cr := fs.Float64("cr", 1, "client read rate (γcr)")
+	fs.Parse(args)
+
+	cfg := pbs.Config{N: *n, R: *r, W: *w}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbs:", err)
+		os.Exit(2)
+	}
+	p := cfg.MonotonicReadsProb(*gw, *cr)
+	fmt.Printf("configuration                N=%d R=%d W=%d\n", *n, *r, *w)
+	fmt.Printf("rate ratio γgw/γcr           %.4g\n", *gw / *cr)
+	fmt.Printf("P(monotonic-reads violation) %.6f   (Eq. 3)\n", p)
+}
+
+func cmdLoad(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	p := fs.Float64("p", 0.001, "tolerated staleness probability")
+	k := fs.Int("k", 1, "staleness tolerance in versions")
+	nodes := fs.Int("nodes", 100, "system size")
+	fs.Parse(args)
+
+	fmt.Printf("load lower bound (N=%d, p=%.4g):\n", *nodes, *p)
+	for i := 1; i <= *k; i++ {
+		fmt.Printf("  k=%-3d %.6f\n", i, pbs.KStalenessLoad(*p, i, *nodes))
+	}
+}
+
+func cmdTVisibility(args []string) {
+	fs := flag.NewFlagSet("tvisibility", flag.ExitOnError)
+	modelName := fs.String("model", "lnkd-ssd", "latency model: lnkd-ssd, lnkd-disk, ymmr, wan")
+	n := fs.Int("n", 3, "replication factor N")
+	r := fs.Int("r", 1, "read quorum size R")
+	w := fs.Int("w", 1, "write quorum size W")
+	t := fs.Float64("t", 10, "window of inconsistency to evaluate (ms)")
+	p := fs.Float64("p", 0.999, "target probability of consistency")
+	trials := fs.Int("trials", 100000, "Monte Carlo trials")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+
+	var sc pbs.Scenario
+	if *modelName == "wan" {
+		sc = pbs.WANScenario(*n, pbs.LNKDDISK(), pbs.WANDelayMs)
+	} else {
+		sc = pbs.IIDScenario(*n, model(*modelName))
+	}
+	pred, err := pbs.NewPredictor(sc, pbs.Quorum{R: *r, W: *w},
+		pbs.WithSeed(*seed), pbs.WithTrials(*trials))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbs:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("scenario                %s  N=%d R=%d W=%d  (%d trials)\n", *modelName, *n, *r, *w, *trials)
+	fmt.Printf("P(consistent at t=0)    %.6f\n", pred.PConsistent(0))
+	fmt.Printf("P(consistent at t=%g)   %.6f\n", *t, pred.PConsistent(*t))
+	fmt.Printf("t-visibility @ p=%.4g   %.3f ms\n", *p, pred.TVisibility(*p))
+	fmt.Printf("read latency  p50/p99/p99.9   %.3f / %.3f / %.3f ms\n",
+		pred.ReadLatency(0.5), pred.ReadLatency(0.99), pred.ReadLatency(0.999))
+	fmt.Printf("write latency p50/p99/p99.9   %.3f / %.3f / %.3f ms\n",
+		pred.WriteLatency(0.5), pred.WriteLatency(0.99), pred.WriteLatency(0.999))
+}

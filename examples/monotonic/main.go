@@ -1,0 +1,61 @@
+// Monotonic reads (paper Section 3.2): how likely is a client session to
+// observe versions moving backwards — e.g. a timeline that loses entries —
+// under partial quorums? Compares the closed-form Equation 3 against a
+// live session on the simulated Dynamo-style store.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbs"
+	"pbs/internal/dist"
+	"pbs/internal/dynamo"
+	"pbs/internal/rng"
+	"pbs/internal/session"
+)
+
+func main() {
+	cfg := pbs.Config{N: 3, R: 1, W: 1}
+	fmt.Println("monotonic-reads violation probability, N=3 R=W=1")
+	fmt.Println("\nEquation 3 (model): psMR = ps^(1 + γgw/γcr)")
+	ratios := []float64{0.1, 0.5, 1, 2, 5}
+	for _, ratio := range ratios {
+		fmt.Printf("  γgw/γcr=%-4g → %.4f\n", ratio, cfg.MonotonicReadsProb(ratio, 1))
+	}
+
+	// Live sessions on the full store. The store's expanding quorums and
+	// anti-entropy make observed violations rarer than the fixed-quorum
+	// model predicts — the model is an upper bound in practice.
+	model := dist.LatencyModel{
+		Name: "slow-writes",
+		W:    dist.NewExponential(1.0 / 20),
+		A:    dist.NewExponential(1),
+		R:    dist.NewExponential(1),
+		S:    dist.NewExponential(1),
+	}
+	fmt.Println("\nlive store sessions (2000 reads each):")
+	for _, ratio := range ratios {
+		cluster, err := dynamo.NewCluster(dynamo.Params{
+			N: 3, R: 1, W: 1, Model: model,
+		}, rng.New(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := session.Measure(cluster, session.Options{
+			Key:     "timeline",
+			GammaGW: 0.05 * ratio,
+			GammaCR: 0.05,
+			Reads:   2000,
+			Warmup:  20,
+		}, rng.New(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := res.WilsonInterval()
+		fmt.Printf("  γgw/γcr=%-4g → %.4f  (95%% CI [%.4f, %.4f], forward progress %.2f%%)\n",
+			ratio, res.PViolation(), lo, hi, res.ForwardProgress()*100)
+	}
+	fmt.Println("\nmitigation: strict quorums (R=2, W=2) eliminate violations entirely;")
+	fmt.Println("sticky routing through one coordinator stabilizes response ordering.")
+}

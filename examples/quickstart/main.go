@@ -1,0 +1,49 @@
+// Quickstart: ask the two PBS questions of the paper's abstract —
+// "how eventual?" (t-visibility) and "how consistent?" (k-staleness) —
+// for a default Cassandra-style configuration (N=3, R=W=1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbs"
+)
+
+func main() {
+	cfg := pbs.Config{N: 3, R: 1, W: 1}
+	fmt.Printf("configuration: N=%d R=%d W=%d (Cassandra defaults)\n", cfg.N, cfg.R, cfg.W)
+	fmt.Printf("strict quorum: %v\n\n", cfg.IsStrict())
+
+	// How consistent? Closed-form k-staleness (Section 3.1).
+	fmt.Println("k-staleness: P(read is within k versions of the latest write)")
+	for _, k := range []int{1, 2, 3, 5, 10} {
+		fmt.Printf("  k=%-3d %.4f\n", k, cfg.KStalenessConsistency(k))
+	}
+	if k, ok := cfg.MinKForConsistency(0.999); ok {
+		fmt.Printf("  → tolerate k=%d versions for 99.9%% consistency\n\n", k)
+	}
+
+	// How eventual? Monte Carlo t-visibility on a production latency model
+	// (Sections 4-5). LNKD-DISK is LinkedIn's Voldemort on spinning disks.
+	pred, err := pbs.NewPredictor(pbs.IIDScenario(3, pbs.LNKDDISK()),
+		pbs.Quorum{R: 1, W: 1}, pbs.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("t-visibility on LNKD-DISK: P(read at t ms after commit is consistent)")
+	for _, t := range []float64{0, 1, 5, 10, 50, 100} {
+		fmt.Printf("  t=%-5g %.4f\n", t, pred.PConsistent(t))
+	}
+	fmt.Printf("  → wait %.1f ms for 99.9%% consistency\n\n", pred.TVisibility(0.999))
+
+	// What do partial quorums buy? Latency.
+	strict, err := pbs.NewPredictor(pbs.IIDScenario(3, pbs.LNKDDISK()),
+		pbs.Quorum{R: 2, W: 2}, pbs.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("99.9th-percentile operation latency, partial (R=W=1) vs strict (R=W=2):")
+	fmt.Printf("  reads:  %.2f ms vs %.2f ms\n", pred.ReadLatency(0.999), strict.ReadLatency(0.999))
+	fmt.Printf("  writes: %.2f ms vs %.2f ms\n", pred.WriteLatency(0.999), strict.WriteLatency(0.999))
+}

@@ -1,0 +1,58 @@
+// SLA tuning (paper Section 6): automatically choose replication
+// parameters (N, R, W) that minimize tail latency subject to staleness and
+// durability constraints, and quantify what relaxing consistency buys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbs"
+)
+
+func main() {
+	// Objective: on Yammer's Riak latency profile, reads must observe
+	// writes within 250 ms with 99.9% probability; writes must reach at
+	// least 2 replicas before commit (durability); at least 3 replicas.
+	target := pbs.SLATarget{
+		TWindow:        250,
+		MinPConsistent: 0.999,
+		MinN:           3,
+		MinW:           2,
+	}
+	res, err := pbs.OptimizeSLA(pbs.YMMR(), 3, target,
+		pbs.WithSeed(1), pbs.WithTrials(60000))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SLA: 99.9% consistency within 250ms, W>=2, on YMMR latencies")
+	fmt.Println("\nevaluated configurations (best first):")
+	for _, c := range res.All {
+		marker := " "
+		if c == res.Best {
+			marker = "→"
+		}
+		fmt.Printf(" %s N=%d R=%d W=%d  P@window=%.5f  Lr=%8.2fms  Lw=%8.2fms  feasible=%v\n",
+			marker, c.N, c.R, c.W, c.PConsistent, c.ReadLatency, c.WriteLatency, c.Feasible)
+	}
+	fmt.Printf("\nchosen: N=%d R=%d W=%d\n", res.Best.N, res.Best.R, res.Best.W)
+	fmt.Printf("latency saving vs cheapest strict quorum at N=%d: %.1f%%\n",
+		res.Best.N, res.LatencySavings()*100)
+
+	// Tighten the staleness window and watch the optimizer shift toward
+	// strict quorums — the latency-consistency trade-off made operational.
+	fmt.Println("\nwindow sweep (same durability):")
+	for _, window := range []float64{1000, 250, 50, 0} {
+		t := target
+		t.TWindow = window
+		r, err := pbs.OptimizeSLA(pbs.YMMR(), 3, t, pbs.WithSeed(1), pbs.WithTrials(40000))
+		if err != nil {
+			fmt.Printf("  window %6gms: no feasible configuration\n", window)
+			continue
+		}
+		fmt.Printf("  window %6gms: N=%d R=%d W=%d (strict: %v, score %.2fms)\n",
+			window, r.Best.N, r.Best.R, r.Best.W,
+			r.Best.R+r.Best.W > r.Best.N, r.Best.Score)
+	}
+}

@@ -1,0 +1,63 @@
+// Staleness monitoring (paper Section 4.3): Dynamo-style coordinators
+// receive N-R late read responses after answering; comparing them with the
+// returned value detects possible staleness asynchronously, enabling
+// speculative execution with compensation. This example runs a contended
+// workload on the simulated store and reports detector accuracy against
+// the simulation's ground-truth commit order (the "oracle" the paper says
+// eliminates false positives).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbs/internal/dist"
+	"pbs/internal/dynamo"
+	"pbs/internal/rng"
+)
+
+func run(name string, writeInterval, readInterval float64) {
+	model := dist.LatencyModel{
+		Name: "contended",
+		W:    dist.NewExponential(1.0 / 30), // slow writes: staleness happens
+		A:    dist.NewExponential(1),
+		R:    dist.NewExponential(1),
+		S:    dist.NewExponential(1),
+	}
+	cluster, err := dynamo.NewCluster(dynamo.Params{
+		N: 3, R: 1, W: 1, Model: model,
+	}, rng.New(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dynamo.MeasureWorkloadStaleness(cluster, dynamo.WorkloadOptions{
+		Keys:          2, // hot keys: reads race writes
+		WriteInterval: writeInterval,
+		ReadInterval:  readInterval,
+		Duration:      60000,
+		Warmup:        1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := cluster.DetectorAccuracy()
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  reads: %d, actually stale: %d (%.2f%%)\n",
+		res.Reads, res.StaleReads, res.PStale()*100)
+	fmt.Printf("  detector flags: %d (true positives %d, false alarms %d)\n",
+		acc.Flags, acc.TruePositives, acc.FalsePositives)
+	fmt.Printf("  precision without commit oracle: %.1f%%\n", acc.Precision()*100)
+	fmt.Printf("  with the oracle, the %d false alarms are filtered out\n\n", acc.FalsePositives)
+}
+
+func main() {
+	fmt.Println("asynchronous staleness detection on a Dynamo-style store (N=3, R=W=1)")
+	fmt.Println()
+	// Sparse writes: little in-flight data, so flags are mostly real.
+	run("sparse writes (one write per 200ms, reads every 5ms)", 200, 5)
+	// Dense writes: many in-flight versions → newer-but-uncommitted false
+	// alarms, the paper's false-positive cases two and three.
+	run("dense writes (one write per 20ms, reads every 5ms)", 20, 5)
+	fmt.Println("the detector needs no protocol changes: it reuses the responses the")
+	fmt.Println("coordinator already receives (paper Section 4.3).")
+}

@@ -1,0 +1,163 @@
+// Package asciichart renders t-visibility curves and latency CDFs as
+// terminal line charts, the textual analogue of the paper's Figures 4-7.
+// Multiple series share one canvas, each drawn with its own glyph.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Options controls rendering.
+type Options struct {
+	Width, Height int     // canvas size in characters (default 72×18)
+	YMin, YMax    float64 // y range (default: data range)
+	LogX          bool    // logarithmic x axis (Figures 5-7 use log time)
+	XLabel        string
+	YLabel        string
+	Title         string
+}
+
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series onto one canvas with a legend.
+func Plot(series []Series, opt Options) string {
+	if opt.Width == 0 {
+		opt.Width = 72
+	}
+	if opt.Height == 0 {
+		opt.Height = 18
+	}
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+
+	// Establish ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if opt.LogX && x <= 0 {
+				continue
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if y < ymin {
+				ymin = y
+			}
+			if y > ymax {
+				ymax = y
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return "(no finite points)\n"
+	}
+	if opt.YMin != 0 || opt.YMax != 0 {
+		ymin, ymax = opt.YMin, opt.YMax
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	tx := func(x float64) float64 {
+		if opt.LogX {
+			return math.Log(x)
+		}
+		return x
+	}
+	txmin, txmax := tx(xmin), tx(xmax)
+	if txmax <= txmin {
+		txmax = txmin + 1
+	}
+
+	// Paint.
+	canvas := make([][]byte, opt.Height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.Xs {
+			x, y := s.Xs[i], s.Ys[i]
+			if opt.LogX && x <= 0 {
+				continue
+			}
+			col := int((tx(x) - txmin) / (txmax - txmin) * float64(opt.Width-1))
+			row := opt.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(opt.Height-1))
+			if col < 0 || col >= opt.Width || row < 0 || row >= opt.Height {
+				continue
+			}
+			canvas[row][col] = g
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	yLab := func(v float64) string { return fmt.Sprintf("%8.3g", v) }
+	for i, line := range canvas {
+		frac := float64(opt.Height-1-i) / float64(opt.Height-1)
+		yv := ymin + frac*(ymax-ymin)
+		label := "        "
+		if i == 0 || i == opt.Height-1 || i == opt.Height/2 {
+			label = yLab(yv)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", opt.Width))
+	// X axis labels: min, mid, max.
+	mid := xmin
+	if opt.LogX {
+		mid = math.Exp((txmin + txmax) / 2)
+	} else {
+		mid = (xmin + xmax) / 2
+	}
+	axis := fmt.Sprintf("%-*.4g%*.4g%*.4g", opt.Width/3+9, xmin, opt.Width/3, mid, opt.Width/3, xmax)
+	b.WriteString(axis + "\n")
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", opt.XLabel, opt.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// CDF converts sorted samples into a plottable CDF series with up to
+// `points` evenly spaced probability steps.
+func CDF(name string, sorted []float64, points int) Series {
+	if points < 2 {
+		points = 2
+	}
+	s := Series{Name: name}
+	if len(sorted) == 0 {
+		return s
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		cp := append([]float64(nil), sorted...)
+		sort.Float64s(cp)
+		sorted = cp
+	}
+	for i := 0; i < points; i++ {
+		q := float64(i) / float64(points-1)
+		idx := int(q * float64(len(sorted)-1))
+		s.Xs = append(s.Xs, sorted[idx])
+		s.Ys = append(s.Ys, q)
+	}
+	return s
+}

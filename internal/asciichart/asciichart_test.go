@@ -1,0 +1,93 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	s := Series{Name: "line", Xs: []float64{0, 1, 2, 3}, Ys: []float64{0, 1, 2, 3}}
+	out := Plot([]Series{s}, Options{Width: 40, Height: 10, Title: "T"})
+	if !strings.Contains(out, "T") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing glyphs")
+	}
+	if !strings.Contains(out, "line") {
+		t.Fatal("missing legend")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestPlotMultipleSeriesDistinctGlyphs(t *testing.T) {
+	a := Series{Name: "a", Xs: []float64{0, 1}, Ys: []float64{0, 0}}
+	b := Series{Name: "b", Xs: []float64{0, 1}, Ys: []float64{1, 1}}
+	out := Plot([]Series{a, b}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("expected two glyphs:\n%s", out)
+	}
+}
+
+func TestPlotLogX(t *testing.T) {
+	s := Series{Name: "c", Xs: []float64{0.1, 1, 10, 100}, Ys: []float64{0.2, 0.5, 0.9, 1.0}}
+	out := Plot([]Series{s}, Options{Width: 40, Height: 8, LogX: true, YMin: 0, YMax: 1})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("log plot empty:\n%s", out)
+	}
+}
+
+func TestPlotLogXSkipsNonPositive(t *testing.T) {
+	s := Series{Name: "c", Xs: []float64{0, 1, 10}, Ys: []float64{0.1, 0.5, 1.0}}
+	out := Plot([]Series{s}, Options{LogX: true})
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if out := Plot(nil, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+	s := Series{Name: "z", Xs: []float64{0}, Ys: []float64{1}}
+	if out := Plot([]Series{s}, Options{LogX: true}); !strings.Contains(out, "no finite") {
+		t.Fatalf("all-filtered plot output: %q", out)
+	}
+}
+
+func TestPlotAxisLabels(t *testing.T) {
+	s := Series{Name: "l", Xs: []float64{0, 10}, Ys: []float64{0, 1}}
+	out := Plot([]Series{s}, Options{XLabel: "t (ms)", YLabel: "P"})
+	if !strings.Contains(out, "t (ms)") || !strings.Contains(out, "y: P") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := CDF("lat", samples, 5)
+	if len(s.Xs) != 5 || len(s.Ys) != 5 {
+		t.Fatalf("points = %d", len(s.Xs))
+	}
+	if s.Ys[0] != 0 || s.Ys[4] != 1 {
+		t.Fatalf("ys = %v", s.Ys)
+	}
+	if s.Xs[0] != 1 || s.Xs[4] != 10 {
+		t.Fatalf("xs = %v", s.Xs)
+	}
+	// Unsorted input is tolerated.
+	s2 := CDF("l2", []float64{5, 1, 3}, 3)
+	if s2.Xs[0] != 1 || s2.Xs[2] != 5 {
+		t.Fatalf("unsorted handling: %v", s2.Xs)
+	}
+	// Degenerate cases.
+	if got := CDF("e", nil, 4); len(got.Xs) != 0 {
+		t.Fatal("empty samples")
+	}
+	if got := CDF("p", []float64{1, 2}, 0); len(got.Xs) != 2 {
+		t.Fatal("point clamp")
+	}
+}

@@ -1,0 +1,226 @@
+// Package core is the PBS analysis engine — the paper's contribution as a
+// single operation: given a replication configuration and a latency
+// scenario, produce the full Probabilistically Bounded Staleness profile
+// (k-staleness, t-visibility, ⟨k,t⟩-staleness, monotonic reads, operation
+// latencies, and load bounds) by combining the closed forms of Section 3
+// with the WARS Monte Carlo of Sections 4-5.
+//
+// The root pbs package exposes the individual pieces; this package is the
+// "give me everything about this configuration" entry point used by the
+// pbs CLI's report mode and by downstream tooling that wants one structured
+// answer.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pbs/internal/quorum"
+	"pbs/internal/rng"
+	"pbs/internal/tabular"
+	"pbs/internal/wars"
+)
+
+// Request describes one analysis.
+type Request struct {
+	// Scenario supplies the WARS delays; its replica count is N.
+	Scenario wars.Scenario
+	// R and W are the quorum response thresholds.
+	R, W int
+	// Ks are the staleness tolerances to report (default 1,2,3,5,10).
+	Ks []int
+	// Ts are the time windows (ms) to report (default 0,1,5,10,50,100,500).
+	Ts []float64
+	// ConsistencyTargets are probabilities for which the required
+	// t-visibility window is reported (default 0.99, 0.999, 0.9999).
+	ConsistencyTargets []float64
+	// LatencyQuantiles for read/write operation latency (default
+	// 0.5, 0.99, 0.999).
+	LatencyQuantiles []float64
+	// RateRatios are γgw/γcr values for the monotonic-reads section
+	// (default 0.1, 1, 10).
+	RateRatios []float64
+	// Trials is the Monte Carlo sample count (default 100000).
+	Trials int
+	// Seed fixes the run (default 1).
+	Seed uint64
+}
+
+func (r *Request) setDefaults() error {
+	if r.Scenario == nil {
+		return errors.New("core: scenario is required")
+	}
+	n := r.Scenario.Replicas()
+	if r.R < 1 || r.R > n || r.W < 1 || r.W > n {
+		return fmt.Errorf("core: invalid R=%d W=%d for N=%d", r.R, r.W, n)
+	}
+	if len(r.Ks) == 0 {
+		r.Ks = []int{1, 2, 3, 5, 10}
+	}
+	for _, k := range r.Ks {
+		if k < 1 {
+			return errors.New("core: staleness tolerances must be >= 1")
+		}
+	}
+	if len(r.Ts) == 0 {
+		r.Ts = []float64{0, 1, 5, 10, 50, 100, 500}
+	}
+	if len(r.ConsistencyTargets) == 0 {
+		r.ConsistencyTargets = []float64{0.99, 0.999, 0.9999}
+	}
+	if len(r.LatencyQuantiles) == 0 {
+		r.LatencyQuantiles = []float64{0.5, 0.99, 0.999}
+	}
+	if len(r.RateRatios) == 0 {
+		r.RateRatios = []float64{0.1, 1, 10}
+	}
+	if r.Trials == 0 {
+		r.Trials = 100000
+	}
+	if r.Trials < 1 {
+		return errors.New("core: trials must be positive")
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	return nil
+}
+
+// Report is the complete PBS profile of one configuration.
+type Report struct {
+	Scenario string
+	Config   quorum.Config
+	Strict   bool
+
+	// Closed-form sections (Section 3).
+	NonIntersection float64             // Eq. 1
+	KConsistency    map[int]float64     // k → 1 - Eq. 2
+	MonotonicReads  map[float64]float64 // γgw/γcr → Eq. 3
+	LoadBound       float64             // Section 3.3 at p = 1 - target[0], k = 1
+	// Monte Carlo sections (Sections 4-5).
+	PConsistentAt map[float64]float64 // t → P(consistent)
+	TVisibility   map[float64]float64 // target probability → required t
+	ReadLatency   map[float64]float64 // quantile → ms
+	WriteLatency  map[float64]float64 // quantile → ms
+	// KTStaleness[k][t] is the Section 3.5 rule-of-thumb pst(t)^k.
+	KTStaleness map[int]map[float64]float64
+
+	request Request
+}
+
+// Analyze runs the full PBS profile for the request.
+func Analyze(req Request) (*Report, error) {
+	if err := req.setDefaults(); err != nil {
+		return nil, err
+	}
+	n := req.Scenario.Replicas()
+	cfg := quorum.Config{N: n, R: req.R, W: req.W}
+
+	rep := &Report{
+		Scenario:        req.Scenario.Name(),
+		Config:          cfg,
+		Strict:          cfg.IsStrict(),
+		NonIntersection: quorum.NonIntersectionProb(cfg),
+		KConsistency:    make(map[int]float64, len(req.Ks)),
+		MonotonicReads:  make(map[float64]float64, len(req.RateRatios)),
+		PConsistentAt:   make(map[float64]float64, len(req.Ts)),
+		TVisibility:     make(map[float64]float64, len(req.ConsistencyTargets)),
+		ReadLatency:     make(map[float64]float64, len(req.LatencyQuantiles)),
+		WriteLatency:    make(map[float64]float64, len(req.LatencyQuantiles)),
+		KTStaleness:     make(map[int]map[float64]float64, len(req.Ks)),
+		request:         req,
+	}
+
+	for _, k := range req.Ks {
+		rep.KConsistency[k] = quorum.KStalenessConsistency(cfg, k)
+	}
+	for _, ratio := range req.RateRatios {
+		rep.MonotonicReads[ratio] = quorum.MonotonicReadsProb(cfg, ratio, 1, false)
+	}
+	rep.LoadBound = quorum.KStalenessLoad(1-req.ConsistencyTargets[0], 1, n)
+
+	run, err := wars.Simulate(req.Scenario, wars.Config{R: req.R, W: req.W}, req.Trials, rng.New(req.Seed))
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range req.Ts {
+		rep.PConsistentAt[t] = run.PConsistent(t)
+	}
+	for _, p := range req.ConsistencyTargets {
+		rep.TVisibility[p] = run.TVisibility(p)
+	}
+	for _, q := range req.LatencyQuantiles {
+		rep.ReadLatency[q] = run.ReadLatency(q)
+		rep.WriteLatency[q] = run.WriteLatency(q)
+	}
+	for _, k := range req.Ks {
+		row := make(map[float64]float64, len(req.Ts))
+		for _, t := range req.Ts {
+			ps := run.PStale(t)
+			v := 1.0
+			for i := 0; i < k; i++ {
+				v *= ps
+			}
+			row[t] = v
+		}
+		rep.KTStaleness[k] = row
+	}
+	return rep, nil
+}
+
+// Render produces the human-readable report.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("PBS profile: %s, R=%d W=%d (strict: %v)\n\n",
+		r.Scenario, r.Config.R, r.Config.W, r.Strict)
+
+	kt := tabular.New("k-staleness (closed form, Eq. 2): P(read within k versions)", "k", "P")
+	for _, k := range r.request.Ks {
+		kt.AddRow(fmt.Sprintf("%d", k), tabular.Prob(r.KConsistency[k]))
+	}
+	out += kt.String() + "\n"
+
+	tv := tabular.New("t-visibility (WARS Monte Carlo)", "t (ms)", "P(consistent)")
+	for _, t := range r.request.Ts {
+		tv.AddRow(fmt.Sprintf("%g", t), tabular.Prob(r.PConsistentAt[t]))
+	}
+	out += tv.String() + "\n"
+
+	win := tabular.New("required windows", "target P", "t (ms)")
+	for _, p := range r.request.ConsistencyTargets {
+		win.AddRow(fmt.Sprintf("%g", p), tabular.Ms(r.TVisibility[p]))
+	}
+	out += win.String() + "\n"
+
+	lat := tabular.New("operation latency (ms)", "quantile", "read", "write")
+	for _, q := range r.request.LatencyQuantiles {
+		lat.AddRow(fmt.Sprintf("%g", q), tabular.Ms(r.ReadLatency[q]), tabular.Ms(r.WriteLatency[q]))
+	}
+	out += lat.String() + "\n"
+
+	mr := tabular.New("monotonic reads (Eq. 3): P(violation)", "γgw/γcr", "P")
+	for _, ratio := range r.request.RateRatios {
+		mr.AddRow(fmt.Sprintf("%g", ratio), tabular.Prob(r.MonotonicReads[ratio]))
+	}
+	out += mr.String() + "\n"
+
+	headers := append([]string{"k \\ t"}, tsHeader(r.request.Ts)...)
+	ktab := tabular.New("⟨k,t⟩-staleness bound pst(t)^k", headers...)
+	for _, k := range r.request.Ks {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, t := range r.request.Ts {
+			row = append(row, fmt.Sprintf("%.2g", r.KTStaleness[k][t]))
+		}
+		ktab.AddRow(row...)
+	}
+	out += ktab.String()
+	return out
+}
+
+// tsHeader renders the time columns for the ⟨k,t⟩ table.
+func tsHeader(ts []float64) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = fmt.Sprintf("t=%g", t)
+	}
+	return out
+}

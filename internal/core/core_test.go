@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/quorum"
+	"pbs/internal/wars"
+)
+
+func req() Request {
+	return Request{
+		Scenario: wars.NewIID(3, dist.LNKDSSD()),
+		R:        1, W: 1,
+		Trials: 20000,
+		Seed:   5,
+	}
+}
+
+func TestAnalyzeDefaults(t *testing.T) {
+	rep, err := Analyze(req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Config.N != 3 || rep.Strict {
+		t.Fatalf("config = %+v strict=%v", rep.Config, rep.Strict)
+	}
+	if math.Abs(rep.NonIntersection-2.0/3.0) > 1e-12 {
+		t.Fatalf("ps = %v", rep.NonIntersection)
+	}
+	// Defaults populated.
+	if len(rep.KConsistency) != 5 || len(rep.PConsistentAt) != 7 {
+		t.Fatalf("default sections missing: %d k's, %d t's",
+			len(rep.KConsistency), len(rep.PConsistentAt))
+	}
+	// Closed form matches the quorum package.
+	want := quorum.KStalenessConsistency(quorum.Config{N: 3, R: 1, W: 1}, 3)
+	if rep.KConsistency[3] != want {
+		t.Fatal("k-consistency mismatch with quorum package")
+	}
+	// Monte Carlo sections are sane.
+	if rep.PConsistentAt[0] < 0.9 {
+		t.Fatalf("LNKD-SSD immediate consistency = %v", rep.PConsistentAt[0])
+	}
+	if rep.TVisibility[0.999] > 10 {
+		t.Fatalf("LNKD-SSD 99.9%% window = %v", rep.TVisibility[0.999])
+	}
+	if rep.ReadLatency[0.5] <= 0 || rep.WriteLatency[0.5] <= 0 {
+		t.Fatal("latency sections empty")
+	}
+	// KT matrix: k=1 row equals 1 - PConsistentAt.
+	for _, tms := range []float64{0, 10} {
+		if math.Abs(rep.KTStaleness[1][tms]-(1-rep.PConsistentAt[tms])) > 1e-12 {
+			t.Fatal("kt k=1 row should equal pst")
+		}
+	}
+	// KT is monotone decreasing in k.
+	if rep.KTStaleness[2][0] > rep.KTStaleness[1][0] {
+		t.Fatal("kt not decreasing in k")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	bad := []Request{
+		{},
+		{Scenario: wars.NewIID(3, dist.LNKDSSD()), R: 0, W: 1},
+		{Scenario: wars.NewIID(3, dist.LNKDSSD()), R: 1, W: 4},
+		{Scenario: wars.NewIID(3, dist.LNKDSSD()), R: 1, W: 1, Ks: []int{0}},
+		{Scenario: wars.NewIID(3, dist.LNKDSSD()), R: 1, W: 1, Trials: -1},
+	}
+	for i, r := range bad {
+		if _, err := Analyze(r); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRenderContainsAllSections(t *testing.T) {
+	rep, err := Analyze(req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, want := range []string{
+		"PBS profile", "k-staleness", "t-visibility", "required windows",
+		"operation latency", "monotonic reads", "⟨k,t⟩-staleness",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeStrictConfig(t *testing.T) {
+	r := req()
+	r.R, r.W = 2, 2
+	rep, err := Analyze(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strict || rep.NonIntersection != 0 {
+		t.Fatal("strict detection")
+	}
+	if rep.PConsistentAt[0] != 1 {
+		t.Fatalf("strict immediate consistency = %v", rep.PConsistentAt[0])
+	}
+	if rep.TVisibility[0.999] != 0 {
+		t.Fatalf("strict window = %v", rep.TVisibility[0.999])
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	a, err := Analyze(req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("same seed produced different reports")
+	}
+}

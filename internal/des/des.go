@@ -1,0 +1,178 @@
+// Package des is a deterministic discrete-event simulator: a virtual clock
+// and an event heap ordered by (time, sequence). It is the substrate for the
+// Dynamo-style store in package dynamo, standing in for the wall-clock
+// cluster the paper used to validate WARS (Section 5.2). Determinism —
+// identical schedules for identical seeds — is what makes the validation
+// experiments reproducible.
+package des
+
+import "container/heap"
+
+// EventID identifies a scheduled event for cancellation.
+type EventID uint64
+
+// event is one pending callback.
+type event struct {
+	at        float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, maintained by eventHeap
+}
+
+// eventHeap orders events by time, breaking ties by scheduling order so
+// simultaneous events run deterministically FIFO.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and pending events. The zero value is
+// not usable; call New.
+type Simulator struct {
+	now     float64
+	heap    eventHeap
+	nextSeq uint64
+	byID    map[EventID]*event
+	steps   uint64
+}
+
+// New returns an empty simulator at time zero.
+func New() *Simulator {
+	return &Simulator{byID: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// Pending returns the number of events still scheduled (including events
+// cancelled but not yet drained).
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// Schedule runs fn after delay units of virtual time. A negative delay is
+// clamped to zero (runs at the current time, after already-queued events at
+// that time). Returns an EventID usable with Cancel.
+func (s *Simulator) Schedule(delay float64, fn func()) EventID {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Times before Now are clamped to
+// Now.
+func (s *Simulator) At(t float64, fn func()) EventID {
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.nextSeq++
+	e := &event{at: t, seq: s.nextSeq, fn: fn}
+	heap.Push(&s.heap, e)
+	id := EventID(e.seq)
+	s.byID[id] = e
+	return id
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an already-run
+// or unknown event is a no-op. Returns whether an event was cancelled.
+func (s *Simulator) Cancel(id EventID) bool {
+	e, ok := s.byID[id]
+	if !ok || e.cancelled {
+		return false
+	}
+	e.cancelled = true
+	delete(s.byID, id)
+	return true
+}
+
+// Step executes the next event, if any, advancing the clock to its time.
+// It reports whether an event ran.
+func (s *Simulator) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*event)
+		if e.cancelled {
+			continue
+		}
+		delete(s.byID, EventID(e.seq))
+		s.now = e.at
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain. Use RunUntil or RunSteps for
+// simulations with self-perpetuating schedules (e.g. periodic anti-entropy).
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (s *Simulator) RunUntil(t float64) {
+	for {
+		e := s.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunSteps executes at most n events, returning how many ran.
+func (s *Simulator) RunSteps(n int) int {
+	ran := 0
+	for ran < n && s.Step() {
+		ran++
+	}
+	return ran
+}
+
+// peek returns the next non-cancelled event without running it.
+func (s *Simulator) peek() *event {
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		if !e.cancelled {
+			return e
+		}
+		heap.Pop(&s.heap)
+	}
+	return nil
+}

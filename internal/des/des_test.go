@@ -1,0 +1,235 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbs/internal/rng"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var hits []float64
+	s.Schedule(1, func() {
+		hits = append(hits, s.Now())
+		s.Schedule(1, func() {
+			hits = append(hits, s.Now())
+		})
+	})
+	s.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {
+		s.Schedule(-10, func() {
+			if s.Now() != 5 {
+				t.Errorf("negative delay ran at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestAtBeforeNowClamped(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {
+		s.At(1, func() {
+			if s.Now() != 5 {
+				t.Errorf("past At ran at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+	if s.Steps() != 2 {
+		t.Fatalf("steps = %d", s.Steps())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	id := s.Schedule(1, func() { ran = true })
+	if !s.Cancel(id) {
+		t.Fatal("cancel should succeed")
+	}
+	if s.Cancel(id) {
+		t.Fatal("double cancel should fail")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if s.Cancel(EventID(999)) {
+		t.Fatal("unknown id cancelled")
+	}
+}
+
+func TestCancelMidRun(t *testing.T) {
+	s := New()
+	var id2 EventID
+	ran2 := false
+	s.Schedule(1, func() { s.Cancel(id2) })
+	id2 = s.Schedule(2, func() { ran2 = true })
+	s.Run()
+	if ran2 {
+		t.Fatal("event cancelled from an earlier event still ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var hits []float64
+	for _, d := range []float64{1, 2, 3, 4, 5} {
+		d := d
+		s.Schedule(d, func() { hits = append(hits, d) })
+	}
+	s.RunUntil(3)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("time = %v", s.Now())
+	}
+	s.RunUntil(10)
+	if len(hits) != 5 || s.Now() != 10 {
+		t.Fatalf("hits=%v now=%v", hits, s.Now())
+	}
+}
+
+func TestRunUntilAdvancesEmptyClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("time = %v", s.Now())
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 0; i < 5; i++ {
+		s.Schedule(float64(i), func() { count++ })
+	}
+	if ran := s.RunSteps(3); ran != 3 || count != 3 {
+		t.Fatalf("ran=%d count=%d", ran, count)
+	}
+	if ran := s.RunSteps(10); ran != 2 || count != 5 {
+		t.Fatalf("ran=%d count=%d", ran, count)
+	}
+}
+
+func TestPending(t *testing.T) {
+	s := New()
+	s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after run = %d", s.Pending())
+	}
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New().Schedule(1, nil)
+}
+
+func TestRandomScheduleProperty(t *testing.T) {
+	// Property: regardless of insertion order, events execute in
+	// non-decreasing time order and the clock never goes backwards.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		s := New()
+		n := 1 + r.Intn(100)
+		var times []float64
+		for i := 0; i < n; i++ {
+			s.Schedule(r.Float64()*100, func() {
+				times = append(times, s.Now())
+			})
+		}
+		s.Run()
+		if len(times) != n {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodicSelfScheduling(t *testing.T) {
+	s := New()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 10 {
+			s.Schedule(1, tick)
+		}
+	}
+	s.Schedule(1, tick)
+	s.RunUntil(100)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	r := rng.New(1)
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(r.Float64(), func() {})
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

@@ -1,0 +1,103 @@
+package dynamo
+
+// The eventual-consistency property itself: under a random mix of writes,
+// reads, crashes, recoveries and partitions, once the chaos stops and
+// anti-entropy plus hinted handoff run, every live replica converges to an
+// identical store ("the system will eventually return the most recent
+// version in the absence of new writes" — the guarantee PBS quantifies the
+// road to).
+
+import (
+	"fmt"
+	"testing"
+
+	"pbs/internal/rng"
+)
+
+func TestEventualConvergenceUnderChaos(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			seed := uint64(1000 + trial)
+			r := rng.New(seed)
+			c := newCluster(t, Params{
+				Nodes: 3, N: 3, R: 1, W: 1,
+				ReadRepair:          true,
+				AntiEntropyInterval: 40,
+				HintedHandoff:       true,
+				WriteTimeout:        30,
+				HintReplayInterval:  40,
+				Model:               expModel(10, 1),
+			}, seed)
+
+			const keys = 10
+			key := func() string { return fmt.Sprintf("key-%d", r.Intn(keys)) }
+
+			// Chaos phase: interleave operations with failures.
+			for step := 0; step < 250; step++ {
+				switch r.Intn(10) {
+				case 0: // crash a random node (but never all of them)
+					down := 0
+					for i := 0; i < 3; i++ {
+						if c.Net.IsDown(i) {
+							down++
+						}
+					}
+					if down < 2 {
+						c.Net.Crash(r.Intn(3))
+					}
+				case 1: // recover everyone occasionally
+					for i := 0; i < 3; i++ {
+						c.Net.Recover(i)
+					}
+				case 2: // transient partition
+					a, b := r.Intn(3), r.Intn(3)
+					if a != b {
+						c.Net.Partition(a, b)
+						c.Sim.Schedule(50+r.Float64()*100, func() { c.Net.Heal(a, b) })
+					}
+				case 3, 4, 5: // write via a live coordinator
+					coord := r.Intn(3)
+					if !c.Net.IsDown(coord) {
+						c.putFrom(coord, key(), "v", nil)
+					}
+				default: // read via a live coordinator
+					coord := r.Intn(3)
+					if !c.Net.IsDown(coord) {
+						c.GetFrom(coord, key(), nil)
+					}
+				}
+				c.Sim.RunUntil(c.Sim.Now() + r.Float64()*10)
+			}
+
+			// Healing phase: stop chaos, restore everything, let repair
+			// machinery run.
+			for i := 0; i < 3; i++ {
+				c.Net.Recover(i)
+			}
+			c.Net.HealAll()
+			c.Sim.RunUntil(c.Sim.Now() + 30000)
+
+			// Convergence: every replica holds an identical summary, and
+			// each key's version is the newest ever committed for it.
+			base := c.NodeStore(0).Summary()
+			for n := 1; n < 3; n++ {
+				other := c.NodeStore(n).Summary()
+				if len(other) != len(base) {
+					t.Fatalf("node %d has %d keys, node 0 has %d", n, len(other), len(base))
+				}
+				for k, seq := range base {
+					if other[k] != seq {
+						t.Fatalf("node %d disagrees on %s: %d vs %d", n, k, other[k], seq)
+					}
+				}
+			}
+			for k, seq := range base {
+				if newest := c.NewestCommittedSeq(k, c.Sim.Now()); seq < newest {
+					t.Fatalf("converged value for %s (seq %d) older than newest commit %d",
+						k, seq, newest)
+				}
+			}
+		})
+	}
+}

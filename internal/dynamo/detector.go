@@ -1,0 +1,54 @@
+package dynamo
+
+// Asynchronous staleness detection (paper Section 4.3). A Dynamo-style
+// coordinator waits for R of N read responses but the remaining N-R
+// replicas still reply; comparing those late responses against the value
+// already returned detects possible staleness after the fact, enabling
+// speculative execution with compensation. Without a commit-order oracle
+// the detector also fires on newer-but-uncommitted data (false positives);
+// with one (the paper suggests a centralized service or consensus), the
+// false positives disappear.
+
+// noteDetection records a detector alarm for the read, classifying it
+// against the ground-truth commit history the simulation keeps.
+func (c *Cluster) noteDetection(op *readOp) {
+	if op.flagged {
+		return
+	}
+	op.flagged = true
+	c.stats.DetectorFlags++
+	if op.returned.Seq < op.truthSeq {
+		// The read really did return stale data.
+		c.stats.DetectorTruePositive++
+	} else {
+		// Newer-but-uncommitted (in-flight) data or a commit after the
+		// read began: the paper's false-positive cases two and three.
+		c.stats.DetectorFalseAlarm++
+	}
+}
+
+// DetectorAccuracy summarizes detector performance over everything the
+// cluster has processed: precision (flags that were true staleness) and
+// the raw counts.
+type DetectorAccuracy struct {
+	Flags          int64
+	TruePositives  int64
+	FalsePositives int64
+}
+
+// Precision returns TruePositives/Flags (1 when nothing was flagged).
+func (d DetectorAccuracy) Precision() float64 {
+	if d.Flags == 0 {
+		return 1
+	}
+	return float64(d.TruePositives) / float64(d.Flags)
+}
+
+// DetectorAccuracy returns the detector counters.
+func (c *Cluster) DetectorAccuracy() DetectorAccuracy {
+	return DetectorAccuracy{
+		Flags:          c.stats.DetectorFlags,
+		TruePositives:  c.stats.DetectorTruePositive,
+		FalsePositives: c.stats.DetectorFalseAlarm,
+	}
+}

@@ -1,0 +1,112 @@
+package dynamo
+
+// Hinted handoff (Dynamo Section 4.6, referenced by the paper's
+// failure-modes discussion in Section 6): when a replica does not
+// acknowledge a write in time, the coordinator hands the version to a
+// fallback node, which retries delivery to the intended replica until it
+// recovers. This keeps the effective write quorum size from shrinking
+// permanently under transient failures.
+
+import (
+	"pbs/internal/kvstore"
+)
+
+// hintMsg replays a hinted write to its intended replica.
+type hintMsg struct {
+	v kvstore.Version
+}
+
+// hintAck confirms the replica applied a hinted write.
+type hintAck struct {
+	target int
+	key    string
+	seq    uint64
+}
+
+// scheduleWriteTimeout arms the hinted-handoff timer for a write: any
+// replica that has not acked within WriteTimeout gets its version handed to
+// a fallback node.
+func (c *Cluster) scheduleWriteTimeout(reqID uint64) {
+	c.Sim.Schedule(c.params.WriteTimeout, func() {
+		op, ok := c.writes[reqID]
+		if !ok {
+			return // fully acknowledged and retired
+		}
+		for _, rep := range op.replicas {
+			if !op.acks[rep] {
+				c.storeHint(op.coord, rep, op.version)
+			}
+		}
+		// Hints now own the undelivered copies; retire the op so crashed
+		// replicas cannot pin it forever. Stragglers that ack after this
+		// point are ignored harmlessly.
+		delete(c.writes, reqID)
+	})
+}
+
+// storeHint places a hint for `target` on a fallback node: the first node
+// outside the key's preference list, or the coordinator itself in a
+// cluster of exactly N nodes (Dynamo uses the next node walking the ring).
+func (c *Cluster) storeHint(coord, target int, v kvstore.Version) {
+	holder := coord
+	if c.params.Nodes > c.params.N {
+		ext := c.ring.PreferenceList(v.Key, c.params.N+1)
+		holder = ext[len(ext)-1]
+	}
+	if holder == target {
+		return
+	}
+	c.stats.HintsStored++
+	c.nodes[holder].hints[target] = append(c.nodes[holder].hints[target], v)
+}
+
+// scheduleHintReplay starts the periodic replay task on every node.
+func (c *Cluster) scheduleHintReplay() {
+	var tick func()
+	tick = func() {
+		for _, n := range c.nodes {
+			if c.Net.IsDown(n.id) {
+				continue
+			}
+			for target, versions := range n.hints {
+				if c.Net.IsDown(target) {
+					continue // retry later; the target is still down
+				}
+				for _, v := range versions {
+					c.stats.HintsReplayed++
+					c.send(n.id, target, KindHint, hintMsg{v: v})
+				}
+			}
+		}
+		c.Sim.Schedule(c.params.HintReplayInterval, tick)
+	}
+	c.Sim.Schedule(c.params.HintReplayInterval, tick)
+}
+
+// onHintAck drops delivered hints from the holder's queue.
+func (c *Cluster) onHintAck(holder int, a hintAck) {
+	pending := c.nodes[holder].hints[a.target]
+	kept := pending[:0]
+	for _, v := range pending {
+		if v.Key == a.key && v.Seq <= a.seq {
+			continue // delivered (or superseded by the delivered version)
+		}
+		kept = append(kept, v)
+	}
+	if len(kept) == 0 {
+		delete(c.nodes[holder].hints, a.target)
+	} else {
+		c.nodes[holder].hints[a.target] = kept
+	}
+}
+
+// PendingHints counts undelivered hints across the cluster (test hook).
+func (c *Cluster) PendingHints() int {
+	total := 0
+	for _, n := range c.nodes {
+		for _, vs := range n.hints {
+			total += len(vs)
+		}
+	}
+	return total
+}

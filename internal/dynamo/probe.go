@@ -1,0 +1,191 @@
+package dynamo
+
+// Measurement probes. MeasureTVisibility reproduces the paper's validation
+// methodology (Section 5.2): "To measure staleness, we inserted increasing
+// versions of a key while concurrently issuing read requests" — with read
+// repair disabled and only the first R responses considered. Each epoch
+// writes a fresh key, waits for commit, then issues reads at chosen delays
+// and checks whether they observe the write. MeasureWorkloadStaleness runs
+// a continuous open-loop workload instead, for the read-repair and
+// anti-entropy ablations where cross-operation interference is the point.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pbs/internal/stats"
+)
+
+// TVisibilityMeasurement is the empirical outcome of MeasureTVisibility.
+type TVisibilityMeasurement struct {
+	// Ts are the probed delays; Consistent[i] counts reads at Ts[i] that
+	// observed the epoch's write, out of Epochs trials.
+	Ts         []float64
+	Consistent []stats.Counter
+	// WriteLatencies and ReadLatencies are the observed operation
+	// latencies, sorted ascending.
+	WriteLatencies []float64
+	ReadLatencies  []float64
+}
+
+// PConsistent returns the measured consistency probability at Ts[i].
+func (m *TVisibilityMeasurement) PConsistent(i int) float64 {
+	return m.Consistent[i].P()
+}
+
+// Curve returns the measured consistency probabilities in Ts order.
+func (m *TVisibilityMeasurement) Curve() []float64 {
+	out := make([]float64, len(m.Ts))
+	for i := range m.Ts {
+		out[i] = m.PConsistent(i)
+	}
+	return out
+}
+
+// MeasureTVisibility runs `epochs` independent write-then-read experiments
+// on the cluster and measures consistency at each delay in ts. The cluster
+// should be configured like the paper's validation run (ReadRepair off) for
+// a faithful WARS comparison, but any configuration is accepted — that is
+// exactly what the ablation experiments vary.
+func MeasureTVisibility(c *Cluster, ts []float64, epochs int) (*TVisibilityMeasurement, error) {
+	if epochs < 1 {
+		return nil, errors.New("dynamo: need at least one epoch")
+	}
+	if len(ts) == 0 {
+		return nil, errors.New("dynamo: need at least one probe delay")
+	}
+	m := &TVisibilityMeasurement{
+		Ts:         append([]float64(nil), ts...),
+		Consistent: make([]stats.Counter, len(ts)),
+	}
+	// Per-epoch deadline: the largest probe delay plus a generous tail
+	// allowance, so even heavy-tailed latency samples drain, while periodic
+	// maintenance tasks (anti-entropy, hint replay) cannot spin forever.
+	maxT := stats.Max(m.Ts)
+	window := maxT + 60000
+
+	for e := 0; e < epochs; e++ {
+		key := fmt.Sprintf("probe-%d", e)
+		target := c.nextSeq[key] + 1
+		readsDone := 0
+		c.Put(key, "v", func(w WriteResult) {
+			m.WriteLatencies = append(m.WriteLatencies, w.Latency())
+			for i, t := range m.Ts {
+				i, t := i, t
+				c.Sim.Schedule(t, func() {
+					c.Get(key, func(r ReadResult) {
+						m.ReadLatencies = append(m.ReadLatencies, r.Latency())
+						m.Consistent[i].Observe(r.Version.Seq >= target)
+						readsDone++
+					})
+				})
+			}
+		})
+		deadline := c.Sim.Now() + window
+		for readsDone < len(m.Ts) && c.Sim.Now() < deadline {
+			if !c.Sim.Step() {
+				break
+			}
+		}
+		// Drain stragglers (late acks, repairs) so epochs stay independent.
+		c.Settle(window)
+	}
+	sort.Float64s(m.WriteLatencies)
+	sort.Float64s(m.ReadLatencies)
+	return m, nil
+}
+
+// WorkloadOptions drives MeasureWorkloadStaleness.
+type WorkloadOptions struct {
+	// Keys is the keyspace size.
+	Keys int
+	// WriteInterval and ReadInterval are the mean gaps between successive
+	// writes/reads (exponential inter-arrivals, i.e. Poisson processes).
+	WriteInterval, ReadInterval float64
+	// Duration is the simulated run length.
+	Duration float64
+	// Warmup discards reads before this time (lets the system reach
+	// steady state).
+	Warmup float64
+}
+
+// WorkloadResult summarizes a workload run.
+type WorkloadResult struct {
+	Reads        int64
+	StaleReads   int64
+	ReadLatency  []float64 // sorted
+	WriteLatency []float64 // sorted
+}
+
+// PStale returns the stale-read fraction.
+func (w WorkloadResult) PStale() float64 {
+	if w.Reads == 0 {
+		return 0
+	}
+	return float64(w.StaleReads) / float64(w.Reads)
+}
+
+// MeasureWorkloadStaleness runs an open-loop Poisson workload of writes and
+// reads over a uniform keyspace and reports the fraction of reads returning
+// versions older than the newest committed version at read start. This is
+// the probe behind the read-repair/anti-entropy/failure ablations.
+func MeasureWorkloadStaleness(c *Cluster, opt WorkloadOptions) (*WorkloadResult, error) {
+	if opt.Keys < 1 || opt.WriteInterval <= 0 || opt.ReadInterval <= 0 || opt.Duration <= 0 {
+		return nil, errors.New("dynamo: invalid workload options")
+	}
+	res := &WorkloadResult{}
+	r := c.r.Split()
+
+	key := func() string { return fmt.Sprintf("wl-%d", r.Intn(opt.Keys)) }
+	expGap := func(mean float64) float64 {
+		return -mean * logOpen(r.Float64Open())
+	}
+
+	var scheduleWrite, scheduleRead func()
+	scheduleWrite = func() {
+		gap := expGap(opt.WriteInterval)
+		c.Sim.Schedule(gap, func() {
+			if c.Sim.Now() > opt.Duration {
+				return
+			}
+			c.Put(key(), "v", func(w WriteResult) {
+				if w.StartedAt >= opt.Warmup {
+					res.WriteLatency = append(res.WriteLatency, w.Latency())
+				}
+			})
+			scheduleWrite()
+		})
+	}
+	scheduleRead = func() {
+		gap := expGap(opt.ReadInterval)
+		c.Sim.Schedule(gap, func() {
+			if c.Sim.Now() > opt.Duration {
+				return
+			}
+			c.Get(key(), func(rr ReadResult) {
+				if rr.StartedAt >= opt.Warmup {
+					res.Reads++
+					if rr.Stale() {
+						res.StaleReads++
+					}
+					res.ReadLatency = append(res.ReadLatency, rr.Latency())
+				}
+			})
+			scheduleRead()
+		})
+	}
+	scheduleWrite()
+	scheduleRead()
+	c.Sim.RunUntil(opt.Duration)
+	c.Settle(60000)
+	sort.Float64s(res.ReadLatency)
+	sort.Float64s(res.WriteLatency)
+	return res, nil
+}
+
+// logOpen is math.Log restricted to (0,1) inputs.
+func logOpen(u float64) float64 {
+	return math.Log(u)
+}

@@ -1,0 +1,146 @@
+package dynamo
+
+// Tests for read timeouts and network partitions: the fail-stop and
+// partition behaviour the paper's Section 6 failure-modes discussion
+// assumes.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReadTimeoutFiresWhenQuorumUnreachable(t *testing.T) {
+	// R=2 of 3 with two replicas crashed: the quorum is unreachable, so
+	// the timeout must answer with the one available response.
+	c := newCluster(t, Params{N: 3, R: 2, W: 1, ReadTimeout: 50,
+		Model: pointModel(1, 1, 1, 1)}, 201)
+	reps := c.Replicas("k")
+	live := reps[0]
+	c.putFrom(live, "k", "v", nil)
+	c.Settle(1e5)
+	c.Net.Crash(reps[1])
+	c.Net.Crash(reps[2])
+
+	var res ReadResult
+	answered := false
+	c.GetFrom(live, "k", func(r ReadResult) { res = r; answered = true })
+	c.Sim.RunUntil(c.Sim.Now() + 200)
+	if !answered {
+		t.Fatal("timed-out read never answered")
+	}
+	if !res.TimedOut {
+		t.Fatal("result should be marked TimedOut")
+	}
+	if res.Version.Seq != 1 {
+		t.Fatalf("timeout should return best-so-far (seq 1), got %d", res.Version.Seq)
+	}
+	if res.Latency() != 50 {
+		t.Fatalf("timeout latency = %v, want 50", res.Latency())
+	}
+	if c.Stats().ReadTimeouts != 1 {
+		t.Fatalf("timeout counter = %d", c.Stats().ReadTimeouts)
+	}
+	if c.PendingOps() != 0 {
+		t.Fatal("timed-out read not retired")
+	}
+}
+
+func TestReadTimeoutDoesNotFireWhenQuorumMet(t *testing.T) {
+	c := newCluster(t, Params{N: 3, R: 1, W: 1, ReadTimeout: 1000,
+		Model: pointModel(1, 1, 1, 1)}, 203)
+	c.Put("k", "v", nil)
+	c.Sim.Run()
+	var res ReadResult
+	c.Get("k", func(r ReadResult) { res = r })
+	c.Sim.RunUntil(c.Sim.Now() + 5000)
+	if res.TimedOut {
+		t.Fatal("healthy read marked TimedOut")
+	}
+	if c.Stats().ReadTimeouts != 0 {
+		t.Fatal("spurious timeout recorded")
+	}
+}
+
+func TestPartitionedReplicaExcludedFromQuorum(t *testing.T) {
+	// Partition one replica from the coordinator: R=1 reads still answer
+	// from the reachable side, and the partitioned replica stays stale
+	// until healed.
+	c := newCluster(t, Params{N: 3, R: 1, W: 1, Model: pointModel(1, 1, 1, 1)}, 207)
+	reps := c.Replicas("k")
+	coord := reps[0]
+	victim := reps[2]
+	c.Net.Partition(coord, victim)
+
+	c.putFrom(coord, "k", "v", nil)
+	c.Settle(1e5)
+	if c.NodeStore(victim).Seq("k") != 0 {
+		t.Fatal("partitioned replica received the write")
+	}
+	var res ReadResult
+	c.GetFrom(coord, "k", func(r ReadResult) { res = r })
+	c.Settle(1e5)
+	if res.Version.Seq != 1 {
+		t.Fatalf("read through partition returned seq %d", res.Version.Seq)
+	}
+
+	// Heal; a new write converges everyone.
+	c.Net.HealAll()
+	c.putFrom(coord, "k", "v2", nil)
+	c.Settle(1e5)
+	if c.NodeStore(victim).Seq("k") != 2 {
+		t.Fatalf("healed replica seq = %d, want 2", c.NodeStore(victim).Seq("k"))
+	}
+}
+
+func TestPartitionWithStrictQuorumBlocksUntilTimeout(t *testing.T) {
+	// R=2 with one replica partitioned from the read coordinator: only a
+	// timeout can answer if the two reachable replicas include the
+	// coordinator... with N=3 and one severed link, two replicas remain
+	// reachable, so R=2 still succeeds. Sever both links instead.
+	c := newCluster(t, Params{N: 3, R: 2, W: 1, ReadTimeout: 30,
+		Model: pointModel(1, 1, 1, 1)}, 211)
+	reps := c.Replicas("k")
+	coord := reps[0]
+	c.putFrom(coord, "k", "v", nil)
+	c.Settle(1e5)
+	c.Net.Partition(coord, reps[1])
+	c.Net.Partition(coord, reps[2])
+
+	var res ReadResult
+	c.GetFrom(coord, "k", func(r ReadResult) { res = r })
+	c.Sim.RunUntil(c.Sim.Now() + 100)
+	if !res.TimedOut {
+		t.Fatal("fully partitioned strict read should time out")
+	}
+	// The coordinator's own replica still responded (self-send allowed).
+	if res.Version.Seq != 1 {
+		t.Fatalf("timeout best = %d", res.Version.Seq)
+	}
+}
+
+func TestStaleReadsAcrossPartitionMeasured(t *testing.T) {
+	// During a partition, writes only reach one side; reads served by the
+	// stale side regress. Confirm the oracle counts them.
+	c := newCluster(t, Params{N: 3, R: 1, W: 1, Model: expModel(5, 1)}, 213)
+	reps := c.Replicas("k")
+	coord := reps[0]
+	stale := 0
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("p-%d", i)
+		prs := c.Replicas(key)
+		c.Net.Partition(prs[0], prs[2])
+		c.putFrom(prs[0], key, "v", func(w WriteResult) {
+			c.GetFrom(prs[2], key, func(r ReadResult) {
+				if r.Stale() {
+					stale++
+				}
+			})
+		})
+		c.Settle(1e6)
+		c.Net.HealAll()
+	}
+	_ = coord
+	if stale == 0 {
+		t.Fatal("expected stale reads from the partitioned side")
+	}
+}

@@ -1,0 +1,26 @@
+package dynamo
+
+import (
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+	"pbs/internal/stats"
+	"pbs/internal/wars"
+)
+
+// rmseAgainstWARS compares a measured t-visibility curve against the WARS
+// Monte Carlo prediction for the same model and N=3, R=W=1.
+func rmseAgainstWARS(t *testing.T, model dist.LatencyModel, ts []float64, measured []float64) float64 {
+	t.Helper()
+	run, err := wars.Simulate(wars.NewIID(3, model), wars.Config{R: 1, W: 1}, 200000, rng.New(777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := run.Curve(ts)
+	rmse, err := stats.RMSE(predicted, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rmse
+}

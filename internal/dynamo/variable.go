@@ -1,0 +1,49 @@
+package dynamo
+
+// Per-operation quorum configuration (paper Section 6, "Variable
+// configurations"): "one could vary these [N, R, W] over time and across
+// keys. By specifying a target latency, one could periodically modify R and
+// W to more efficiently guarantee a desired bound on staleness, or vice
+// versa." The cluster-level R/W act as defaults; these entry points let
+// individual operations — or a reconfiguration policy — override them.
+
+import "fmt"
+
+// PutQuorum issues a write requiring `w` acknowledgments instead of the
+// cluster default. It panics on invalid w (programmer error, matching the
+// validation style of the default path which checks at construction).
+func (c *Cluster) PutQuorum(key, value string, w int, onCommit func(WriteResult)) {
+	if w < 1 || w > c.params.N {
+		panic(fmt.Sprintf("dynamo: write quorum %d out of [1, %d]", w, c.params.N))
+	}
+	coord := c.ring.Coordinator(key)
+	saved := c.params.W
+	c.params.W = w
+	c.putFrom(coord, key, value, onCommit)
+	c.params.W = saved
+}
+
+// GetQuorum issues a read requiring `r` responses instead of the cluster
+// default.
+func (c *Cluster) GetQuorum(key string, r int, onDone func(ReadResult)) {
+	if r < 1 || r > c.params.N {
+		panic(fmt.Sprintf("dynamo: read quorum %d out of [1, %d]", r, c.params.N))
+	}
+	coord := c.r.Intn(c.params.Nodes)
+	saved := c.params.R
+	c.params.R = r
+	c.GetFrom(coord, key, onDone)
+	c.params.R = saved
+}
+
+// Reconfigure changes the cluster's default R and W for subsequent
+// operations — the knob a latency/staleness controller would turn.
+// In-flight operations keep the thresholds they started with.
+func (c *Cluster) Reconfigure(r, w int) error {
+	if r < 1 || r > c.params.N || w < 1 || w > c.params.N {
+		return fmt.Errorf("dynamo: invalid reconfiguration R=%d W=%d for N=%d", r, w, c.params.N)
+	}
+	c.params.R = r
+	c.params.W = w
+	return nil
+}

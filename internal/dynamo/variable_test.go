@@ -1,0 +1,159 @@
+package dynamo
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPutQuorumOverride(t *testing.T) {
+	c := newCluster(t, Params{N: 3, R: 1, W: 1, Model: pointModel(3, 2, 1, 1)}, 101)
+	// Default W=1 commits at W+A = 5; an override to W=3 commits at the
+	// same time under point delays (all replicas identical), so use it to
+	// verify the ack threshold via the writes map instead: W=3 requires
+	// all three acks before commit fires.
+	var defaultLat, overrideLat float64
+	c.Put("a", "v", func(w WriteResult) { defaultLat = w.Latency() })
+	c.Sim.Run()
+	c.PutQuorum("b", "v", 3, func(w WriteResult) { overrideLat = w.Latency() })
+	c.Sim.Run()
+	if defaultLat != 5 || overrideLat != 5 {
+		t.Fatalf("latencies = %v, %v (point delays make both 5)", defaultLat, overrideLat)
+	}
+	// The default restores after the override.
+	if c.Params().W != 1 {
+		t.Fatalf("default W mutated: %d", c.Params().W)
+	}
+}
+
+func TestPutQuorumDurability(t *testing.T) {
+	// W=3 writes must reach every replica before commit; verify all three
+	// stores hold the version at commit time under asymmetric delays.
+	c := newCluster(t, Params{N: 3, R: 1, W: 1, Model: expModel(10, 1)}, 103)
+	committed := false
+	c.PutQuorum("k", "v", 3, func(w WriteResult) {
+		committed = true
+		for _, rep := range c.Replicas("k") {
+			if c.NodeStore(rep).Seq("k") != 1 {
+				t.Errorf("replica %d missing version at W=3 commit", rep)
+			}
+		}
+	})
+	c.Settle(1e6)
+	if !committed {
+		t.Fatal("W=3 write did not commit")
+	}
+}
+
+func TestGetQuorumOverride(t *testing.T) {
+	c := newCluster(t, Params{N: 3, R: 1, W: 3, Model: pointModel(1, 1, 2, 3)}, 107)
+	c.Put("k", "v", nil)
+	c.Sim.Run()
+	var r1, r3 float64
+	c.GetQuorum("k", 1, func(r ReadResult) { r1 = r.Latency() })
+	c.Sim.Run()
+	c.GetQuorum("k", 3, func(r ReadResult) { r3 = r.Latency() })
+	c.Sim.Run()
+	// Point delays: every response arrives at R+S = 5 regardless.
+	if r1 != 5 || r3 != 5 {
+		t.Fatalf("latencies = %v, %v", r1, r3)
+	}
+	if c.Params().R != 1 {
+		t.Fatalf("default R mutated: %d", c.Params().R)
+	}
+}
+
+func TestGetQuorumStrictNeverStale(t *testing.T) {
+	// Per-op strict reads (R=3) against W=1 writes: the read set always
+	// includes the acked replica, so staleness is impossible once the
+	// write commits.
+	c := newCluster(t, Params{N: 3, R: 1, W: 1, Model: expModel(20, 1)}, 109)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Put(key, "v", func(w WriteResult) {
+			c.GetQuorum(key, 3, func(r ReadResult) {
+				if r.Stale() {
+					t.Errorf("strict per-op read returned stale data")
+				}
+			})
+		})
+		c.Settle(1e6)
+	}
+}
+
+func TestReconfigure(t *testing.T) {
+	c := newCluster(t, Params{N: 3, R: 1, W: 1, Model: expModel(10, 1)}, 113)
+	if err := c.Reconfigure(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Params().R != 2 || c.Params().W != 2 {
+		t.Fatal("reconfiguration not applied")
+	}
+	if err := c.Reconfigure(0, 1); err == nil {
+		t.Fatal("invalid R accepted")
+	}
+	if err := c.Reconfigure(1, 4); err == nil {
+		t.Fatal("invalid W accepted")
+	}
+	// After reconfiguring to strict, probe staleness vanishes.
+	m, err := MeasureTVisibility(c, []float64{0}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.PConsistent(0); p != 1 {
+		t.Fatalf("strict reconfig consistency = %v", p)
+	}
+}
+
+func TestQuorumOverridePanics(t *testing.T) {
+	c := newCluster(t, Params{N: 3, R: 1, W: 1, Model: pointModel(1, 1, 1, 1)}, 127)
+	cases := []func(){
+		func() { c.PutQuorum("k", "v", 0, nil) },
+		func() { c.PutQuorum("k", "v", 4, nil) },
+		func() { c.GetQuorum("k", 0, nil) },
+		func() { c.GetQuorum("k", 4, nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMixedCriticalityWorkload(t *testing.T) {
+	// Section 6's motivating scenario: "critical" writes use W=2 for
+	// durability+freshness, bulk writes use W=1 for speed; critical data
+	// should show lower immediate staleness.
+	c := newCluster(t, Params{N: 3, R: 1, W: 1, Model: expModel(30, 1)}, 131)
+	staleBulk, staleCrit := 0, 0
+	const rounds = 300
+	for i := 0; i < rounds; i++ {
+		bulk, crit := fmt.Sprintf("bulk-%d", i), fmt.Sprintf("crit-%d", i)
+		c.Put(bulk, "v", func(w WriteResult) {
+			c.Get(bulk, func(r ReadResult) {
+				if r.Stale() {
+					staleBulk++
+				}
+			})
+		})
+		c.Settle(1e6)
+		c.PutQuorum(crit, "v", 2, func(w WriteResult) {
+			c.Get(crit, func(r ReadResult) {
+				if r.Stale() {
+					staleCrit++
+				}
+			})
+		})
+		c.Settle(1e6)
+	}
+	if staleBulk == 0 {
+		t.Fatal("expected some stale bulk reads with W=1 and slow writes")
+	}
+	if staleCrit >= staleBulk {
+		t.Fatalf("critical (W=2) staleness %d should beat bulk (W=1) %d", staleCrit, staleBulk)
+	}
+}

@@ -1,0 +1,96 @@
+package dynamo
+
+// WAN topology tests: the store-level counterpart of the paper's Section
+// 5.5 WAN scenario, cross-validated against the WARS WAN model.
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+	"pbs/internal/stats"
+	"pbs/internal/wars"
+)
+
+func TestWANStoreImmediateConsistency(t *testing.T) {
+	// Paper Section 5.6: WAN R=W=1 is consistent immediately after commit
+	// about a third of the time (reads win only in the writer's DC).
+	c := newCluster(t, Params{
+		N: 3, R: 1, W: 1,
+		Model:    dist.LNKDDISK(),
+		WANDelay: dist.WANDelayMs,
+	}, 301)
+	m, err := MeasureTVisibility(c, []float64{0, 40, 80, 160}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := m.PConsistent(0)
+	if math.Abs(p0-0.33) > 0.06 {
+		t.Fatalf("WAN store P(0) = %v, paper reports ≈0.33", p0)
+	}
+	// Consistency jumps once t clears the 75ms one-way hop.
+	if p := m.PConsistent(2); p < 0.9 { // index 2 → t=80ms
+		t.Fatalf("WAN store P(80ms) = %v", p)
+	}
+}
+
+func TestWANStoreMatchesWARSWAN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("WAN validation is slow")
+	}
+	ts := []float64{0, 20, 40, 60, 80, 100, 140, 200}
+	c := newCluster(t, Params{
+		N: 3, R: 1, W: 1,
+		Model:    dist.LNKDDISK(),
+		WANDelay: dist.WANDelayMs,
+	}, 303)
+	m, err := MeasureTVisibility(c, ts, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := wars.Simulate(wars.NewWAN(3, dist.WANLocal(), dist.WANDelayMs),
+		wars.Config{R: 1, W: 1}, 150000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := stats.RMSE(run.Curve(ts), m.Curve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.03 {
+		t.Fatalf("WAN store vs WARS WAN RMSE = %v\nstore: %v\nwars:  %v",
+			rmse, m.Curve(), run.Curve(ts))
+	}
+}
+
+func TestWANStoreLocalReadsFast(t *testing.T) {
+	c := newCluster(t, Params{
+		N: 3, R: 1, W: 1,
+		Model:    dist.LNKDDISK(),
+		WANDelay: dist.WANDelayMs,
+	}, 307)
+	c.Put("k", "v", nil)
+	c.Settle(1e6)
+	// R=1 reads answer from the coordinator's own replica: no WAN hop.
+	var lat float64
+	coord := c.Replicas("k")[0]
+	c.GetFrom(coord, "k", func(r ReadResult) { lat = r.Latency() })
+	c.Settle(1e6)
+	if lat >= dist.WANDelayMs {
+		t.Fatalf("local WAN read took %v ms, expected < one-way delay", lat)
+	}
+	// R=2 must cross the WAN: two one-way hops minimum.
+	c2 := newCluster(t, Params{
+		N: 3, R: 2, W: 1,
+		Model:    dist.LNKDDISK(),
+		WANDelay: dist.WANDelayMs,
+	}, 309)
+	c2.Put("k", "v", nil)
+	c2.Settle(1e6)
+	c2.GetFrom(c2.Replicas("k")[0], "k", func(r ReadResult) { lat = r.Latency() })
+	c2.Settle(1e6)
+	if lat < 2*dist.WANDelayMs {
+		t.Fatalf("R=2 WAN read took %v ms, expected >= 150", lat)
+	}
+}

@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each experiment is a
+// named entry in the registry; cmd/pbs-experiments and the repository-root
+// benchmarks are thin wrappers over Run.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pbs/internal/dist"
+	"pbs/internal/wars"
+)
+
+// Config tunes experiment cost. Zero values select defaults sized for a
+// laptop-class single-core run.
+type Config struct {
+	// Seed makes every experiment deterministic.
+	Seed uint64
+	// Trials is the WARS Monte Carlo sample count (default 100000).
+	Trials int
+	// Epochs is the store-simulation write/read epoch count (default
+	// 2000).
+	Epochs int
+	// Fast shrinks everything for smoke tests.
+	Fast bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Trials == 0 {
+		c.Trials = 100000
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 2000
+	}
+	if c.Fast {
+		if c.Trials > 8000 {
+			c.Trials = 8000
+		}
+		if c.Epochs > 300 {
+			c.Epochs = 300
+		}
+	}
+}
+
+// Result is an experiment's rendered output.
+type Result struct {
+	ID    string
+	Title string
+	// Sections are rendered tables and charts, in presentation order.
+	Sections []string
+	// Notes carry paper-vs-measured commentary for EXPERIMENTS.md.
+	Notes []string
+}
+
+// String renders the full result.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	for _, s := range r.Sections {
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Spec describes a runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(Config) (*Result, error)
+}
+
+// registry lists every experiment in paper order.
+var registry = []Spec{
+	{"sec3.1-kstaleness", "PBS k-staleness closed form (Section 3.1)", RunKStaleness},
+	{"sec3.2-monotonic", "PBS monotonic reads (Section 3.2, Eq. 3)", RunMonotonicReads},
+	{"sec3.3-load", "Quorum load under staleness tolerance (Section 3.3)", RunLoad},
+	{"sec3.4-eq4", "Equation 4 closed form vs WARS (Section 3.4)", RunEquation4},
+	{"fig4", "t-visibility under exponential latencies (Figure 4)", RunFigure4},
+	{"sec5.2-validation", "WARS vs Dynamo-style store validation (Section 5.2)", RunValidation},
+	{"table3", "Production latency distribution fits (Table 3)", RunTable3},
+	{"fig5", "Operation latency CDFs for production fits (Figure 5)", RunFigure5},
+	{"fig6", "t-visibility for production fits (Figure 6)", RunFigure6},
+	{"fig7", "t-visibility vs replication factor (Figure 7)", RunFigure7},
+	{"table4", "Latency vs t-visibility trade-off (Table 4)", RunTable4},
+	{"ablation-readrepair", "Ablation: read repair (Section 4.2)", RunAblationReadRepair},
+	{"ablation-antientropy", "Ablation: Merkle anti-entropy (Section 4.2)", RunAblationAntiEntropy},
+	{"ablation-sticky", "Ablation: sticky read routing (Section 3.2)", RunAblationSticky},
+	{"ablation-failures", "Ablation: fail-stop failures (Section 6)", RunAblationFailures},
+	{"ext-sla", "Extension: latency/staleness SLA optimizer (Section 6)", RunSLA},
+	{"ext-detector", "Extension: asynchronous staleness detector (Section 4.3)", RunDetector},
+	{"ext-frontier", "Extension: latency/staleness Pareto frontier (Section 5.8)", RunFrontier},
+	{"ext-ryw", "Extension: read-your-writes session guarantee (Section 2.3)", RunReadYourWrites},
+}
+
+// Registry returns the experiment list in paper order.
+func Registry() []Spec {
+	return append([]Spec(nil), registry...)
+}
+
+// IDs returns all experiment identifiers.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Result, error) {
+	for _, s := range registry {
+		if s.ID == id {
+			return s.Run(cfg)
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+}
+
+// productionScenarios returns the four evaluation scenarios of Section 5.5
+// at replication factor n, in paper order.
+func productionScenarios(n int) []wars.Scenario {
+	return []wars.Scenario{
+		wars.NewIID(n, dist.LNKDSSD()),
+		wars.NewIID(n, dist.LNKDDISK()),
+		wars.NewIID(n, dist.YMMR()),
+		wars.NewWAN(n, dist.WANLocal(), dist.WANDelayMs),
+	}
+}
+
+// scenarioNames are the display names matching productionScenarios.
+var scenarioNames = []string{"LNKD-SSD", "LNKD-DISK", "YMMR", "WAN"}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastCfg keeps every experiment quick enough for CI.
+func fastCfg() Config {
+	return Config{Seed: 7, Fast: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"sec3.1-kstaleness", "sec3.2-monotonic", "sec3.3-load", "sec3.4-eq4",
+		"fig4", "sec5.2-validation", "table3",
+		"fig5", "fig6", "fig7", "table4",
+		"ablation-readrepair", "ablation-antientropy", "ablation-sticky",
+		"ablation-failures", "ext-sla", "ext-detector", "ext-frontier",
+		"ext-ryw",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
+	}
+	set := map[string]bool{}
+	for _, id := range ids {
+		set[id] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Fatalf("missing experiment %s", w)
+		}
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("nope", fastCfg()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllExperimentsRunFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow even in fast mode")
+	}
+	for _, spec := range Registry() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			res, err := spec.Run(fastCfg())
+			if err != nil {
+				t.Fatalf("%s: %v", spec.ID, err)
+			}
+			if res.ID != spec.ID {
+				t.Fatalf("result id %q != spec id %q", res.ID, spec.ID)
+			}
+			if len(res.Sections) == 0 {
+				t.Fatalf("%s produced no sections", spec.ID)
+			}
+			out := res.String()
+			if len(out) < 100 {
+				t.Fatalf("%s output suspiciously short:\n%s", spec.ID, out)
+			}
+			if !strings.Contains(out, spec.ID) {
+				t.Fatalf("%s output missing id header", spec.ID)
+			}
+		})
+	}
+}
+
+func TestKStalenessGoldenValues(t *testing.T) {
+	res, err := RunKStaleness(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	// Section 3.1 closed-form values must appear in the rendered table.
+	for _, v := range []string{"0.5556", "0.7037", "0.9827"} {
+		if !strings.Contains(out, v) {
+			t.Fatalf("missing closed-form value %s in:\n%s", v, out)
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a, err := RunFigure4(Config{Seed: 5, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure4(Config{Seed: 5, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different experiment output")
+	}
+}

@@ -1,0 +1,313 @@
+package experiments
+
+// WARS Monte Carlo experiments: Figures 4-7 and Tables 3-4.
+
+import (
+	"fmt"
+
+	"pbs/internal/asciichart"
+	"pbs/internal/dist"
+	"pbs/internal/fit"
+	"pbs/internal/rng"
+	"pbs/internal/stats"
+	"pbs/internal/tabular"
+	"pbs/internal/wars"
+)
+
+// RunFigure4 sweeps exponential write-latency distributions against fixed
+// A=R=S (λ=1), reproducing Figure 4: longer write tails need longer t for
+// the same probability of consistency.
+func RunFigure4(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	r := rng.New(cfg.Seed + 4)
+	lambdas := []float64{4, 2, 1, 0.5, 0.2, 0.1}
+	ts := stats.Linspace(0, 10, 41)
+
+	tb := tabular.New("t-visibility, N=3 R=W=1, A=R=S Exp(λ=1), W Exp(λ) (Figure 4)",
+		"W λ", "P(0ms)", "P(1ms)", "P(5ms)", "P(10ms)", "t @99.9%")
+	var series []asciichart.Series
+	for _, l := range lambdas {
+		model := dist.LatencyModel{
+			Name: fmt.Sprintf("λW=%g", l),
+			W:    dist.NewExponential(l),
+			A:    dist.NewExponential(1),
+			R:    dist.NewExponential(1),
+			S:    dist.NewExponential(1),
+		}
+		run, err := wars.Simulate(wars.NewIID(3, model), wars.Config{R: 1, W: 1}, cfg.Trials, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(
+			fmt.Sprintf("%g", l),
+			tabular.Prob(run.PConsistent(0)),
+			tabular.Prob(run.PConsistent(1)),
+			tabular.Prob(run.PConsistent(5)),
+			tabular.Prob(run.PConsistent(10)),
+			tabular.Ms(run.TVisibility(0.999)),
+		)
+		series = append(series, asciichart.Series{
+			Name: fmt.Sprintf("ARSλ:Wλ = 1:%g", l),
+			Xs:   ts,
+			Ys:   run.Curve(ts),
+		})
+	}
+	chart := asciichart.Plot(series, asciichart.Options{
+		Title:  "Figure 4: P(consistency) vs t (ms)",
+		YMin:   0.4,
+		YMax:   1.0,
+		XLabel: "t-visibility (ms)",
+		YLabel: "P(consistency)",
+	})
+
+	return &Result{
+		ID:       "fig4",
+		Title:    "t-visibility under exponential latencies",
+		Sections: []string{tb.String(), chart},
+		Notes: []string{
+			"paper: λW=4 → 94% at t=0, 99.9% at ~1ms; λW=0.1 → 41% at t=0, 99.9% at ~65ms",
+		},
+	}, nil
+}
+
+// RunTable3 re-derives the Table 3 mixture fits from the Tables 1-2
+// percentile summaries and compares against the paper's parameters.
+func RunTable3(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	restarts := 24
+	if cfg.Fast {
+		restarts = 6
+	}
+
+	tb := tabular.New("mixture fits from published percentile summaries (Table 3 pipeline)",
+		"dataset", "fit", "N-RMSE", "exp-only N-RMSE")
+	inputs := []struct {
+		table   dist.PercentileTable
+		skipMax bool
+	}{
+		{dist.Table1SSD(), false},
+		{dist.Table1Disk(), false},
+		{dist.Table2Reads(), true},
+		{dist.Table2Writes(), true},
+	}
+	for _, in := range inputs {
+		res, err := fit.FitMixture(in.table, fit.Options{Seed: cfg.Seed, Restarts: restarts, SkipMax: in.skipMax})
+		if err != nil {
+			return nil, err
+		}
+		_, expNRMSE, err := fit.FitExponential(in.table)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(in.table.Name, res.Params.String(), tabular.Pct(res.NRMSE), tabular.Pct(expNRMSE))
+	}
+
+	paper := tabular.New("paper-reported fits (Table 3), shipped in internal/dist",
+		"model", "W", "A=R=S", "paper N-RMSE")
+	paper.AddRow("LNKD-SSD", "91.22% Pareto(.235,10)+8.78% Exp(1.66)", "same as W", "0.55%")
+	paper.AddRow("LNKD-DISK", "38% Pareto(1.05,1.51)+62% Exp(.183)", "LNKD-SSD fit", "0.26%")
+	paper.AddRow("YMMR", "93.9% Pareto(3,3.35)+6.1% Exp(.0028)", "98.2% Pareto(1.5,3.8)+1.8% Exp(.0217)", "1.84% / 0.06%")
+
+	return &Result{
+		ID:       "table3",
+		Title:    "Production latency distribution fits",
+		Sections: []string{tb.String(), paper.String()},
+		Notes: []string{
+			"the paper fit richer private traces; we fit the published summaries, so parameters differ while quantile error stays small",
+			"the Yammer 98th-percentile knee is fit conservatively (SkipMax), as the paper describes",
+		},
+	}, nil
+}
+
+// RunFigure5 renders read and write operation latency CDFs for the
+// production fits at N=3 and R/W ∈ {1,2,3} (Figure 5).
+func RunFigure5(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	r := rng.New(cfg.Seed + 5)
+
+	sections := []string{}
+	tb := tabular.New("operation latency quantiles (ms), N=3 (Figure 5 data)",
+		"scenario", "op", "quorum", "p50", "p99", "p99.9")
+	for si, sc := range productionScenarios(3) {
+		var readSeries, writeSeries []asciichart.Series
+		for q := 1; q <= 3; q++ {
+			run, err := wars.Simulate(sc, wars.Config{R: q, W: q}, cfg.Trials, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(scenarioNames[si], "read", fmt.Sprintf("R=%d", q),
+				tabular.Ms(run.ReadLatency(0.5)), tabular.Ms(run.ReadLatency(0.99)), tabular.Ms(run.ReadLatency(0.999)))
+			tb.AddRow(scenarioNames[si], "write", fmt.Sprintf("W=%d", q),
+				tabular.Ms(run.WriteLatency(0.5)), tabular.Ms(run.WriteLatency(0.99)), tabular.Ms(run.WriteLatency(0.999)))
+			readSeries = append(readSeries, asciichart.CDF(fmt.Sprintf("R=%d", q), run.ReadLatencies(), 64))
+			writeSeries = append(writeSeries, asciichart.CDF(fmt.Sprintf("W=%d", q), run.WriteLatencies(), 64))
+		}
+		sections = append(sections,
+			asciichart.Plot(readSeries, asciichart.Options{
+				Title: fmt.Sprintf("Figure 5 (%s): read latency CDF", scenarioNames[si]),
+				LogX:  true, YMin: 0, YMax: 1, XLabel: "read latency (ms)", YLabel: "CDF",
+			}),
+			asciichart.Plot(writeSeries, asciichart.Options{
+				Title: fmt.Sprintf("Figure 5 (%s): write latency CDF", scenarioNames[si]),
+				LogX:  true, YMin: 0, YMax: 1, XLabel: "write latency (ms)", YLabel: "CDF",
+			}),
+		)
+	}
+	sections = append([]string{tb.String()}, sections...)
+
+	return &Result{
+		ID:       "fig5",
+		Title:    "Operation latency CDFs for production fits",
+		Sections: sections,
+		Notes: []string{
+			"for reads, LNKD-SSD and LNKD-DISK are identical (shared A=R=S fit), as in the paper",
+		},
+	}, nil
+}
+
+// RunFigure6 produces the t-visibility curves for the production fits at
+// the paper's three partial-quorum configurations (Figure 6).
+func RunFigure6(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	r := rng.New(cfg.Seed + 6)
+	configs := []wars.Config{{R: 1, W: 1}, {R: 1, W: 2}, {R: 2, W: 1}}
+
+	var sections []string
+	tb := tabular.New("t-visibility summary, N=3 (Figure 6 data)",
+		"scenario", "config", "P(0ms)", "P(10ms)", "P(100ms)", "t @99.9%")
+	for si, sc := range productionScenarios(3) {
+		var series []asciichart.Series
+		ts := stats.Logspace(0.1, 2000, 48)
+		for _, c := range configs {
+			run, err := wars.Simulate(sc, c, cfg.Trials, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(scenarioNames[si], fmt.Sprintf("R=%d W=%d", c.R, c.W),
+				tabular.Prob(run.PConsistent(0)),
+				tabular.Prob(run.PConsistent(10)),
+				tabular.Prob(run.PConsistent(100)),
+				tabular.Ms(run.TVisibility(0.999)))
+			series = append(series, asciichart.Series{
+				Name: fmt.Sprintf("R=%d W=%d", c.R, c.W),
+				Xs:   ts,
+				Ys:   run.Curve(ts),
+			})
+		}
+		sections = append(sections, asciichart.Plot(series, asciichart.Options{
+			Title: fmt.Sprintf("Figure 6 (%s): P(consistency) vs t, log t", scenarioNames[si]),
+			LogX:  true, YMin: 0.3, YMax: 1, XLabel: "t-visibility (ms)", YLabel: "P(consistency)",
+		}))
+	}
+	sections = append([]string{tb.String()}, sections...)
+
+	return &Result{
+		ID:       "fig6",
+		Title:    "t-visibility for production fits",
+		Sections: sections,
+		Notes: []string{
+			"paper: LNKD-SSD 97.4% at t=0 and >99.999% after 5ms; LNKD-DISK 43.9% at t=0, 92.5% at 10ms; YMMR 89.3% at t=0 with a 1364ms tail to 99.9%; WAN ≈33% at t=0",
+		},
+	}, nil
+}
+
+// RunFigure7 varies the replication factor N with R=W=1 (Figure 7):
+// immediate consistency decays with N, while the time to high probability
+// grows only modestly.
+func RunFigure7(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	r := rng.New(cfg.Seed + 7)
+	ns := []int{2, 3, 5, 10}
+
+	models := []struct {
+		name string
+		mk   func(n int) wars.Scenario
+	}{
+		{"LNKD-DISK", func(n int) wars.Scenario { return wars.NewIID(n, dist.LNKDDISK()) }},
+		{"LNKD-SSD", func(n int) wars.Scenario { return wars.NewIID(n, dist.LNKDSSD()) }},
+		{"WAN", func(n int) wars.Scenario { return wars.NewWAN(n, dist.WANLocal(), dist.WANDelayMs) }},
+	}
+
+	var sections []string
+	tb := tabular.New("t-visibility vs replication factor, R=W=1 (Figure 7 data)",
+		"scenario", "N", "P(0ms)", "P(10ms)", "t @99.9%")
+	for _, m := range models {
+		var series []asciichart.Series
+		ts := stats.Linspace(0, 80, 41)
+		for _, n := range ns {
+			run, err := wars.Simulate(m.mk(n), wars.Config{R: 1, W: 1}, cfg.Trials, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(m.name, fmt.Sprintf("%d", n),
+				tabular.Prob(run.PConsistent(0)),
+				tabular.Prob(run.PConsistent(10)),
+				tabular.Ms(run.TVisibility(0.999)))
+			series = append(series, asciichart.Series{
+				Name: fmt.Sprintf("N=%d", n),
+				Xs:   ts,
+				Ys:   run.Curve(ts),
+			})
+		}
+		sections = append(sections, asciichart.Plot(series, asciichart.Options{
+			Title: fmt.Sprintf("Figure 7 (%s): P(consistency) vs t, R=W=1", m.name),
+			YMin:  0, YMax: 1, XLabel: "t-visibility (ms)", YLabel: "P(consistency)",
+		}))
+	}
+	sections = append([]string{tb.String()}, sections...)
+
+	return &Result{
+		ID:       "fig7",
+		Title:    "t-visibility vs replication factor",
+		Sections: sections,
+		Notes: []string{
+			"paper: LNKD-DISK at t=0 falls from 57.5% (N=2) to 21.1% (N=10); t@99.9% only grows 45.3ms → 53.7ms",
+		},
+	}, nil
+}
+
+// RunTable4 regenerates Table 4: the t-visibility required for a 99.9%
+// probability of consistency next to the 99.9th-percentile operation
+// latencies, across R/W configurations and all four production scenarios.
+func RunTable4(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	r := rng.New(cfg.Seed + 8)
+	configs := []wars.Config{
+		{R: 1, W: 1}, {R: 1, W: 2}, {R: 2, W: 1},
+		{R: 2, W: 2}, {R: 3, W: 1}, {R: 1, W: 3},
+	}
+
+	var sections []string
+	for si, sc := range productionScenarios(3) {
+		tb := tabular.New(fmt.Sprintf("Table 4 (%s): 99.9th-pct latencies and t @ pst=0.001, N=3", scenarioNames[si]),
+			"config", "Lr (ms)", "Lw (ms)", "t (ms)", "strict")
+		for _, c := range configs {
+			run, err := wars.Simulate(sc, c, cfg.Trials, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			strict := ""
+			if c.R+c.W > 3 {
+				strict = "yes"
+			}
+			tb.AddRow(
+				fmt.Sprintf("R=%d W=%d", c.R, c.W),
+				tabular.Ms(run.ReadLatency(0.999)),
+				tabular.Ms(run.WriteLatency(0.999)),
+				tabular.Ms(run.TVisibility(0.999)),
+				strict,
+			)
+		}
+		sections = append(sections, tb.String())
+	}
+
+	return &Result{
+		ID:       "table4",
+		Title:    "Latency vs t-visibility trade-off",
+		Sections: sections,
+		Notes: []string{
+			"paper highlights: YMMR R=2,W=1 cuts combined 99.9th latency 81.1% vs the fastest strict quorum for a 202ms window; LNKD-SSD R=W=1 saves 59.5% for t=1.85ms; LNKD-DISK R=2,W=1 reads at 13.6ms window",
+			"strict configurations have t=0 by construction",
+		},
+	}, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+// Section 5.2 validation: the WARS Monte Carlo model against the
+// full-protocol Dynamo-style store, mirroring the paper's validation of
+// WARS against modified Cassandra. The paper injected exponential
+// distributions (W means 20/10/5 ms × A=R=S means 10/5/2 ms), measured
+// t-visibility across t ∈ {1..199} ms, and reported an average prediction
+// RMSE of 0.28% plus latency N-RMSE of 0.48%.
+
+import (
+	"fmt"
+
+	"pbs/internal/dist"
+	"pbs/internal/dynamo"
+	"pbs/internal/rng"
+	"pbs/internal/stats"
+	"pbs/internal/tabular"
+	"pbs/internal/wars"
+)
+
+// RunValidation executes the validation grid.
+func RunValidation(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	r := rng.New(cfg.Seed + 52)
+
+	wLambdas := []float64{0.05, 0.1, 0.2}
+	arsLambdas := []float64{0.1, 0.2, 0.5}
+	ts := stats.Linspace(0, 190, 20)
+	latQs := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}
+
+	tb := tabular.New("WARS prediction vs store observation (Section 5.2 methodology)",
+		"W λ", "A=R=S λ", "t-vis RMSE", "read lat N-RMSE", "write lat N-RMSE")
+
+	var tRMSEs, rNRMSEs, wNRMSEs []float64
+	for _, wl := range wLambdas {
+		for _, al := range arsLambdas {
+			model := dist.LatencyModel{
+				Name: fmt.Sprintf("exp W=%g ARS=%g", wl, al),
+				W:    dist.NewExponential(wl),
+				A:    dist.NewExponential(al),
+				R:    dist.NewExponential(al),
+				S:    dist.NewExponential(al),
+			}
+			// Prediction: WARS Monte Carlo.
+			run, err := wars.Simulate(wars.NewIID(3, model), wars.Config{R: 1, W: 1}, cfg.Trials, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			// Observation: the full-protocol store.
+			cluster, err := dynamo.NewCluster(dynamo.Params{
+				N: 3, R: 1, W: 1, Model: model,
+			}, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			m, err := dynamo.MeasureTVisibility(cluster, ts, cfg.Epochs)
+			if err != nil {
+				return nil, err
+			}
+
+			tRMSE, err := stats.RMSE(run.Curve(ts), m.Curve())
+			if err != nil {
+				return nil, err
+			}
+			predR := make([]float64, len(latQs))
+			obsR := make([]float64, len(latQs))
+			predW := make([]float64, len(latQs))
+			obsW := make([]float64, len(latQs))
+			for i, q := range latQs {
+				predR[i] = run.ReadLatency(q)
+				obsR[i] = stats.Quantile(m.ReadLatencies, q)
+				predW[i] = run.WriteLatency(q)
+				obsW[i] = stats.Quantile(m.WriteLatencies, q)
+			}
+			rN, err := stats.NRMSE(predR, obsR)
+			if err != nil {
+				return nil, err
+			}
+			wN, err := stats.NRMSE(predW, obsW)
+			if err != nil {
+				return nil, err
+			}
+			tRMSEs = append(tRMSEs, tRMSE)
+			rNRMSEs = append(rNRMSEs, rN)
+			wNRMSEs = append(wNRMSEs, wN)
+			tb.AddRow(
+				fmt.Sprintf("%g", wl), fmt.Sprintf("%g", al),
+				tabular.Pct(tRMSE), tabular.Pct(rN), tabular.Pct(wN),
+			)
+		}
+	}
+
+	summary := tabular.New("aggregate prediction error",
+		"metric", "mean", "std dev", "max")
+	summary.AddRow("t-visibility RMSE",
+		tabular.Pct(stats.Mean(tRMSEs)), tabular.Pct(stats.StdDev(tRMSEs)), tabular.Pct(stats.Max(tRMSEs)))
+	summary.AddRow("read latency N-RMSE",
+		tabular.Pct(stats.Mean(rNRMSEs)), tabular.Pct(stats.StdDev(rNRMSEs)), tabular.Pct(stats.Max(rNRMSEs)))
+	summary.AddRow("write latency N-RMSE",
+		tabular.Pct(stats.Mean(wNRMSEs)), tabular.Pct(stats.StdDev(wNRMSEs)), tabular.Pct(stats.Max(wNRMSEs)))
+
+	return &Result{
+		ID:       "sec5.2-validation",
+		Title:    "WARS vs Dynamo-style store validation",
+		Sections: []string{tb.String(), summary.String()},
+		Notes: []string{
+			"paper: average t-visibility RMSE 0.28% (σ 0.05%, max 0.53%); latency N-RMSE 0.48% (σ 0.18%, max 0.90%) against modified Cassandra",
+			"our observation target is the internal/dynamo discrete-event store (see DESIGN.md substitution #1); both sides draw from identical W/A/R/S distributions",
+		},
+	}, nil
+}

@@ -1,0 +1,248 @@
+// Package fit re-derives Table 3 of the paper: fitting Pareto-body +
+// exponential-tail mixture distributions to the latency percentile
+// summaries published in Tables 1 and 2. The authors fit "each
+// configuration using a mixture model with two distributions, one for the
+// body and the other for the tail" (Section 5.5), reporting quantile
+// N-RMSE; this package implements that pipeline with deterministic
+// random-restart hill climbing over the four mixture parameters.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+)
+
+// Params are the four parameters of the paper's mixture family:
+// Weight·Pareto(Xm, Alpha) + (1-Weight)·Exponential(Lambda).
+type Params struct {
+	Weight float64 // Pareto-body weight in (0, 1)
+	Xm     float64 // Pareto scale (minimum)
+	Alpha  float64 // Pareto shape
+	Lambda float64 // exponential tail rate
+}
+
+// Dist materializes the mixture.
+func (p Params) Dist() dist.Dist {
+	return dist.NewMixture(
+		dist.Component{Weight: p.Weight, D: dist.NewPareto(p.Xm, p.Alpha)},
+		dist.Component{Weight: 1 - p.Weight, D: dist.NewExponential(p.Lambda)},
+	)
+}
+
+func (p Params) valid() bool {
+	return p.Weight > 0.01 && p.Weight < 0.999 &&
+		p.Xm > 1e-6 && p.Alpha > 0.05 && p.Lambda > 1e-9
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("%.1f%%: Pareto(xm=%.4g, α=%.4g) + %.1f%%: Exp(λ=%.4g)",
+		p.Weight*100, p.Xm, p.Alpha, (1-p.Weight)*100, p.Lambda)
+}
+
+// Result is a completed fit.
+type Result struct {
+	Params Params
+	// NRMSE is the quantile error normalized by the observed latency
+	// range, the paper's fit-quality metric.
+	NRMSE float64
+	// Evaluations counts objective evaluations (for performance
+	// reporting).
+	Evaluations int
+}
+
+// Options tunes the fitting search.
+type Options struct {
+	// Restarts is the number of random restarts (default 24).
+	Restarts int
+	// StepsPerRestart bounds hill-climbing steps per restart (default
+	// 400).
+	StepsPerRestart int
+	// Seed makes the search deterministic (default 1).
+	Seed uint64
+	// SkipMax drops the 100th-percentile point from the objective; the
+	// paper fit Yammer's knee "conservatively" because chasing the maximum
+	// produced unrealistically heavy tails.
+	SkipMax bool
+}
+
+func (o *Options) setDefaults() {
+	if o.Restarts == 0 {
+		o.Restarts = 24
+	}
+	if o.StepsPerRestart == 0 {
+		o.StepsPerRestart = 400
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// targetPoints converts a PercentileTable into (quantile, latency) pairs.
+func targetPoints(t dist.PercentileTable, skipMax bool) (qs, ls []float64) {
+	for _, pt := range t.Points {
+		if skipMax && pt.Percentile >= 100 {
+			continue
+		}
+		q := pt.Percentile / 100
+		// Clamp the endpoints: quantile 0/1 of the mixture are xm/∞.
+		if q <= 0 {
+			q = 0.005
+		}
+		if q >= 1 {
+			q = 0.9999
+		}
+		qs = append(qs, q)
+		ls = append(ls, pt.LatencyMs)
+	}
+	return qs, ls
+}
+
+// nrmseFor evaluates the objective for candidate parameters.
+func nrmseFor(p Params, qs, ls []float64) float64 {
+	d := p.Dist()
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, q := range qs {
+		pred := d.Quantile(q)
+		diff := pred - ls[i]
+		sum += diff * diff
+		if ls[i] < lo {
+			lo = ls[i]
+		}
+		if ls[i] > hi {
+			hi = ls[i]
+		}
+	}
+	rmse := math.Sqrt(sum / float64(len(qs)))
+	if hi > lo {
+		return rmse / (hi - lo)
+	}
+	return rmse
+}
+
+// FitMixture fits the mixture family to a published percentile table.
+func FitMixture(table dist.PercentileTable, opts Options) (*Result, error) {
+	opts.setDefaults()
+	qs, ls := targetPoints(table, opts.SkipMax)
+	if len(qs) < 2 {
+		return nil, errors.New("fit: need at least two percentile points")
+	}
+	r := rng.New(opts.Seed)
+	evals := 0
+	objective := func(p Params) float64 {
+		evals++
+		return nrmseFor(p, qs, ls)
+	}
+
+	minL, maxL := ls[0], ls[0]
+	for _, l := range ls {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if minL <= 0 {
+		minL = 0.01
+	}
+
+	best := Params{}
+	bestScore := math.Inf(1)
+	for restart := 0; restart < opts.Restarts; restart++ {
+		// Random initialization around data-driven ranges.
+		cand := Params{
+			Weight: 0.3 + 0.69*r.Float64(),
+			Xm:     minL * (0.2 + 1.3*r.Float64()),
+			Alpha:  0.5 + 9.5*r.Float64(),
+			Lambda: math.Min(2.0, 1/(maxL*(0.05+r.Float64()))),
+		}
+		if !cand.valid() {
+			continue
+		}
+		score := objective(cand)
+		step := 0.5
+		for i := 0; i < opts.StepsPerRestart; i++ {
+			next := cand
+			// Perturb one parameter multiplicatively.
+			f := math.Exp((r.Float64()*2 - 1) * step)
+			switch r.Intn(4) {
+			case 0:
+				w := cand.Weight * f
+				if w >= 0.999 {
+					w = 0.998
+				}
+				next.Weight = w
+			case 1:
+				next.Xm = cand.Xm * f
+			case 2:
+				next.Alpha = cand.Alpha * f
+			case 3:
+				next.Lambda = cand.Lambda * f
+			}
+			if !next.valid() {
+				continue
+			}
+			if s := objective(next); s < score {
+				cand, score = next, s
+			} else {
+				step *= 0.995 // cool slowly on failures
+				if step < 0.01 {
+					break
+				}
+			}
+		}
+		if score < bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	if math.IsInf(bestScore, 1) {
+		return nil, errors.New("fit: search failed to find valid parameters")
+	}
+	return &Result{Params: best, NRMSE: bestScore, Evaluations: evals}, nil
+}
+
+// FitExponential fits a single exponential by matching the table's mean
+// (when present) or median — the baseline the mixture must beat.
+func FitExponential(table dist.PercentileTable) (dist.Exponential, float64, error) {
+	qs, ls := targetPoints(table, false)
+	if len(qs) == 0 {
+		return dist.Exponential{}, 0, errors.New("fit: empty table")
+	}
+	mean := table.Mean
+	if mean <= 0 {
+		// Estimate the mean from the median of an exponential: mean =
+		// median / ln 2.
+		for i, q := range qs {
+			if math.Abs(q-0.5) < 0.05 {
+				mean = ls[i] / math.Ln2
+				break
+			}
+		}
+	}
+	if mean <= 0 {
+		mean = ls[len(ls)-1] / 5 // crude fallback
+	}
+	e := dist.NewExponential(1 / mean)
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, q := range qs {
+		d := e.Quantile(q) - ls[i]
+		sum += d * d
+		if ls[i] < lo {
+			lo = ls[i]
+		}
+		if ls[i] > hi {
+			hi = ls[i]
+		}
+	}
+	nrmse := math.Sqrt(sum / float64(len(qs)))
+	if hi > lo {
+		nrmse /= hi - lo
+	}
+	return e, nrmse, nil
+}

@@ -1,0 +1,139 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/dist"
+)
+
+// synthTable builds a percentile table from a known distribution.
+func synthTable(d dist.Dist, name string) dist.PercentileTable {
+	ps := []float64{5, 25, 50, 75, 95, 99, 99.9}
+	t := dist.PercentileTable{Name: name}
+	for _, p := range ps {
+		t.Points = append(t.Points, dist.PercentilePoint{
+			Percentile: p,
+			LatencyMs:  d.Quantile(p / 100),
+		})
+	}
+	t.Mean = d.Mean()
+	return t
+}
+
+func TestFitRecoversSyntheticMixture(t *testing.T) {
+	truth := Params{Weight: 0.9, Xm: 0.25, Alpha: 8, Lambda: 1.5}
+	table := synthTable(truth.Dist(), "synthetic")
+	res, err := FitMixture(table, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NRMSE > 0.02 {
+		t.Fatalf("synthetic fit NRMSE = %v, want < 2%%; params %v", res.NRMSE, res.Params)
+	}
+	// The recovered quantiles must track the truth closely even if the
+	// parameterization differs (mixtures are not identifiable from 7
+	// points).
+	fitted := res.Params.Dist()
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		a, b := truth.Dist().Quantile(q), fitted.Quantile(q)
+		if math.Abs(a-b)/a > 0.25 {
+			t.Fatalf("quantile %v: truth %v vs fit %v", q, a, b)
+		}
+	}
+}
+
+func TestFitYammerWrites(t *testing.T) {
+	// Table 3 reports N-RMSE 1.84% for the YMMR write fit (fitting the 98th
+	// percentile knee conservatively, i.e. without chasing the max).
+	res, err := FitMixture(dist.Table2Writes(), Options{Seed: 3, SkipMax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NRMSE > 0.05 {
+		t.Fatalf("YMMR write fit NRMSE = %v, want < 5%%", res.NRMSE)
+	}
+	// The body should sit near the observed median (5.73ms), the tail
+	// should be long (99.9th at 435ms).
+	d := res.Params.Dist()
+	if med := d.Quantile(0.5); med < 3 || med > 10 {
+		t.Fatalf("fitted median %v far from 5.73", med)
+	}
+	if p999 := d.Quantile(0.999); p999 < 100 {
+		t.Fatalf("fitted 99.9th %v too short (observed 435.83)", p999)
+	}
+}
+
+func TestFitYammerReads(t *testing.T) {
+	res, err := FitMixture(dist.Table2Reads(), Options{Seed: 5, SkipMax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NRMSE > 0.05 {
+		t.Fatalf("YMMR read fit NRMSE = %v", res.NRMSE)
+	}
+}
+
+func TestMixtureBeatsExponentialBaseline(t *testing.T) {
+	// Section 5.5's modeling choice: a single exponential cannot capture
+	// body+tail; the mixture must fit better.
+	table := dist.Table2Writes()
+	mix, err := FitMixture(table, Options{Seed: 11, SkipMax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, expNRMSE, err := FitExponential(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.NRMSE >= expNRMSE {
+		t.Fatalf("mixture NRMSE %v should beat exponential %v", mix.NRMSE, expNRMSE)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	table := dist.Table2Reads()
+	a, err := FitMixture(table, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitMixture(table, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Params != b.Params || a.NRMSE != b.NRMSE {
+		t.Fatal("same seed produced different fits")
+	}
+}
+
+func TestFitRejectsTinyTables(t *testing.T) {
+	tbl := dist.PercentileTable{Name: "tiny", Points: []dist.PercentilePoint{{Percentile: 50, LatencyMs: 1}}}
+	if _, err := FitMixture(tbl, Options{}); err == nil {
+		t.Fatal("1-point table accepted")
+	}
+	if _, _, err := FitExponential(dist.PercentileTable{}); err == nil {
+		t.Fatal("empty table accepted by exponential fit")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{Weight: 0.9122, Xm: 0.235, Alpha: 10, Lambda: 1.66}
+	if s := p.String(); s == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestTable1FitsPlausible(t *testing.T) {
+	// Table 1 has only two percentiles plus a mean; the fit should still
+	// land in a plausible band (the paper's LNKD fits were derived from
+	// richer private data, so we only demand sanity here).
+	for _, tbl := range []dist.PercentileTable{dist.Table1SSD(), dist.Table1Disk()} {
+		res, err := FitMixture(tbl, Options{Seed: 13})
+		if err != nil {
+			t.Fatalf("%s: %v", tbl.Name, err)
+		}
+		if res.NRMSE > 0.10 {
+			t.Fatalf("%s: NRMSE %v", tbl.Name, res.NRMSE)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package kvstore is the per-replica versioned storage engine of the
+// Dynamo-style store. Each key holds its newest known version (versions are
+// totally ordered by sequence number, as the paper assumes via globally
+// coordinated ordering or vector clocks with commutative merges); the store
+// additionally tracks arrival timestamps so staleness experiments can
+// reconstruct when a replica learned of a version.
+package kvstore
+
+import (
+	"pbs/internal/vclock"
+)
+
+// Version is one value version for a key.
+type Version struct {
+	Key string
+	// Seq is the total-order version number (larger is newer). Seq 0 is
+	// the key's initial, universally known state.
+	Seq uint64
+	// Value is the application payload.
+	Value string
+	// Clock is the optional causal context.
+	Clock vclock.VC
+	// WrittenAt is the simulated time at which this replica applied the
+	// version (set by the store on Apply).
+	WrittenAt float64
+}
+
+// Newer reports whether v is newer than o under the total order.
+func (v Version) Newer(o Version) bool { return v.Seq > o.Seq }
+
+// Store is a single replica's key-value state. It is not safe for
+// concurrent use; the discrete-event simulator is single-threaded by
+// design.
+type Store struct {
+	data map[string]Version
+
+	applied  int64 // versions accepted (newer than local state)
+	ignored  int64 // versions ignored as stale duplicates
+	overread int64 // reads of missing keys
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{data: make(map[string]Version)}
+}
+
+// Apply installs v if it is newer than the locally known version for the
+// key, returning whether local state changed. Older or duplicate versions
+// are ignored — the idempotent, commutative convergence rule that makes
+// anti-entropy safe to repeat.
+func (s *Store) Apply(v Version, now float64) bool {
+	cur, ok := s.data[v.Key]
+	if ok && !v.Newer(cur) {
+		s.ignored++
+		return false
+	}
+	v.WrittenAt = now
+	if ok && cur.Clock != nil {
+		v.Clock = v.Clock.Merge(cur.Clock)
+	}
+	s.data[v.Key] = v
+	s.applied++
+	return true
+}
+
+// Get returns the replica's current version for the key. Missing keys
+// return the zero Version (Seq 0, the initial state) and false.
+func (s *Store) Get(key string) (Version, bool) {
+	v, ok := s.data[key]
+	if !ok {
+		s.overread++
+		return Version{Key: key}, false
+	}
+	return v, true
+}
+
+// Seq returns the replica's current sequence number for the key (0 when
+// the key is unknown).
+func (s *Store) Seq(key string) uint64 {
+	v, _ := s.Get(key)
+	return v.Seq
+}
+
+// Len returns the number of keys stored.
+func (s *Store) Len() int { return len(s.data) }
+
+// Summary returns the key→seq map used to build Merkle content summaries.
+func (s *Store) Summary() map[string]uint64 {
+	out := make(map[string]uint64, len(s.data))
+	for k, v := range s.data {
+		out[k] = v.Seq
+	}
+	return out
+}
+
+// Versions returns a copy of the full state (for anti-entropy exchange and
+// test assertions).
+func (s *Store) Versions() []Version {
+	out := make([]Version, 0, len(s.data))
+	for _, v := range s.data {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Stats reports applied/ignored counters.
+func (s *Store) Stats() (applied, ignored int64) { return s.applied, s.ignored }

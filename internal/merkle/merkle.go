@@ -1,0 +1,126 @@
+// Package merkle implements the Merkle-tree content summaries Dynamo uses
+// for replica synchronization (paper Section 4.2: "Dynamo used Merkle trees
+// to summarize and exchange data contents between replicas"). The keyspace
+// is partitioned into 2^depth buckets by key hash; leaves hash the
+// key/version pairs in their bucket and internal nodes hash their children,
+// so two replicas can locate divergent buckets in O(depth) comparisons per
+// divergence instead of exchanging full key lists.
+package merkle
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Tree is a fixed-shape Merkle tree over 2^depth leaf buckets.
+type Tree struct {
+	depth  int
+	leaves int
+	// nodes is a perfect binary tree in heap layout: nodes[0] is the root,
+	// children of i are 2i+1 and 2i+2; the last `leaves` entries are leaf
+	// hashes.
+	nodes []uint64
+}
+
+// Depth returns the tree depth.
+func (t *Tree) Depth() int { return t.depth }
+
+// Leaves returns the number of leaf buckets (2^depth).
+func (t *Tree) Leaves() int { return t.leaves }
+
+// RootHash returns the root summary hash.
+func (t *Tree) RootHash() uint64 { return t.nodes[0] }
+
+// Bucket returns the leaf bucket index for a key at the given depth.
+func Bucket(key string, depth int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() >> (64 - uint(depth)))
+}
+
+// Build constructs a tree summarizing the key→version map. Versions are
+// any monotonically comparable identity for the key's current state (the
+// dynamo store uses the write sequence number).
+func Build(items map[string]uint64, depth int) *Tree {
+	if depth < 1 || depth > 24 {
+		panic("merkle: depth must be in [1, 24]")
+	}
+	leaves := 1 << uint(depth)
+	t := &Tree{depth: depth, leaves: leaves, nodes: make([]uint64, 2*leaves-1)}
+
+	// Deterministic leaf hashing: sort keys per bucket, chain-hash entries.
+	byBucket := make([][]string, leaves)
+	for k := range items {
+		b := Bucket(k, depth)
+		byBucket[b] = append(byBucket[b], k)
+	}
+	leafBase := leaves - 1
+	for b, keys := range byBucket {
+		sort.Strings(keys)
+		h := fnv.New64a()
+		var buf [8]byte
+		for _, k := range keys {
+			h.Write([]byte(k))
+			binary.LittleEndian.PutUint64(buf[:], items[k])
+			h.Write(buf[:])
+		}
+		t.nodes[leafBase+b] = h.Sum64()
+	}
+	// Interior nodes combine child hashes.
+	for i := leafBase - 1; i >= 0; i-- {
+		t.nodes[i] = combine(t.nodes[2*i+1], t.nodes[2*i+2])
+	}
+	return t
+}
+
+// combine hashes two child summaries into a parent summary.
+func combine(a, b uint64) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], a)
+	binary.LittleEndian.PutUint64(buf[8:], b)
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Diff returns the leaf bucket indexes at which a and b differ, in
+// ascending order, descending only into subtrees whose summaries disagree.
+// The trees must have equal depth. Comparisons is the number of node hash
+// comparisons performed, exposed so tests and experiments can verify the
+// O(divergence · depth) exchange cost that motivates Merkle anti-entropy.
+func Diff(a, b *Tree) (buckets []int, comparisons int) {
+	if a.depth != b.depth {
+		panic("merkle: tree depth mismatch")
+	}
+	leafBase := a.leaves - 1
+	var walk func(i int)
+	walk = func(i int) {
+		comparisons++
+		if a.nodes[i] == b.nodes[i] {
+			return
+		}
+		if i >= leafBase {
+			buckets = append(buckets, i-leafBase)
+			return
+		}
+		walk(2*i + 1)
+		walk(2*i + 2)
+	}
+	walk(0)
+	return buckets, comparisons
+}
+
+// KeysInBucket returns the keys of items that fall in the given bucket,
+// used to enumerate what must be exchanged once a divergent bucket is
+// found.
+func KeysInBucket(items map[string]uint64, depth, bucket int) []string {
+	var out []string
+	for k := range items {
+		if Bucket(k, depth) == bucket {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

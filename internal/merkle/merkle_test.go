@@ -1,0 +1,194 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"pbs/internal/rng"
+)
+
+func items(n int, version uint64) map[string]uint64 {
+	m := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		m[fmt.Sprintf("key-%d", i)] = version
+	}
+	return m
+}
+
+func TestIdenticalTreesMatch(t *testing.T) {
+	a := Build(items(100, 1), 6)
+	b := Build(items(100, 1), 6)
+	if a.RootHash() != b.RootHash() {
+		t.Fatal("identical content, different roots")
+	}
+	buckets, comparisons := Diff(a, b)
+	if len(buckets) != 0 {
+		t.Fatalf("identical trees diff: %v", buckets)
+	}
+	if comparisons != 1 {
+		t.Fatalf("identical trees should need 1 comparison, used %d", comparisons)
+	}
+}
+
+func TestSingleDivergence(t *testing.T) {
+	ma := items(200, 1)
+	mb := items(200, 1)
+	mb["key-17"] = 2
+	a := Build(ma, 8)
+	b := Build(mb, 8)
+	buckets, comparisons := Diff(a, b)
+	if len(buckets) != 1 {
+		t.Fatalf("want exactly 1 divergent bucket, got %v", buckets)
+	}
+	if want := Bucket("key-17", 8); buckets[0] != want {
+		t.Fatalf("divergent bucket %d, want %d", buckets[0], want)
+	}
+	// O(depth) comparisons for a single divergence: path + siblings.
+	if comparisons > 2*8+1 {
+		t.Fatalf("too many comparisons for single divergence: %d", comparisons)
+	}
+}
+
+func TestMissingKeyDetected(t *testing.T) {
+	ma := items(50, 1)
+	mb := items(50, 1)
+	delete(mb, "key-31")
+	a := Build(ma, 6)
+	b := Build(mb, 6)
+	buckets, _ := Diff(a, b)
+	found := false
+	target := Bucket("key-31", 6)
+	for _, bk := range buckets {
+		if bk == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing key bucket %d not in %v", target, buckets)
+	}
+}
+
+func TestEmptyTrees(t *testing.T) {
+	a := Build(nil, 4)
+	b := Build(map[string]uint64{}, 4)
+	if a.RootHash() != b.RootHash() {
+		t.Fatal("empty trees should match")
+	}
+	if a.Leaves() != 16 || a.Depth() != 4 {
+		t.Fatal("shape")
+	}
+}
+
+func TestDiffFindsAllDivergences(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(150)
+		depth := 4 + r.Intn(5)
+		ma := items(n, 1)
+		mb := items(n, 1)
+		// Perturb a random subset of keys.
+		changed := map[int]bool{}
+		for i := 0; i < r.Intn(10); i++ {
+			k := r.Intn(n)
+			mb[fmt.Sprintf("key-%d", k)] = 99
+			changed[Bucket(fmt.Sprintf("key-%d", k), depth)] = true
+		}
+		buckets, _ := Diff(Build(ma, depth), Build(mb, depth))
+		got := map[int]bool{}
+		for _, b := range buckets {
+			got[b] = true
+		}
+		// Every changed bucket must be reported (hash collisions could in
+		// principle mask one, but FNV over distinct payloads in these small
+		// cases does not collide).
+		for b := range changed {
+			if !got[b] {
+				return false
+			}
+		}
+		// And nothing else.
+		for b := range got {
+			if !changed[b] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketsAscending(t *testing.T) {
+	ma := items(500, 1)
+	mb := items(500, 2) // everything diverges
+	buckets, _ := Diff(Build(ma, 6), Build(mb, 6))
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			t.Fatal("buckets not ascending")
+		}
+	}
+}
+
+func TestKeysInBucket(t *testing.T) {
+	m := items(100, 1)
+	depth := 5
+	total := 0
+	for b := 0; b < 1<<depth; b++ {
+		keys := KeysInBucket(m, depth, b)
+		for _, k := range keys {
+			if Bucket(k, depth) != b {
+				t.Fatalf("key %s misplaced", k)
+			}
+		}
+		total += len(keys)
+	}
+	if total != 100 {
+		t.Fatalf("partition covered %d keys, want 100", total)
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		b := Bucket(fmt.Sprintf("x-%d", i), 8)
+		if b < 0 || b >= 256 {
+			t.Fatalf("bucket %d out of range", b)
+		}
+	}
+}
+
+func TestDepthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Diff(Build(nil, 4), Build(nil, 5))
+}
+
+func TestBadDepthPanics(t *testing.T) {
+	for _, d := range []int{0, -1, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("depth %d: no panic", d)
+				}
+			}()
+			Build(nil, d)
+		}()
+	}
+}
+
+func TestComparisonsScaleWithDivergence(t *testing.T) {
+	// Synchronized trees with d divergent buckets should need far fewer
+	// comparisons than the total node count when d is small.
+	ma := items(2000, 1)
+	mb := items(2000, 1)
+	mb["key-100"] = 5
+	mb["key-200"] = 5
+	_, comparisons := Diff(Build(ma, 10), Build(mb, 10))
+	totalNodes := 2*1024 - 1
+	if comparisons >= totalNodes/10 {
+		t.Fatalf("comparisons %d not sublinear in tree size %d", comparisons, totalNodes)
+	}
+}

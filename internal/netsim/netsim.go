@@ -1,0 +1,224 @@
+// Package netsim simulates the message fabric between nodes of the
+// Dynamo-style store: per-message-kind latency distributions (the W, A, R,
+// and S of the WARS model), optional per-pair extra delay for WAN
+// topologies, fail-stop node crashes, link partitions, and probabilistic
+// message loss. Delivery is scheduled on a des.Simulator, preserving
+// determinism.
+package netsim
+
+import (
+	"fmt"
+
+	"pbs/internal/des"
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+)
+
+// Kind labels a message class; each class can carry its own latency
+// distribution. The four WARS kinds are predeclared; subsystems may define
+// more (anti-entropy, hints) starting from KindUser.
+type Kind int
+
+const (
+	// KindWriteReq is a coordinator→replica write (WARS "W").
+	KindWriteReq Kind = iota
+	// KindWriteAck is a replica→coordinator write acknowledgment ("A").
+	KindWriteAck
+	// KindReadReq is a coordinator→replica read request ("R").
+	KindReadReq
+	// KindReadResp is a replica→coordinator read response ("S").
+	KindReadResp
+	// KindUser is the first kind available to higher layers.
+	KindUser
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWriteReq:
+		return "W"
+	case KindWriteAck:
+		return "A"
+	case KindReadReq:
+		return "R"
+	case KindReadResp:
+		return "S"
+	default:
+		return fmt.Sprintf("user+%d", int(k-KindUser))
+	}
+}
+
+// Message is a delivered datagram.
+type Message struct {
+	From, To int
+	Kind     Kind
+	Payload  any
+	SentAt   float64
+	Delay    float64
+}
+
+// Handler consumes messages addressed to a node.
+type Handler func(m Message)
+
+// Stats counts network activity.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64 // lost to drop probability
+	Blocked   int64 // lost to partitions or dead endpoints
+}
+
+// Network connects a fixed set of numbered nodes over a des.Simulator.
+type Network struct {
+	sim   *des.Simulator
+	r     *rng.RNG
+	n     int
+	hands []Handler
+
+	latency    map[Kind]dist.Dist
+	defaultLat dist.Dist
+	extraDelay func(from, to int, kind Kind) float64
+
+	down        []bool
+	partitioned map[[2]int]bool
+	dropProb    float64
+
+	stats Stats
+}
+
+// New creates a network of n nodes on sim. The default latency for all
+// message kinds is defaultLat (must be non-nil).
+func New(sim *des.Simulator, n int, defaultLat dist.Dist, r *rng.RNG) *Network {
+	if n < 1 {
+		panic("netsim: need at least one node")
+	}
+	if defaultLat == nil {
+		panic("netsim: default latency distribution is required")
+	}
+	return &Network{
+		sim:         sim,
+		r:           r,
+		n:           n,
+		hands:       make([]Handler, n),
+		latency:     make(map[Kind]dist.Dist),
+		defaultLat:  defaultLat,
+		down:        make([]bool, n),
+		partitioned: make(map[[2]int]bool),
+	}
+}
+
+// Nodes returns the node count.
+func (nw *Network) Nodes() int { return nw.n }
+
+// Stats returns a copy of the activity counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Handle registers the message handler for node id.
+func (nw *Network) Handle(id int, h Handler) {
+	nw.hands[id] = h
+}
+
+// SetKindLatency sets the latency distribution for one message kind.
+func (nw *Network) SetKindLatency(k Kind, d dist.Dist) {
+	if d == nil {
+		panic("netsim: nil latency distribution")
+	}
+	nw.latency[k] = d
+}
+
+// UseModel wires the four WARS kinds to a latency model's W/A/R/S.
+func (nw *Network) UseModel(m dist.LatencyModel) {
+	nw.SetKindLatency(KindWriteReq, m.W)
+	nw.SetKindLatency(KindWriteAck, m.A)
+	nw.SetKindLatency(KindReadReq, m.R)
+	nw.SetKindLatency(KindReadResp, m.S)
+}
+
+// SetExtraDelay installs a per-(from,to,kind) additive delay, e.g. the WAN
+// scenario's 75 ms between datacenters. Pass nil to clear.
+func (nw *Network) SetExtraDelay(f func(from, to int, kind Kind) float64) {
+	nw.extraDelay = f
+}
+
+// SetDropProb sets the probability in [0,1] that any message is silently
+// lost.
+func (nw *Network) SetDropProb(p float64) {
+	if p < 0 || p > 1 {
+		panic("netsim: drop probability out of range")
+	}
+	nw.dropProb = p
+}
+
+// Crash marks a node as failed (fail-stop): it neither sends nor receives.
+func (nw *Network) Crash(id int) { nw.down[id] = true }
+
+// Recover brings a crashed node back.
+func (nw *Network) Recover(id int) { nw.down[id] = false }
+
+// IsDown reports node failure state.
+func (nw *Network) IsDown(id int) bool { return nw.down[id] }
+
+// Partition severs the bidirectional link between a and b.
+func (nw *Network) Partition(a, b int) {
+	nw.partitioned[linkKey(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (nw *Network) Heal(a, b int) {
+	delete(nw.partitioned, linkKey(a, b))
+}
+
+// HealAll removes all partitions.
+func (nw *Network) HealAll() {
+	nw.partitioned = make(map[[2]int]bool)
+}
+
+func linkKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Send queues a message for delivery. Messages to or from crashed nodes,
+// across partitioned links, or hit by the drop probability are silently
+// lost, exactly like a fail-stop asynchronous network. Send panics on
+// out-of-range node ids. Delivery to a node whose handler is nil is counted
+// but ignored.
+func (nw *Network) Send(from, to int, kind Kind, payload any) {
+	if from < 0 || from >= nw.n || to < 0 || to >= nw.n {
+		panic(fmt.Sprintf("netsim: send %d→%d out of range", from, to))
+	}
+	nw.stats.Sent++
+	if nw.down[from] || nw.down[to] || nw.partitioned[linkKey(from, to)] {
+		nw.stats.Blocked++
+		return
+	}
+	if nw.dropProb > 0 && nw.r.Float64() < nw.dropProb {
+		nw.stats.Dropped++
+		return
+	}
+	d := nw.defaultLat
+	if ld, ok := nw.latency[kind]; ok {
+		d = ld
+	}
+	delay := d.Sample(nw.r)
+	if delay < 0 {
+		delay = 0
+	}
+	if nw.extraDelay != nil {
+		delay += nw.extraDelay(from, to, kind)
+	}
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: nw.sim.Now(), Delay: delay}
+	nw.sim.Schedule(delay, func() {
+		// Re-check liveness at delivery time: a node that crashed while the
+		// message was in flight must not process it.
+		if nw.down[to] {
+			nw.stats.Blocked++
+			return
+		}
+		nw.stats.Delivered++
+		if h := nw.hands[to]; h != nil {
+			h(msg)
+		}
+	})
+}

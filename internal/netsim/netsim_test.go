@@ -1,0 +1,241 @@
+package netsim
+
+import (
+	"testing"
+
+	"pbs/internal/des"
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+)
+
+func setup(n int) (*des.Simulator, *Network) {
+	sim := des.New()
+	nw := New(sim, n, dist.Point{V: 1}, rng.New(1))
+	return sim, nw
+}
+
+func TestDelivery(t *testing.T) {
+	sim, nw := setup(2)
+	var got []Message
+	nw.Handle(1, func(m Message) { got = append(got, m) })
+	nw.Send(0, 1, KindWriteReq, "hello")
+	sim.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	m := got[0]
+	if m.From != 0 || m.To != 1 || m.Kind != KindWriteReq || m.Payload != "hello" {
+		t.Fatalf("message = %+v", m)
+	}
+	if m.Delay != 1 {
+		t.Fatalf("delay = %v", m.Delay)
+	}
+	if sim.Now() != 1 {
+		t.Fatalf("delivery time = %v", sim.Now())
+	}
+}
+
+func TestKindLatency(t *testing.T) {
+	sim, nw := setup(2)
+	nw.SetKindLatency(KindReadReq, dist.Point{V: 5})
+	var at []float64
+	nw.Handle(1, func(m Message) { at = append(at, sim.Now()) })
+	nw.Send(0, 1, KindReadReq, nil)  // 5ms
+	nw.Send(0, 1, KindWriteReq, nil) // default 1ms
+	sim.Run()
+	if len(at) != 2 || at[0] != 1 || at[1] != 5 {
+		t.Fatalf("delivery times = %v", at)
+	}
+}
+
+func TestUseModel(t *testing.T) {
+	sim, nw := setup(2)
+	nw.UseModel(dist.LatencyModel{
+		W: dist.Point{V: 1}, A: dist.Point{V: 2},
+		R: dist.Point{V: 3}, S: dist.Point{V: 4},
+	})
+	times := map[Kind]float64{}
+	nw.Handle(1, func(m Message) { times[m.Kind] = sim.Now() })
+	start := 0.0
+	for _, k := range []Kind{KindWriteReq, KindWriteAck, KindReadReq, KindReadResp} {
+		nw.Send(0, 1, k, nil)
+	}
+	sim.Run()
+	want := map[Kind]float64{KindWriteReq: 1, KindWriteAck: 2, KindReadReq: 3, KindReadResp: 4}
+	for k, w := range want {
+		if times[k]-start != w {
+			t.Fatalf("kind %v delivered at %v, want %v", k, times[k], w)
+		}
+	}
+}
+
+func TestCrashBlocksTraffic(t *testing.T) {
+	sim, nw := setup(2)
+	delivered := 0
+	nw.Handle(1, func(Message) { delivered++ })
+	nw.Crash(1)
+	nw.Send(0, 1, KindWriteReq, nil)
+	sim.Run()
+	if delivered != 0 {
+		t.Fatal("message delivered to crashed node")
+	}
+	if nw.Stats().Blocked != 1 {
+		t.Fatalf("blocked = %d", nw.Stats().Blocked)
+	}
+	nw.Recover(1)
+	nw.Send(0, 1, KindWriteReq, nil)
+	sim.Run()
+	if delivered != 1 {
+		t.Fatal("message not delivered after recovery")
+	}
+}
+
+func TestCrashSenderBlocksTraffic(t *testing.T) {
+	sim, nw := setup(2)
+	delivered := 0
+	nw.Handle(1, func(Message) { delivered++ })
+	nw.Crash(0)
+	nw.Send(0, 1, KindWriteReq, nil)
+	sim.Run()
+	if delivered != 0 {
+		t.Fatal("crashed sender sent message")
+	}
+}
+
+func TestCrashMidFlight(t *testing.T) {
+	sim, nw := setup(2)
+	delivered := 0
+	nw.Handle(1, func(Message) { delivered++ })
+	nw.Send(0, 1, KindWriteReq, nil) // arrives at t=1
+	sim.Schedule(0.5, func() { nw.Crash(1) })
+	sim.Run()
+	if delivered != 0 {
+		t.Fatal("in-flight message delivered to node that crashed before arrival")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	sim, nw := setup(3)
+	delivered := map[int]int{}
+	for i := 0; i < 3; i++ {
+		i := i
+		nw.Handle(i, func(Message) { delivered[i]++ })
+	}
+	nw.Partition(0, 1)
+	nw.Send(0, 1, KindWriteReq, nil) // blocked
+	nw.Send(1, 0, KindWriteReq, nil) // blocked (bidirectional)
+	nw.Send(0, 2, KindWriteReq, nil) // delivered
+	sim.Run()
+	if delivered[1] != 0 || delivered[0] != 0 || delivered[2] != 1 {
+		t.Fatalf("delivered = %v", delivered)
+	}
+	nw.Heal(0, 1)
+	nw.Send(0, 1, KindWriteReq, nil)
+	sim.Run()
+	if delivered[1] != 1 {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestHealAll(t *testing.T) {
+	sim, nw := setup(3)
+	count := 0
+	nw.Handle(1, func(Message) { count++ })
+	nw.Partition(0, 1)
+	nw.Partition(1, 2)
+	nw.HealAll()
+	nw.Send(0, 1, KindWriteReq, nil)
+	nw.Send(2, 1, KindWriteReq, nil)
+	sim.Run()
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestDropProb(t *testing.T) {
+	sim := des.New()
+	nw := New(sim, 2, dist.Point{V: 0.01}, rng.New(42))
+	delivered := 0
+	nw.Handle(1, func(Message) { delivered++ })
+	nw.SetDropProb(0.5)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		nw.Send(0, 1, KindWriteReq, nil)
+	}
+	sim.Run()
+	frac := float64(delivered) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("delivered fraction = %v, want ~0.5", frac)
+	}
+	st := nw.Stats()
+	if st.Sent != n || st.Dropped+st.Delivered != n {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+}
+
+func TestExtraDelay(t *testing.T) {
+	sim, nw := setup(3)
+	nw.SetExtraDelay(func(from, to int, kind Kind) float64 {
+		if from != to && (from == 2 || to == 2) {
+			return 75
+		}
+		return 0
+	})
+	var times []float64
+	nw.Handle(1, func(Message) { times = append(times, sim.Now()) })
+	nw.Handle(2, func(Message) { times = append(times, sim.Now()) })
+	nw.Send(0, 1, KindWriteReq, nil) // 1ms
+	nw.Send(0, 2, KindWriteReq, nil) // 76ms
+	sim.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 76 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSendPanicsOutOfRange(t *testing.T) {
+	_, nw := setup(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	nw.Send(0, 5, KindWriteReq, nil)
+}
+
+func TestConstructorPanics(t *testing.T) {
+	sim := des.New()
+	cases := []func(){
+		func() { New(sim, 0, dist.Point{V: 1}, rng.New(1)) },
+		func() { New(sim, 2, nil, rng.New(1)) },
+		func() { New(sim, 2, dist.Point{V: 1}, rng.New(1)).SetDropProb(2) },
+		func() { New(sim, 2, dist.Point{V: 1}, rng.New(1)).SetKindLatency(KindWriteAck, nil) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindWriteReq.String() != "W" || KindReadResp.String() != "S" {
+		t.Fatal("kind names")
+	}
+	if KindUser.String() == "" || Kind(KindUser+3).String() == "" {
+		t.Fatal("user kind names")
+	}
+}
+
+func TestNilHandlerIgnored(t *testing.T) {
+	sim, nw := setup(2)
+	nw.Send(0, 1, KindWriteReq, nil)
+	sim.Run() // must not panic
+	if nw.Stats().Delivered != 1 {
+		t.Fatal("message should count as delivered")
+	}
+}

@@ -1,0 +1,319 @@
+// Package quorum implements the analytical core of Probabilistically Bounded
+// Staleness: the probabilistic-quorum non-intersection probability (Eq. 1),
+// PBS k-staleness (Eq. 2, Section 3.1), PBS monotonic reads (Eq. 3, Section
+// 3.2), quorum-system load bounds under staleness tolerance (Section 3.3),
+// and the expanding-quorum t-visibility and ⟨k,t⟩-staleness forms (Eqs. 4-5,
+// Sections 3.4-3.5). It also provides the classical quorum-system designs the
+// paper surveys in Section 2.1 (majority, grid, tree) for comparison of
+// intersection and load properties.
+package quorum
+
+import (
+	"errors"
+	"math"
+	"math/big"
+)
+
+// Config is a replication configuration in Dynamo nomenclature: N replicas,
+// R replica responses required for a read, W acknowledgments required for a
+// write.
+type Config struct {
+	N, R, W int
+}
+
+// Validate reports whether the configuration is well formed:
+// 1 <= R <= N and 1 <= W <= N.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return errors.New("quorum: N must be at least 1")
+	}
+	if c.R < 1 || c.R > c.N {
+		return errors.New("quorum: R must be in [1, N]")
+	}
+	if c.W < 1 || c.W > c.N {
+		return errors.New("quorum: W must be in [1, N]")
+	}
+	return nil
+}
+
+// IsStrict reports whether the configuration guarantees read/write quorum
+// intersection (R + W > N), i.e. strong consistency under normal operation.
+func (c Config) IsStrict() bool { return c.R+c.W > c.N }
+
+// IsPartial reports whether the configuration is a partial (non-strict)
+// quorum: R + W <= N.
+func (c Config) IsPartial() bool { return !c.IsStrict() }
+
+// TolerantOfConcurrentWrites reports whether W > ceil(N/2), the condition
+// the paper cites for consistency under concurrent writes.
+func (c Config) TolerantOfConcurrentWrites() bool { return c.W > (c.N+1)/2 }
+
+// Binomial returns C(n, k) exactly. It returns zero for k < 0 or k > n.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n || n < 0 {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// LogBinomial returns ln C(n, k), or -Inf when the coefficient is zero.
+func LogBinomial(n, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// BinomialRatio returns C(a, k) / C(b, k) computed in log space for
+// numerical stability at large arguments. Returns 0 when C(a,k) is zero.
+func BinomialRatio(a, b, k int) float64 {
+	num := LogBinomial(a, k)
+	if math.IsInf(num, -1) {
+		return 0
+	}
+	den := LogBinomial(b, k)
+	if math.IsInf(den, -1) {
+		return math.Inf(1)
+	}
+	return math.Exp(num - den)
+}
+
+// NonIntersectionProb returns ps, the probability that a uniformly random
+// read quorum of size R contains none of the members of a uniformly random
+// write quorum of size W out of N replicas (Equation 1):
+//
+//	ps = C(N-W, R) / C(N, R)
+//
+// This is zero for strict quorums (R+W > N) and the per-version staleness
+// probability of a probabilistic quorum system.
+func NonIntersectionProb(c Config) float64 {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return BinomialRatio(c.N-c.W, c.N, c.R)
+}
+
+// KStalenessProb returns psk, the probability that a read quorum intersects
+// none of the write quorums of the most recent k versions (Equation 2):
+//
+//	psk = (C(N-W, R) / C(N, R))^k
+//
+// assuming independent uniformly random quorums per version and no quorum
+// expansion. For expanding quorums this is an upper bound on staleness.
+// It panics if k < 1.
+func KStalenessProb(c Config, k int) float64 {
+	if k < 1 {
+		panic("quorum: k must be at least 1")
+	}
+	return math.Pow(NonIntersectionProb(c), float64(k))
+}
+
+// KStalenessConsistency returns 1 - psk: the probability that a read returns
+// a value within the most recent k versions (Section 3.1's in-text values,
+// e.g. N=3, R=W=1, k=3 → 0.703...).
+func KStalenessConsistency(c Config, k int) float64 {
+	return 1 - KStalenessProb(c, k)
+}
+
+// MinKForConsistency returns the smallest staleness tolerance k such that
+// the probability of reading within k versions is at least target. Returns
+// k and true on success; if the configuration cannot reach the target
+// (ps == 1 with target > 0) it returns 0 and false. A strict quorum returns
+// k = 1.
+func MinKForConsistency(c Config, target float64) (int, bool) {
+	ps := NonIntersectionProb(c)
+	if ps == 0 {
+		return 1, true
+	}
+	if ps >= 1 {
+		if target <= 0 {
+			return 1, true
+		}
+		return 0, false
+	}
+	if target >= 1 {
+		return 0, false
+	}
+	// Want 1 - ps^k >= target  ⇔  k >= log(1-target)/log(ps).
+	k := int(math.Ceil(math.Log(1-target) / math.Log(ps)))
+	if k < 1 {
+		k = 1
+	}
+	return k, true
+}
+
+// MonotonicReadsProb returns psMR, the probability that a read quorum fails
+// to return a version at least as new as the client's previous read
+// (Equation 3), given the client's read rate gammaCR and the global write
+// rate gammaGW for the key:
+//
+//	psMR = ps^(1 + gammaGW/gammaCR)
+//
+// Strict sets strict monotonic-reads semantics (exponent gammaGW/gammaCR):
+// the client must observe strictly newer data when it exists.
+func MonotonicReadsProb(c Config, gammaGW, gammaCR float64, strict bool) float64 {
+	if gammaGW < 0 || gammaCR <= 0 {
+		panic("quorum: rates must be positive (gammaGW >= 0, gammaCR > 0)")
+	}
+	exp := gammaGW / gammaCR
+	if !strict {
+		// The +1 accounts for the version the client itself read: even with
+		// no intervening writes, a fresh random read quorum must intersect
+		// that version's write quorum to avoid regressing.
+		exp++
+	}
+	if exp == 0 {
+		// Strict semantics with no intervening writes: there is no newer
+		// version to demand, so the guarantee is vacuously satisfied.
+		return 0
+	}
+	return math.Pow(NonIntersectionProb(c), exp)
+}
+
+// EpsilonIntersectingLoad returns the Section 3.3 lower bound on the load of
+// an ε-intersecting quorum system over n replicas (Malkhi et al. Corollary
+// 3.12, as cited by the paper):
+//
+//	load >= (1 - sqrt(ε)) / sqrt(n)
+func EpsilonIntersectingLoad(epsilon float64, n int) float64 {
+	if epsilon < 0 || epsilon > 1 {
+		panic("quorum: epsilon must be in [0,1]")
+	}
+	if n < 1 {
+		panic("quorum: n must be at least 1")
+	}
+	return (1 - math.Sqrt(epsilon)) / math.Sqrt(float64(n))
+}
+
+// KStalenessLoad returns the Section 3.3 load lower bound for a quorum
+// system that tolerates k versions of staleness while keeping the
+// probability of staleness at most p:
+//
+//	load >= (1 - p^(1/(2k))) / sqrt(n)
+//
+// obtained by substituting ε = p^(1/k) into the ε-intersecting bound. Larger
+// k strictly lowers the bound: staleness tolerance increases capacity.
+func KStalenessLoad(p float64, k int, n int) float64 {
+	if p < 0 || p > 1 {
+		panic("quorum: p must be in [0,1]")
+	}
+	if k < 1 {
+		panic("quorum: k must be at least 1")
+	}
+	return EpsilonIntersectingLoad(math.Pow(p, 1/float64(k)), n)
+}
+
+// MonotonicReadsLoad returns the Section 3.3 load lower bound under PBS
+// monotonic-reads consistency, where the effective staleness tolerance is
+// C = 1 + gammaGW/gammaCR.
+func MonotonicReadsLoad(p float64, gammaGW, gammaCR float64, n int) float64 {
+	if gammaGW < 0 || gammaCR <= 0 {
+		panic("quorum: rates must be positive")
+	}
+	c := 1 + gammaGW/gammaCR
+	if p < 0 || p > 1 {
+		panic("quorum: p must be in [0,1]")
+	}
+	return EpsilonIntersectingLoad(math.Pow(p, 1/c), n)
+}
+
+// PropagationCDF gives, for a fixed time t after commit, the probability
+// that at least c of the N replicas hold a committed version: Pw(c) =
+// P(Wr >= c). By definition Pw(c) = 1 for all c <= W (the write quorum holds
+// the version at commit) and Pw(c) = 0 for c > N.
+type PropagationCDF func(c int) float64
+
+// TVisibilityStaleProb returns pst for an expanding partial quorum
+// (Equation 4): the probability that a read quorum started t seconds after
+// commit observes none of the replicas holding the committed version, given
+// the write-propagation CDF pw at that t:
+//
+//	pst = Σ_{c=W..N} P(Wr = c) · C(N-c, R)/C(N, R)
+//
+// where P(Wr = c) = pw(c) - pw(c+1). The paper presents the same sum with
+// the c = W term written separately. The result is a conservative upper
+// bound on staleness (reads are modeled as instantaneous).
+func TVisibilityStaleProb(c Config, pw PropagationCDF) float64 {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	var pst float64
+	for cnt := c.W; cnt <= c.N; cnt++ {
+		next := 0.0
+		if cnt < c.N {
+			next = clamp01(pw(cnt + 1))
+		}
+		cur := clamp01(pw(cnt))
+		pMass := cur - next
+		if pMass < 0 {
+			pMass = 0 // tolerate slightly non-monotone empirical CDFs
+		}
+		pst += pMass * BinomialRatio(c.N-cnt, c.N, c.R)
+	}
+	return clamp01(pst)
+}
+
+// KTStalenessProb returns pskt (Equation 5): the probability that a read
+// returns a value more than k versions stale, given that the previous k
+// versions all committed at least t seconds ago (the paper's conservative,
+// pathological-case assumption that the k writes were simultaneous):
+//
+//	pskt = pst^k
+func KTStalenessProb(c Config, pw PropagationCDF, k int) float64 {
+	if k < 1 {
+		panic("quorum: k must be at least 1")
+	}
+	return math.Pow(TVisibilityStaleProb(c, pw), float64(k))
+}
+
+// FixedPropagation returns the PropagationCDF of a non-expanding quorum:
+// exactly W replicas hold the version forever. Substituting it into
+// Equation 4 must recover Equation 1; tests rely on this identity.
+func FixedPropagation(c Config) PropagationCDF {
+	return func(cnt int) float64 {
+		if cnt <= c.W {
+			return 1
+		}
+		return 0
+	}
+}
+
+// UniformStepPropagation returns a PropagationCDF in which each of the N-W
+// replicas beyond the write quorum has independently received the version
+// with probability q in [0, 1]. It models memoryless anti-entropy progress
+// and is useful for analytic sensitivity studies.
+func UniformStepPropagation(c Config, q float64) PropagationCDF {
+	if q < 0 || q > 1 {
+		panic("quorum: q must be in [0,1]")
+	}
+	extra := c.N - c.W
+	// P(Wr >= cnt) = P(at least cnt-W of the extra replicas have it).
+	return func(cnt int) float64 {
+		if cnt <= c.W {
+			return 1
+		}
+		if cnt > c.N {
+			return 0
+		}
+		need := cnt - c.W
+		var p float64
+		for j := need; j <= extra; j++ {
+			p += math.Exp(LogBinomial(extra, j)) *
+				math.Pow(q, float64(j)) * math.Pow(1-q, float64(extra-j))
+		}
+		return clamp01(p)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

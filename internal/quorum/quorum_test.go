@@ -1,0 +1,358 @@
+package quorum
+
+import (
+	"math"
+	bigmath "math/big"
+	"testing"
+	"testing/quick"
+
+	"pbs/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConfigValidate(t *testing.T) {
+	valid := []Config{{1, 1, 1}, {3, 1, 1}, {3, 3, 3}, {5, 2, 4}}
+	for _, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v should be valid: %v", c, err)
+		}
+	}
+	invalid := []Config{{0, 1, 1}, {3, 0, 1}, {3, 1, 0}, {3, 4, 1}, {3, 1, 4}, {-1, 1, 1}}
+	for _, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", c)
+		}
+	}
+}
+
+func TestStrictPartial(t *testing.T) {
+	if !(Config{3, 2, 2}).IsStrict() {
+		t.Fatal("R+W>N should be strict")
+	}
+	if (Config{3, 1, 1}).IsStrict() {
+		t.Fatal("R+W<=N should not be strict")
+	}
+	if !(Config{3, 1, 1}).IsPartial() {
+		t.Fatal("partial")
+	}
+	if !(Config{3, 1, 3}).TolerantOfConcurrentWrites() {
+		t.Fatal("W=3,N=3 tolerates concurrent writes")
+	}
+	if (Config{3, 1, 2}).TolerantOfConcurrentWrites() {
+		t.Fatal("W=2,N=3 does not exceed ceil(N/2)")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {10, 3, 120},
+		{0, 0, 1}, {3, 4, 0}, {3, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k).Int64(); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestNonIntersectionProbPaperExamples(t *testing.T) {
+	// Section 2.1: N=3, R=W=1 → ps = 0.6̄ (C(2,1)/C(3,1) = 2/3).
+	got := NonIntersectionProb(Config{N: 3, R: 1, W: 1})
+	if !approx(got, 2.0/3.0, 1e-12) {
+		t.Fatalf("ps(3,1,1) = %v, want 2/3", got)
+	}
+	// Section 2.1: N=100, R=W=30 → ps = 1.88e-6.
+	got = NonIntersectionProb(Config{N: 100, R: 30, W: 30})
+	if got < 1.7e-6 || got > 2.0e-6 {
+		t.Fatalf("ps(100,30,30) = %v, want ≈1.88e-6", got)
+	}
+}
+
+func TestNonIntersectionStrictIsZero(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(10)
+		rr := 1 + r.Intn(n)
+		w := n - rr + 1 + r.Intn(rr) // ensures R+W > N
+		if w > n {
+			w = n
+		}
+		c := Config{N: n, R: rr, W: w}
+		if !c.IsStrict() {
+			return true // skip non-strict draws
+		}
+		return NonIntersectionProb(c) == 0
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKStalenessPaperExamples(t *testing.T) {
+	// Section 3.1: N=3, R=W=1: within 2 versions → 0.5... wait: paper says
+	// "probability of returning a version within 2 versions is 0.5(5)",
+	// i.e. 1-(2/3)^2 = 5/9 ≈ 0.5̄; within 3 → 0.703; 5 → >0.868; 10 → >0.98.
+	c := Config{N: 3, R: 1, W: 1}
+	cases := []struct {
+		k    int
+		want float64
+		tol  float64
+	}{
+		{2, 1 - math.Pow(2.0/3.0, 2), 1e-12}, // 0.5555...
+		{3, 0.703, 0.001},
+		{5, 0.868, 0.002},
+		{10, 0.982, 0.002},
+	}
+	for _, tc := range cases {
+		got := KStalenessConsistency(c, tc.k)
+		if !approx(got, tc.want, tc.tol) {
+			t.Errorf("k=%d: consistency = %v, want ≈%v", tc.k, got, tc.want)
+		}
+	}
+	// Section 3.1: N=3, R=1, W=2: k=1 → 0.6̄, k=2 → 0.8̄, k=5 → >0.995.
+	c2 := Config{N: 3, R: 1, W: 2}
+	if got := KStalenessConsistency(c2, 1); !approx(got, 2.0/3.0, 1e-12) {
+		t.Errorf("k=1 consistency = %v, want 2/3", got)
+	}
+	if got := KStalenessConsistency(c2, 2); !approx(got, 1-1.0/9.0, 1e-12) {
+		t.Errorf("k=2 consistency = %v, want 8/9", got)
+	}
+	if got := KStalenessConsistency(c2, 5); got < 0.995 {
+		t.Errorf("k=5 consistency = %v, want > 0.995", got)
+	}
+	// R and W are symmetric in Equation 1's consequences for these values:
+	c3 := Config{N: 3, R: 2, W: 1}
+	if NonIntersectionProb(c2) != NonIntersectionProb(c3) {
+		t.Error("ps should be symmetric in R and W for these configs")
+	}
+}
+
+func TestKStalenessMonotoneInK(t *testing.T) {
+	c := Config{N: 5, R: 1, W: 2}
+	prev := 2.0
+	for k := 1; k <= 20; k++ {
+		p := KStalenessProb(c, k)
+		if p > prev {
+			t.Fatalf("psk increased at k=%d: %v > %v", k, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestKStalenessMonotoneInRW(t *testing.T) {
+	// Increasing R or W (holding the rest) cannot increase staleness.
+	for n := 2; n <= 8; n++ {
+		for w := 1; w <= n; w++ {
+			for r := 1; r < n; r++ {
+				a := NonIntersectionProb(Config{N: n, R: r, W: w})
+				b := NonIntersectionProb(Config{N: n, R: r + 1, W: w})
+				if b > a+1e-12 {
+					t.Fatalf("ps increased with R: N=%d W=%d R=%d→%d: %v→%v", n, w, r, r+1, a, b)
+				}
+			}
+		}
+		for r := 1; r <= n; r++ {
+			for w := 1; w < n; w++ {
+				a := NonIntersectionProb(Config{N: n, R: r, W: w})
+				b := NonIntersectionProb(Config{N: n, R: r, W: w + 1})
+				if b > a+1e-12 {
+					t.Fatalf("ps increased with W: N=%d R=%d W=%d→%d: %v→%v", n, r, w, w+1, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestKStalenessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for k=0")
+		}
+	}()
+	KStalenessProb(Config{N: 3, R: 1, W: 1}, 0)
+}
+
+func TestMinKForConsistency(t *testing.T) {
+	c := Config{N: 3, R: 1, W: 1}
+	k, ok := MinKForConsistency(c, 0.98)
+	if !ok {
+		t.Fatal("should be achievable")
+	}
+	// 1-(2/3)^k >= 0.98 → k >= ln(0.02)/ln(2/3) ≈ 9.65 → k=10.
+	if k != 10 {
+		t.Fatalf("k = %d, want 10", k)
+	}
+	if got := KStalenessConsistency(c, k); got < 0.98 {
+		t.Fatalf("consistency at k=%d is %v", k, got)
+	}
+	if k > 1 {
+		if got := KStalenessConsistency(c, k-1); got >= 0.98 {
+			t.Fatalf("k not minimal: k-1 already gives %v", got)
+		}
+	}
+	// Strict quorums are consistent at k=1.
+	k, ok = MinKForConsistency(Config{N: 3, R: 2, W: 2}, 0.99999)
+	if !ok || k != 1 {
+		t.Fatalf("strict: k=%d ok=%v", k, ok)
+	}
+	// Impossible target.
+	if _, ok := MinKForConsistency(c, 1.0); ok {
+		t.Fatal("target 1.0 unreachable for partial quorum")
+	}
+	// ps == 1 (degenerate W=0 impossible; use N=1? impossible too since
+	// R=W=1,N=1 is strict). Construct via direct check of target<=0.
+	if k, ok := MinKForConsistency(c, 0); !ok || k != 1 {
+		t.Fatalf("target 0 should be trivially achievable, k=%d ok=%v", k, ok)
+	}
+}
+
+func TestMonotonicReadsProb(t *testing.T) {
+	c := Config{N: 3, R: 1, W: 1}
+	ps := 2.0 / 3.0
+	// Equal rates: exponent 2 (non-strict).
+	got := MonotonicReadsProb(c, 1, 1, false)
+	if !approx(got, math.Pow(ps, 2), 1e-12) {
+		t.Fatalf("psMR = %v", got)
+	}
+	// Strict variant: exponent 1.
+	got = MonotonicReadsProb(c, 1, 1, true)
+	if !approx(got, ps, 1e-12) {
+		t.Fatalf("strict psMR = %v", got)
+	}
+	// No intervening writes, non-strict: the read must still intersect the
+	// write quorum of the version previously read → exponent 1 → ps.
+	if got := MonotonicReadsProb(c, 0, 1, false); !approx(got, ps, 1e-12) {
+		t.Fatalf("no-writes psMR = %v, want ps = %v", got, ps)
+	}
+	// Strict semantics with no newer versions are vacuously satisfied.
+	if MonotonicReadsProb(c, 0, 1, true) != 0 {
+		t.Fatal("strict no-writes should be vacuously 0")
+	}
+	// Faster client reads → lower violation probability.
+	slow := MonotonicReadsProb(c, 10, 1, false)
+	fast := MonotonicReadsProb(c, 10, 100, false)
+	if fast <= slow {
+		t.Fatalf("faster reads should reduce staleness: fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestLoadBounds(t *testing.T) {
+	// ε-intersecting bound at ε=0 is 1/sqrt(N) (strict-like).
+	if got := EpsilonIntersectingLoad(0, 100); !approx(got, 0.1, 1e-12) {
+		t.Fatalf("load(0,100) = %v", got)
+	}
+	// k-staleness tolerance lowers load monotonically in k.
+	prev := 2.0
+	for k := 1; k <= 10; k++ {
+		l := KStalenessLoad(1e-3, k, 100)
+		if l > prev {
+			t.Fatalf("load increased at k=%d", k)
+		}
+		if l < 0 {
+			t.Fatalf("negative load bound at k=%d", k)
+		}
+		prev = l
+	}
+	// k=1 reduces to ε-intersecting with ε=p.
+	if KStalenessLoad(0.01, 1, 9) != EpsilonIntersectingLoad(0.01, 9) {
+		t.Fatal("k=1 should equal ε-intersecting bound")
+	}
+	// Monotonic-reads load with C = 1+γgw/γcr = 2 equals k=2 bound.
+	if MonotonicReadsLoad(0.01, 1, 1, 9) != KStalenessLoad(0.01, 2, 9) {
+		t.Fatal("monotonic reads load should match k=2 bound for equal rates")
+	}
+}
+
+func TestTVisibilityReducesToEq1(t *testing.T) {
+	// With no propagation (fixed quorums), Equation 4 must equal Equation 1.
+	for _, c := range []Config{{3, 1, 1}, {3, 1, 2}, {3, 2, 1}, {5, 2, 2}, {10, 1, 1}} {
+		eq1 := NonIntersectionProb(c)
+		eq4 := TVisibilityStaleProb(c, FixedPropagation(c))
+		if !approx(eq1, eq4, 1e-12) {
+			t.Errorf("%+v: Eq4 %v != Eq1 %v", c, eq4, eq1)
+		}
+	}
+}
+
+func TestTVisibilityFullPropagationIsZero(t *testing.T) {
+	c := Config{N: 3, R: 1, W: 1}
+	full := UniformStepPropagation(c, 1) // all extra replicas have the write
+	if got := TVisibilityStaleProb(c, full); !approx(got, 0, 1e-12) {
+		t.Fatalf("fully propagated staleness = %v, want 0", got)
+	}
+}
+
+func TestTVisibilityMonotoneInPropagation(t *testing.T) {
+	c := Config{N: 5, R: 1, W: 1}
+	prev := 2.0
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		p := TVisibilityStaleProb(c, UniformStepPropagation(c, q))
+		if p > prev+1e-12 {
+			t.Fatalf("staleness increased with propagation q=%v: %v > %v", q, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestUniformStepPropagationIsValidCDF(t *testing.T) {
+	c := Config{N: 7, R: 2, W: 2}
+	pw := UniformStepPropagation(c, 0.37)
+	prev := 1.0
+	for cnt := 0; cnt <= c.N+1; cnt++ {
+		p := pw(cnt)
+		if p < -1e-12 || p > 1+1e-12 {
+			t.Fatalf("pw(%d) = %v out of range", cnt, p)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("pw not non-increasing at %d", cnt)
+		}
+		prev = p
+	}
+	if pw(c.W) != 1 {
+		t.Fatal("pw(W) must be 1")
+	}
+	if pw(c.N+1) != 0 {
+		t.Fatal("pw(N+1) must be 0")
+	}
+}
+
+func TestKTStaleness(t *testing.T) {
+	c := Config{N: 3, R: 1, W: 1}
+	pw := UniformStepPropagation(c, 0.5)
+	p1 := KTStalenessProb(c, pw, 1)
+	p2 := KTStalenessProb(c, pw, 2)
+	if !approx(p2, p1*p1, 1e-12) {
+		t.Fatalf("pskt(2) = %v, want pst² = %v", p2, p1*p1)
+	}
+	if p1 != TVisibilityStaleProb(c, pw) {
+		t.Fatal("pskt(1) should equal pst")
+	}
+}
+
+func TestLogBinomialAgainstExact(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for k := 0; k <= n; k++ {
+			ef, _ := new(bigmath.Float).SetInt(Binomial(n, k)).Float64()
+			lb := LogBinomial(n, k)
+			if math.Abs(math.Exp(lb)-ef)/ef > 1e-9 {
+				t.Fatalf("LogBinomial(%d,%d): exp=%v exact=%v", n, k, math.Exp(lb), ef)
+			}
+		}
+	}
+	if !math.IsInf(LogBinomial(3, 5), -1) || !math.IsInf(LogBinomial(3, -1), -1) {
+		t.Fatal("out-of-range LogBinomial should be -Inf")
+	}
+}
+
+func TestBinomialRatio(t *testing.T) {
+	// C(2,1)/C(3,1) = 2/3
+	if got := BinomialRatio(2, 3, 1); !approx(got, 2.0/3.0, 1e-12) {
+		t.Fatalf("BinomialRatio(2,3,1) = %v", got)
+	}
+	if got := BinomialRatio(1, 3, 2); got != 0 {
+		t.Fatalf("zero numerator ratio = %v", got)
+	}
+}

@@ -1,0 +1,185 @@
+package quorum
+
+// Monte Carlo cross-checks for the closed forms. The paper validates its
+// k-staleness derivation by observing that, absent anti-entropy, the
+// equations "hold true experimentally" (Section 5); these samplers provide
+// that experiment: draw random read/write quorums and count staleness.
+
+import (
+	"math"
+
+	"pbs/internal/rng"
+	"pbs/internal/stats"
+)
+
+// SampleNonIntersection estimates Equation 1 empirically: the fraction of
+// trials in which a uniformly random R-subset misses a uniformly random
+// W-subset of N replicas.
+func SampleNonIntersection(c Config, trials int, r *rng.RNG) float64 {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	var counter stats.Counter
+	read := make([]int, c.R)
+	write := make([]int, c.W)
+	inWrite := make([]bool, c.N)
+	for i := 0; i < trials; i++ {
+		r.Choose(write, c.N)
+		r.Choose(read, c.N)
+		for j := range inWrite {
+			inWrite[j] = false
+		}
+		for _, w := range write {
+			inWrite[w] = true
+		}
+		miss := true
+		for _, rd := range read {
+			if inWrite[rd] {
+				miss = false
+				break
+			}
+		}
+		counter.Observe(miss)
+	}
+	return counter.P()
+}
+
+// SampleKStaleness estimates Equation 2 empirically: the fraction of trials
+// in which a random read quorum misses all of the k most recent independent
+// write quorums.
+func SampleKStaleness(c Config, k, trials int, r *rng.RNG) float64 {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if k < 1 {
+		panic("quorum: k must be at least 1")
+	}
+	var counter stats.Counter
+	read := make([]int, c.R)
+	write := make([]int, c.W)
+	covered := make([]bool, c.N)
+	for i := 0; i < trials; i++ {
+		r.Choose(read, c.N)
+		stale := true
+		for v := 0; v < k && stale; v++ {
+			r.Choose(write, c.N)
+			for j := range covered {
+				covered[j] = false
+			}
+			for _, w := range write {
+				covered[w] = true
+			}
+			for _, rd := range read {
+				if covered[rd] {
+					stale = false
+					break
+				}
+			}
+		}
+		counter.Observe(stale)
+	}
+	return counter.P()
+}
+
+// SampleMonotonicReads simulates a session: a client reads a key at rate
+// gammaCR while the system writes at rate gammaGW (both Poisson). Between
+// consecutive client reads, Poisson(gammaGW/gammaCR) versions are written,
+// each to an independent random write quorum; the read is non-monotonic when
+// its quorum misses the write quorums of its previous observed version and
+// every version since. Returns the observed non-monotonic fraction, which
+// Equation 3 approximates with the expected version gap.
+func SampleMonotonicReads(c Config, gammaGW, gammaCR float64, reads int, r *rng.RNG) float64 {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if gammaGW < 0 || gammaCR <= 0 {
+		panic("quorum: rates must be positive")
+	}
+	var counter stats.Counter
+	read := make([]int, c.R)
+	write := make([]int, c.W)
+
+	// Version bookkeeping: lastSeen is the client's high-water mark;
+	// quorums[v] is the write quorum of version v. We only need quorums
+	// since lastSeen, so we compact as we go.
+	type wq = []bool
+	var quorums []wq // quorums[i] covers version base+i
+	base := 1        // version number of quorums[0]
+	lastSeen := 0    // client has seen version 0 (initial value, all replicas)
+
+	poisson := func(mean float64) int {
+		// Knuth's algorithm; mean is small (γgw/γcr) in our sweeps.
+		l := mean
+		if l <= 0 {
+			return 0
+		}
+		k := 0
+		p := 1.0
+		threshold := expNeg(l)
+		for {
+			p *= r.Float64()
+			if p <= threshold {
+				return k
+			}
+			k++
+			if k > 1_000_000 {
+				return k
+			}
+		}
+	}
+
+	for i := 0; i < reads; i++ {
+		// Writes arriving between reads.
+		n := poisson(gammaGW / gammaCR)
+		for j := 0; j < n; j++ {
+			r.Choose(write, c.N)
+			cov := make(wq, c.N)
+			for _, w := range write {
+				cov[w] = true
+			}
+			quorums = append(quorums, cov)
+		}
+		latest := base + len(quorums) - 1
+
+		// Client read: newest version whose write quorum intersects.
+		r.Choose(read, c.N)
+		observed := 0 // version 0 visible everywhere
+		for v := latest; v >= base; v-- {
+			cov := quorums[v-base]
+			hit := false
+			for _, rd := range read {
+				if cov[rd] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				observed = v
+				break
+			}
+		}
+		counter.Observe(observed < lastSeen)
+		if observed > lastSeen {
+			lastSeen = observed
+		}
+		// Compact quorums below lastSeen: a future non-monotonic read only
+		// needs versions >= lastSeen.
+		if lastSeen > base {
+			drop := lastSeen - base
+			if drop > len(quorums) {
+				drop = len(quorums)
+			}
+			quorums = quorums[drop:]
+			base += drop
+		}
+	}
+	return counter.P()
+}
+
+// expNeg computes e^{-x} guarding large x.
+func expNeg(x float64) float64 {
+	if x > 700 {
+		return 0
+	}
+	return math.Exp(-x)
+}

@@ -1,0 +1,306 @@
+package quorum
+
+// This file implements the classical quorum-system designs the paper surveys
+// in Section 2.1 — majority, grid, and tree quorums, plus read-one/write-all
+// as a biquorum example — together with intersection checks and the
+// uniform-strategy load metric of Naor & Wool (Section 3.3's "load" is
+// defined against these systems). They serve as baselines showing what
+// strict quorum systems cost in load relative to PBS partial quorums.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// System is a single-quorum-set system: any two quorums must intersect for
+// the system to be strict.
+type System interface {
+	// Name identifies the design.
+	Name() string
+	// Universe returns the number of elements (replicas).
+	Universe() int
+	// Quorums enumerates every quorum as sorted slices of element indexes.
+	Quorums() [][]int
+}
+
+// BiSystem distinguishes read quorums from write quorums; strictness
+// requires every read quorum to intersect every write quorum.
+type BiSystem interface {
+	Name() string
+	Universe() int
+	ReadQuorums() [][]int
+	WriteQuorums() [][]int
+}
+
+// combinations enumerates all k-subsets of [0, n). Enumeration is
+// exponential; to fail fast rather than hang, universes beyond 25 elements
+// are rejected (use the analytic load formulas for large systems).
+func combinations(n, k int) [][]int {
+	if n > 25 {
+		panic("quorum: refusing to enumerate quorums over more than 25 elements")
+	}
+	if k < 0 || k > n {
+		return nil
+	}
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return out
+}
+
+// Majority is the majority quorum system over N elements: every subset of
+// size floor(N/2)+1 is a quorum.
+type Majority struct{ N int }
+
+func (m Majority) Name() string  { return fmt.Sprintf("majority(N=%d)", m.N) }
+func (m Majority) Universe() int { return m.N }
+
+// QuorumSize returns the majority size floor(N/2)+1.
+func (m Majority) QuorumSize() int { return m.N/2 + 1 }
+
+func (m Majority) Quorums() [][]int { return combinations(m.N, m.QuorumSize()) }
+
+// Load returns the uniform-strategy load analytically: by symmetry every
+// element appears in QuorumSize/N of the quorums. Unlike UniformLoad this
+// needs no enumeration and works for arbitrarily large N.
+func (m Majority) Load() float64 { return float64(m.QuorumSize()) / float64(m.N) }
+
+// Grid is the grid quorum system over Rows × Cols elements: a quorum is one
+// full row plus one full column (Section 2.1 cites grid quorums as an
+// O(sqrt(N))-sized strict design).
+type Grid struct{ Rows, Cols int }
+
+func (g Grid) Name() string  { return fmt.Sprintf("grid(%dx%d)", g.Rows, g.Cols) }
+func (g Grid) Universe() int { return g.Rows * g.Cols }
+
+func (g Grid) Quorums() [][]int {
+	var out [][]int
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			seen := make(map[int]bool, g.Rows+g.Cols)
+			var q []int
+			for cc := 0; cc < g.Cols; cc++ {
+				e := r*g.Cols + cc
+				if !seen[e] {
+					seen[e] = true
+					q = append(q, e)
+				}
+			}
+			for rr := 0; rr < g.Rows; rr++ {
+				e := rr*g.Cols + c
+				if !seen[e] {
+					seen[e] = true
+					q = append(q, e)
+				}
+			}
+			sort.Ints(q)
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Tree is the tree quorum protocol of Agrawal & El Abbadi over a complete
+// binary tree of the given height (height 0 is a single node). A quorum is
+// either the root plus a quorum of one child subtree, or quorums of both
+// child subtrees (used when the root is unavailable). This yields quorums
+// as small as height+1 elements while remaining strict.
+type Tree struct{ Height int }
+
+func (t Tree) Name() string { return fmt.Sprintf("tree(h=%d)", t.Height) }
+
+func (t Tree) Universe() int { return (1 << (t.Height + 1)) - 1 }
+
+func (t Tree) Quorums() [][]int {
+	qs := treeQuorums(0, t.Height)
+	for _, q := range qs {
+		sort.Ints(q)
+	}
+	return qs
+}
+
+// treeQuorums enumerates quorums of the subtree rooted at node `root` (heap
+// indexing: children of i are 2i+1, 2i+2) with `height` levels below it.
+func treeQuorums(root, height int) [][]int {
+	if height == 0 {
+		return [][]int{{root}}
+	}
+	left := treeQuorums(2*root+1, height-1)
+	right := treeQuorums(2*root+2, height-1)
+	var out [][]int
+	for _, q := range left {
+		out = append(out, append([]int{root}, q...))
+	}
+	for _, q := range right {
+		out = append(out, append([]int{root}, q...))
+	}
+	for _, ql := range right {
+		for _, qr := range left {
+			merged := append(append([]int(nil), ql...), qr...)
+			out = append(out, merged)
+		}
+	}
+	return out
+}
+
+// ReadOneWriteAll is the classic ROWA biquorum system: any single replica is
+// a read quorum; the only write quorum is all replicas.
+type ReadOneWriteAll struct{ N int }
+
+func (r ReadOneWriteAll) Name() string  { return fmt.Sprintf("ROWA(N=%d)", r.N) }
+func (r ReadOneWriteAll) Universe() int { return r.N }
+
+func (r ReadOneWriteAll) ReadQuorums() [][]int {
+	out := make([][]int, r.N)
+	for i := range out {
+		out[i] = []int{i}
+	}
+	return out
+}
+
+func (r ReadOneWriteAll) WriteQuorums() [][]int {
+	all := make([]int, r.N)
+	for i := range all {
+		all[i] = i
+	}
+	return [][]int{all}
+}
+
+// PartialBiSystem is the Dynamo-style fixed-size biquorum: read quorums are
+// all R-subsets and write quorums all W-subsets of N replicas. It is strict
+// iff R + W > N.
+type PartialBiSystem struct{ Config Config }
+
+func (p PartialBiSystem) Name() string {
+	return fmt.Sprintf("partial(N=%d,R=%d,W=%d)", p.Config.N, p.Config.R, p.Config.W)
+}
+func (p PartialBiSystem) Universe() int        { return p.Config.N }
+func (p PartialBiSystem) ReadQuorums() [][]int { return combinations(p.Config.N, p.Config.R) }
+func (p PartialBiSystem) WriteQuorums() [][]int {
+	return combinations(p.Config.N, p.Config.W)
+}
+
+// intersects reports whether two sorted int slices share an element.
+func intersects(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// IsStrictSystem reports whether every pair of quorums in sys intersects.
+func IsStrictSystem(sys System) bool {
+	qs := sys.Quorums()
+	for i := range qs {
+		for j := i + 1; j < len(qs); j++ {
+			if !intersects(qs[i], qs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsStrictBiSystem reports whether every read quorum intersects every write
+// quorum.
+func IsStrictBiSystem(sys BiSystem) bool {
+	rs, ws := sys.ReadQuorums(), sys.WriteQuorums()
+	for _, r := range rs {
+		for _, w := range ws {
+			if !intersects(r, w) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UniformLoad returns the load of the system under the uniform strategy
+// (every quorum picked with equal probability): the access frequency of the
+// busiest element. This upper-bounds the Naor-Wool optimal load and is the
+// metric Section 3.3's bounds are compared against in our experiments.
+func UniformLoad(sys System) float64 {
+	qs := sys.Quorums()
+	if len(qs) == 0 {
+		return 0
+	}
+	counts := make([]int, sys.Universe())
+	for _, q := range qs {
+		for _, e := range q {
+			counts[e]++
+		}
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	return float64(maxCount) / float64(len(qs))
+}
+
+// UniformLoadBi returns the uniform-strategy load of a biquorum system given
+// a fraction fr of operations that are reads (and 1-fr writes).
+func UniformLoadBi(sys BiSystem, fr float64) float64 {
+	if fr < 0 || fr > 1 {
+		panic("quorum: read fraction must be in [0,1]")
+	}
+	counts := make([]float64, sys.Universe())
+	accumulate := func(qs [][]int, weight float64) {
+		if len(qs) == 0 {
+			return
+		}
+		per := weight / float64(len(qs))
+		for _, q := range qs {
+			for _, e := range q {
+				counts[e] += per
+			}
+		}
+	}
+	accumulate(sys.ReadQuorums(), fr)
+	accumulate(sys.WriteQuorums(), 1-fr)
+	var maxLoad float64
+	for _, c := range counts {
+		if c > maxLoad {
+			maxLoad = c
+		}
+	}
+	return maxLoad
+}
+
+// MinQuorumSize returns the size of the smallest quorum, the classical
+// availability metric (smaller quorums tolerate more failures for reads).
+func MinQuorumSize(sys System) int {
+	best := sys.Universe() + 1
+	for _, q := range sys.Quorums() {
+		if len(q) < best {
+			best = len(q)
+		}
+	}
+	return best
+}

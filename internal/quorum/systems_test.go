@@ -1,0 +1,276 @@
+package quorum
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/rng"
+)
+
+func TestCombinations(t *testing.T) {
+	cs := combinations(4, 2)
+	if len(cs) != 6 {
+		t.Fatalf("C(4,2) enumeration has %d entries", len(cs))
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range cs {
+		if len(c) != 2 || c[0] >= c[1] {
+			t.Fatalf("bad combination %v", c)
+		}
+		key := [2]int{c[0], c[1]}
+		if seen[key] {
+			t.Fatalf("duplicate combination %v", c)
+		}
+		seen[key] = true
+	}
+	if combinations(3, 5) != nil {
+		t.Fatal("k>n should be nil")
+	}
+	if got := combinations(3, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("C(3,0) = %v", got)
+	}
+}
+
+func TestMajorityIsStrict(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		m := Majority{N: n}
+		if !IsStrictSystem(m) {
+			t.Fatalf("majority(N=%d) not strict", n)
+		}
+		if got, want := m.QuorumSize(), n/2+1; got != want {
+			t.Fatalf("majority size %d, want %d", got, want)
+		}
+	}
+}
+
+func TestMajorityLoad(t *testing.T) {
+	// Uniform-strategy majority load is quorumSize/N by symmetry.
+	m := Majority{N: 5}
+	want := 3.0 / 5.0
+	if got := UniformLoad(m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("majority load = %v, want %v", got, want)
+	}
+}
+
+func TestGridIsStrict(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {3, 3}, {4, 4}, {2, 5}} {
+		g := Grid{Rows: dims[0], Cols: dims[1]}
+		if !IsStrictSystem(g) {
+			t.Fatalf("grid %v not strict", dims)
+		}
+		if len(g.Quorums()) != g.Rows*g.Cols {
+			t.Fatalf("grid should have Rows*Cols quorums")
+		}
+	}
+}
+
+func TestGridQuorumSize(t *testing.T) {
+	g := Grid{Rows: 4, Cols: 4}
+	for _, q := range g.Quorums() {
+		if len(q) != 4+4-1 {
+			t.Fatalf("grid quorum size %d, want 7", len(q))
+		}
+	}
+}
+
+func TestGridLoadBeatsMajorityAtScale(t *testing.T) {
+	// Grid load ~ O(1/sqrt(N)) beats majority's ~1/2 for larger N — the
+	// classic motivation for structured quorum systems (Section 2.1).
+	// Majority load is computed analytically: enumerating C(36,19) quorums
+	// is infeasible.
+	g := Grid{Rows: 6, Cols: 6}
+	m := Majority{N: 36}
+	if UniformLoad(g) >= m.Load() {
+		t.Fatalf("grid load %v should beat majority load %v at N=36",
+			UniformLoad(g), m.Load())
+	}
+}
+
+func TestMajorityAnalyticLoadMatchesEnumeration(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 11} {
+		m := Majority{N: n}
+		if math.Abs(m.Load()-UniformLoad(m)) > 1e-12 {
+			t.Fatalf("N=%d: analytic %v vs enumerated %v", n, m.Load(), UniformLoad(m))
+		}
+	}
+}
+
+func TestCombinationsRefusesHugeUniverse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Majority{N: 36}.Quorums()
+}
+
+func TestTreeIsStrict(t *testing.T) {
+	for h := 0; h <= 3; h++ {
+		tr := Tree{Height: h}
+		if !IsStrictSystem(tr) {
+			t.Fatalf("tree(h=%d) not strict", h)
+		}
+		if tr.Universe() != (1<<(h+1))-1 {
+			t.Fatalf("tree universe wrong")
+		}
+	}
+}
+
+func TestTreeMinQuorumSize(t *testing.T) {
+	// The cheapest tree quorum is the root-to-leaf path: height+1 elements.
+	for h := 0; h <= 3; h++ {
+		tr := Tree{Height: h}
+		if got := MinQuorumSize(tr); got != h+1 {
+			t.Fatalf("tree(h=%d) min quorum %d, want %d", h, got, h+1)
+		}
+	}
+}
+
+func TestROWAStrict(t *testing.T) {
+	r := ReadOneWriteAll{N: 5}
+	if !IsStrictBiSystem(r) {
+		t.Fatal("ROWA should be strict")
+	}
+	if len(r.ReadQuorums()) != 5 || len(r.WriteQuorums()) != 1 {
+		t.Fatal("ROWA quorum counts")
+	}
+}
+
+func TestPartialBiSystemStrictness(t *testing.T) {
+	cases := []struct {
+		c      Config
+		strict bool
+	}{
+		{Config{3, 2, 2}, true},
+		{Config{3, 1, 3}, true},
+		{Config{3, 3, 1}, true},
+		{Config{3, 1, 1}, false},
+		{Config{3, 1, 2}, false},
+		{Config{5, 2, 3}, false},
+		{Config{5, 3, 3}, true},
+	}
+	for _, tc := range cases {
+		sys := PartialBiSystem{Config: tc.c}
+		if got := IsStrictBiSystem(sys); got != tc.strict {
+			t.Errorf("%+v: strict=%v, want %v", tc.c, got, tc.strict)
+		}
+		if got := tc.c.IsStrict(); got != tc.strict {
+			t.Errorf("Config.IsStrict %+v: %v", tc.c, got)
+		}
+	}
+}
+
+func TestStrictnessAgreesWithEquationOne(t *testing.T) {
+	// The combinatorial check and the closed form must agree: ps == 0 iff
+	// the biquorum system is strict.
+	for n := 1; n <= 6; n++ {
+		for r := 1; r <= n; r++ {
+			for w := 1; w <= n; w++ {
+				c := Config{N: n, R: r, W: w}
+				ps := NonIntersectionProb(c)
+				strict := IsStrictBiSystem(PartialBiSystem{Config: c})
+				if (ps == 0) != strict {
+					t.Fatalf("%+v: ps=%v strict=%v", c, ps, strict)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformLoadBi(t *testing.T) {
+	// ROWA with 100% reads: each replica serves 1/N of reads.
+	r := ReadOneWriteAll{N: 4}
+	if got := UniformLoadBi(r, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("ROWA read load = %v", got)
+	}
+	// ROWA with 100% writes: every replica is in the write quorum.
+	if got := UniformLoadBi(r, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ROWA write load = %v", got)
+	}
+	// Partial R=W=1 uniform mix: load 1/N.
+	p := PartialBiSystem{Config: Config{N: 4, R: 1, W: 1}}
+	if got := UniformLoadBi(p, 0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("partial load = %v", got)
+	}
+}
+
+func TestSampleNonIntersectionMatchesEq1(t *testing.T) {
+	r := rng.New(101)
+	for _, c := range []Config{{3, 1, 1}, {3, 1, 2}, {5, 2, 2}, {5, 1, 3}} {
+		want := NonIntersectionProb(c)
+		got := SampleNonIntersection(c, 200000, r)
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("%+v: sampled %v, closed form %v", c, got, want)
+		}
+	}
+}
+
+func TestSampleKStalenessMatchesEq2(t *testing.T) {
+	r := rng.New(103)
+	for _, tc := range []struct {
+		c Config
+		k int
+	}{
+		{Config{3, 1, 1}, 1},
+		{Config{3, 1, 1}, 3},
+		{Config{3, 1, 2}, 2},
+		{Config{5, 1, 2}, 2},
+	} {
+		want := KStalenessProb(tc.c, tc.k)
+		got := SampleKStaleness(tc.c, tc.k, 150000, r)
+		if math.Abs(got-want) > 0.006 {
+			t.Errorf("%+v k=%d: sampled %v, closed form %v", tc.c, tc.k, got, want)
+		}
+	}
+}
+
+func TestSampleKStalenessStrictIsZero(t *testing.T) {
+	r := rng.New(107)
+	if got := SampleKStaleness(Config{3, 2, 2}, 1, 20000, r); got != 0 {
+		t.Fatalf("strict quorum sampled staleness %v", got)
+	}
+}
+
+func TestSampleMonotonicReadsNearEq3(t *testing.T) {
+	// Equation 3 is conservative in two ways: it uses the expected version
+	// gap (while the session draws Poisson gaps), and it assumes the
+	// client's previous read observed the then-latest version (while a real
+	// session's high-water mark often trails, making regression harder).
+	// The sampled rate must therefore sit at or below Eq. 3, but within a
+	// constant factor of it.
+	r := rng.New(109)
+	c := Config{N: 3, R: 1, W: 1}
+	got := SampleMonotonicReads(c, 1, 1, 120000, r)
+	want := MonotonicReadsProb(c, 1, 1, false)
+	if got > want+0.02 {
+		t.Fatalf("monotonic reads: sampled %v exceeds Eq3 bound %v", got, want)
+	}
+	if got < want/2 {
+		t.Fatalf("monotonic reads: sampled %v implausibly far below Eq3 %v", got, want)
+	}
+	// Strict quorums never violate monotonic reads.
+	if got := SampleMonotonicReads(Config{3, 2, 2}, 1, 1, 20000, r); got != 0 {
+		t.Fatalf("strict quorum violated monotonic reads: %v", got)
+	}
+}
+
+func TestSampleMonotonicReadsRateSensitivity(t *testing.T) {
+	// More writes per read should increase violation probability? No —
+	// higher write rate means the previously-read version is more likely
+	// superseded, and Eq. 3's exponent grows, *decreasing* psMR. Verify the
+	// simulation agrees directionally with the model.
+	r := rng.New(113)
+	c := Config{N: 3, R: 1, W: 1}
+	slowWrites := SampleMonotonicReads(c, 0.5, 1, 80000, r)
+	fastWrites := SampleMonotonicReads(c, 8, 1, 80000, r)
+	if fastWrites > slowWrites {
+		t.Fatalf("violations should shrink with write rate: fast=%v slow=%v",
+			fastWrites, slowWrites)
+	}
+}
+
+func TestMinQuorumSizeMajority(t *testing.T) {
+	if got := MinQuorumSize(Majority{N: 7}); got != 4 {
+		t.Fatalf("majority(7) min quorum = %d", got)
+	}
+}

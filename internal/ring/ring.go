@@ -1,0 +1,111 @@
+// Package ring implements the consistent-hashing partitioner Dynamo-style
+// stores use to map keys to replica preference lists (Section 2.2: "one
+// quorum system per key, typically maintaining the mapping of keys to
+// quorum systems using a consistent-hashing scheme"). Nodes own multiple
+// virtual points on a hash circle; a key's preference list is the first N
+// distinct physical nodes clockwise from the key's hash.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnode is one virtual point on the circle.
+type vnode struct {
+	hash uint64
+	node int
+}
+
+// Ring maps keys to preference lists over a fixed node set.
+type Ring struct {
+	nodes  int
+	points []vnode
+}
+
+// New builds a ring over `nodes` physical nodes with vnodesPerNode virtual
+// points each. Panics on non-positive arguments.
+func New(nodes, vnodesPerNode int) *Ring {
+	if nodes < 1 {
+		panic("ring: need at least one node")
+	}
+	if vnodesPerNode < 1 {
+		panic("ring: need at least one vnode per node")
+	}
+	r := &Ring{nodes: nodes}
+	r.points = make([]vnode, 0, nodes*vnodesPerNode)
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodesPerNode; v++ {
+			h := hashString(fmt.Sprintf("node-%d#vnode-%d", n, v))
+			r.points = append(r.points, vnode{hash: h, node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the number of physical nodes.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// hashString hashes a key onto the circle: FNV-1a followed by a SplitMix64
+// finalizer. Raw FNV-1a clusters badly on short, similar strings (e.g.
+// "node-1#vnode-2"), which skews arc ownership; the avalanche step restores
+// uniformity.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PreferenceList returns the first n distinct physical nodes clockwise from
+// the key's position. It panics if n exceeds the number of physical nodes.
+func (r *Ring) PreferenceList(key string, n int) []int {
+	if n > r.nodes {
+		panic("ring: preference list larger than cluster")
+	}
+	if n < 1 {
+		panic("ring: preference list must have at least one node")
+	}
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Coordinator returns the first node in the key's preference list, the
+// node Dynamo designates to establish version ordering for the key.
+func (r *Ring) Coordinator(key string) int {
+	return r.PreferenceList(key, 1)[0]
+}
+
+// LoadBalance measures ownership balance: it hashes `samples` synthetic keys
+// and returns, for each node, the fraction owned as primary replica. With
+// enough vnodes the fractions approach 1/nodes.
+func (r *Ring) LoadBalance(samples int) []float64 {
+	counts := make([]int, r.nodes)
+	for i := 0; i < samples; i++ {
+		counts[r.Coordinator(fmt.Sprintf("sample-key-%d", i))]++
+	}
+	out := make([]float64, r.nodes)
+	for i, c := range counts {
+		out[i] = float64(c) / float64(samples)
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for Monte Carlo simulation and discrete-event simulation.
+//
+// The generator is PCG-XSL-RR-128 (O'Neill, 2014): 128 bits of state, a
+// 64-bit output, and an odd 128-bit stream increment so that independent
+// streams never share a sequence. All simulation components in this module
+// take an explicit *RNG so that every experiment is reproducible from a
+// single seed; there is no global generator.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// pcg default multiplier and increment (128-bit constants, hi/lo halves).
+const (
+	mulHi = 2549297995355413924
+	mulLo = 4865540595714422341
+	incHi = 6364136223846793005
+	incLo = 1442695040888963407
+)
+
+// RNG is a deterministic pseudo-random number generator. It is not safe for
+// concurrent use; derive per-goroutine streams with Split.
+type RNG struct {
+	stateHi, stateLo uint64
+	incHi, incLo     uint64
+
+	// Box-Muller cache for NormFloat64.
+	haveGauss bool
+	gauss     float64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding, per the PCG reference implementation.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given 64-bit seed. Distinct seeds
+// yield independent-looking streams.
+func New(seed uint64) *RNG {
+	sm := seed
+	r := &RNG{
+		stateHi: splitmix64(&sm),
+		stateLo: splitmix64(&sm),
+		incHi:   splitmix64(&sm),
+		incLo:   splitmix64(&sm) | 1, // increment must be odd
+	}
+	// Advance a few steps so that trivially related seeds decorrelate.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// Split derives a new generator with an independent stream. The parent
+// advances; the child is seeded from the parent's output, so a sequence of
+// Split calls yields reproducible, distinct children.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// step advances the 128-bit LCG state: state = state*mul + inc.
+func (r *RNG) step() {
+	hi, lo := bits.Mul64(r.stateLo, mulLo)
+	hi += r.stateHi*mulLo + r.stateLo*mulHi
+	var carry uint64
+	lo, carry = bits.Add64(lo, r.incLo, 0)
+	hi, _ = bits.Add64(hi, r.incHi, carry)
+	r.stateHi, r.stateLo = hi, lo
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.step()
+	// XSL-RR output function: xor-shift-low, random rotation.
+	rot := uint(r.stateHi >> 58)
+	return bits.RotateLeft64(r.stateHi^r.stateLo, -int(rot))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Uses Lemire's nearly-divisionless bounded generation.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float64Open returns a uniform value in (0, 1), never exactly zero. This is
+// convenient for inverse-CDF sampling of distributions with an asymptote at
+// zero (e.g. the exponential's -log(u)).
+func (r *RNG) Float64Open() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the Box-Muller
+// transform, caching the second variate of each pair.
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	// Marsaglia polar method: rejection-sample a point in the unit disc.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.haveGauss = true
+		return u * f
+	}
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the Fisher-Yates
+// algorithm. swap swaps the elements with indexes i and j.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("rng: Shuffle with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of the integers [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Choose fills dst with a uniformly random k-subset of [0, n) in arbitrary
+// order using Floyd's algorithm (no allocation beyond dst, O(k) expected).
+// It panics if k > n. The same dst is returned for convenience.
+func (r *RNG) Choose(dst []int, n int) []int {
+	k := len(dst)
+	if k > n {
+		panic("rng: Choose with k > n")
+	}
+	seen := make(map[int]struct{}, k)
+	idx := 0
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		dst[idx] = t
+		idx++
+	}
+	return dst
+}

@@ -1,0 +1,106 @@
+package session
+
+// Read-your-writes session guarantees. The paper notes (Section 2.3) that
+// Cassandra shipped, then reverted, a per-connection read-your-writes
+// "session consistency" patch (CASSANDRA-876), and that session guarantees
+// are the classic application-facing consistency contract [Terry et al.].
+// A client that writes and then reads back after a think time D observes
+// its own write exactly when the write has become visible — so the
+// violation probability IS PBS t-visibility evaluated at D. This file
+// measures it on the live store; tests confirm the WARS prediction.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pbs/internal/dist"
+	"pbs/internal/dynamo"
+	"pbs/internal/rng"
+)
+
+// RYWOptions configures a read-your-writes measurement.
+type RYWOptions struct {
+	// ThinkTime is the client's delay between its write committing and its
+	// read-back (e.g. a user navigating to the page they just edited).
+	ThinkTime dist.Dist
+	// Pairs is the number of write→read pairs to measure.
+	Pairs int
+	// Sticky routes each client's read through the same coordinator that
+	// handled its write (the mitigation the Cassandra patch implemented).
+	Sticky bool
+}
+
+func (o RYWOptions) validate() error {
+	if o.ThinkTime == nil {
+		return errors.New("session: ThinkTime distribution is required")
+	}
+	if o.Pairs < 1 {
+		return errors.New("session: need at least one write/read pair")
+	}
+	return nil
+}
+
+// RYWResult summarizes a read-your-writes run.
+type RYWResult struct {
+	Pairs      int64
+	Violations int64
+	// MeanThink is the realized mean think time, for comparing against
+	// model predictions at the same delay.
+	MeanThink float64
+}
+
+// PViolation returns the fraction of read-backs that missed the client's
+// own write.
+func (r RYWResult) PViolation() float64 {
+	if r.Pairs == 0 {
+		return math.NaN()
+	}
+	return float64(r.Violations) / float64(r.Pairs)
+}
+
+// MeasureReadYourWrites runs independent write→think→read trials, each on
+// a fresh key, and counts how often the client fails to observe its own
+// write.
+func MeasureReadYourWrites(c *dynamo.Cluster, opt RYWOptions, r *rng.RNG) (*RYWResult, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	res := &RYWResult{}
+	var thinkSum float64
+	for i := 0; i < opt.Pairs; i++ {
+		key := fmt.Sprintf("ryw-%d", i)
+		coord := r.Intn(c.Params().Nodes)
+		think := opt.ThinkTime.Sample(r)
+		if think < 0 {
+			think = 0
+		}
+		thinkSum += think
+		done := false
+		c.Put(key, "mine", func(w dynamo.WriteResult) {
+			c.Sim.Schedule(think, func() {
+				onDone := func(rr dynamo.ReadResult) {
+					res.Pairs++
+					if rr.Version.Seq < w.Seq {
+						res.Violations++
+					}
+					done = true
+				}
+				if opt.Sticky {
+					c.GetFrom(coord, key, onDone)
+				} else {
+					c.Get(key, onDone)
+				}
+			})
+		})
+		deadline := c.Sim.Now() + think + 60000
+		for !done && c.Sim.Now() < deadline {
+			if !c.Sim.Step() {
+				break
+			}
+		}
+		c.Settle(60000)
+	}
+	res.MeanThink = thinkSum / float64(opt.Pairs)
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/dynamo"
+	"pbs/internal/rng"
+	"pbs/internal/wars"
+)
+
+func TestRYWOptionsValidation(t *testing.T) {
+	c := mkCluster(t, 1, 1, 401)
+	if _, err := MeasureReadYourWrites(c, RYWOptions{Pairs: 1}, rng.New(1)); err == nil {
+		t.Fatal("missing think time accepted")
+	}
+	if _, err := MeasureReadYourWrites(c, RYWOptions{ThinkTime: dist.Point{V: 1}}, rng.New(1)); err == nil {
+		t.Fatal("0 pairs accepted")
+	}
+}
+
+func TestRYWViolationProbabilityIsTVisibility(t *testing.T) {
+	// A client reading back after a fixed think time D misses its own
+	// write with probability pst(D): PBS t-visibility measured through the
+	// session-guarantee lens. Compare store measurement vs WARS.
+	model := expModel(20, 1)
+	for _, think := range []float64{0, 10, 40} {
+		c, err := dynamo.NewCluster(dynamo.Params{
+			N: 3, R: 1, W: 1, Model: model,
+		}, rng.New(uint64(500+int(think))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MeasureReadYourWrites(c, RYWOptions{
+			ThinkTime: dist.Point{V: think},
+			Pairs:     2500,
+		}, rng.New(uint64(600+int(think))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := wars.Simulate(wars.NewIID(3, model), wars.Config{R: 1, W: 1},
+			150000, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := run.PStale(think)
+		got := res.PViolation()
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("think=%v: store RYW violation %v vs WARS pst %v", think, got, want)
+		}
+	}
+}
+
+func TestRYWImprovesWithThinkTime(t *testing.T) {
+	model := expModel(20, 1)
+	measure := func(think float64) float64 {
+		c, err := dynamo.NewCluster(dynamo.Params{
+			N: 3, R: 1, W: 1, Model: model,
+		}, rng.New(701))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MeasureReadYourWrites(c, RYWOptions{
+			ThinkTime: dist.Point{V: think},
+			Pairs:     1500,
+		}, rng.New(703))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PViolation()
+	}
+	immediate := measure(0)
+	delayed := measure(60)
+	if immediate <= delayed {
+		t.Fatalf("violations should shrink with think time: immediate=%v delayed=%v",
+			immediate, delayed)
+	}
+	if delayed > 0.05 {
+		t.Fatalf("after 3 write-means of think time violations should be rare: %v", delayed)
+	}
+}
+
+func TestRYWStrictQuorumNeverViolates(t *testing.T) {
+	c := mkCluster(t, 2, 2, 705)
+	res, err := MeasureReadYourWrites(c, RYWOptions{
+		ThinkTime: dist.Point{V: 0},
+		Pairs:     400,
+	}, rng.New(705))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("strict quorum violated read-your-writes %d times", res.Violations)
+	}
+}
+
+func TestRYWMeanThinkRecorded(t *testing.T) {
+	c := mkCluster(t, 1, 1, 707)
+	res, err := MeasureReadYourWrites(c, RYWOptions{
+		ThinkTime: dist.NewUniform(5, 15),
+		Pairs:     300,
+	}, rng.New(707))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanThink < 8 || res.MeanThink > 12 {
+		t.Fatalf("mean think = %v, want ≈10", res.MeanThink)
+	}
+}

@@ -1,0 +1,203 @@
+// Package session measures session guarantees — specifically the
+// monotonic-reads consistency of Section 3.2 — on the live Dynamo-style
+// store. A client repeatedly reads one key while the system writes to it;
+// a violation occurs when a read observes an older version than the
+// client's previous read. The paper models the violation probability as
+// Equation 3 (psMR = ps^(1+γgw/γcr)); this package produces the empirical
+// counterpart, including the "sticky replica" routing the paper notes as a
+// mitigation (Section 3.2: "it can continue to contact the same replica").
+package session
+
+import (
+	"errors"
+	"math"
+
+	"pbs/internal/dynamo"
+	"pbs/internal/rng"
+	"pbs/internal/stats"
+)
+
+// Options configures a monotonic-reads measurement.
+type Options struct {
+	// Key is the contended data item.
+	Key string
+	// GammaGW is the global write rate to the key (writes per unit time).
+	GammaGW float64
+	// GammaCR is the client's read rate (reads per unit time).
+	GammaCR float64
+	// Reads is how many client reads to issue.
+	Reads int
+	// Sticky routes all client reads through one fixed coordinator,
+	// approximating the sticky-replica session guarantee.
+	Sticky bool
+	// Warmup skips this many initial reads in the violation count.
+	Warmup int
+}
+
+func (o Options) validate() error {
+	if o.Key == "" {
+		return errors.New("session: key is required")
+	}
+	if o.GammaGW < 0 || o.GammaCR <= 0 {
+		return errors.New("session: rates must be positive (GammaGW >= 0, GammaCR > 0)")
+	}
+	if o.Reads < 1 {
+		return errors.New("session: need at least one read")
+	}
+	if o.Warmup < 0 || o.Warmup >= o.Reads {
+		return errors.New("session: warmup must be in [0, Reads)")
+	}
+	return nil
+}
+
+// Result summarizes a monotonic-reads run.
+type Result struct {
+	Reads      int64
+	Violations int64
+	// CommittedViolations counts violations in which the client's
+	// previously observed version had already committed when the regressing
+	// read began. These are the violations strict quorums (R+W > N)
+	// provably cannot produce; the remainder stem from reads observing
+	// in-flight (uncommitted) data, which even strict quorums permit.
+	CommittedViolations int64
+	// ObservedSeqs traces the version sequence observed by the client (for
+	// forward-progress analyses).
+	ObservedSeqs []uint64
+}
+
+// PViolation returns the observed violation probability.
+func (r Result) PViolation() float64 {
+	if r.Reads == 0 {
+		return math.NaN()
+	}
+	return float64(r.Violations) / float64(r.Reads)
+}
+
+// Measure runs the session experiment on the cluster. Writes and client
+// reads are independent Poisson processes at GammaGW and GammaCR.
+func Measure(c *dynamo.Cluster, opt Options, r *rng.RNG) (*Result, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	stickyCoord := r.Intn(c.Params().Nodes)
+
+	expGap := func(rate float64) float64 {
+		return -math.Log(r.Float64Open()) / rate
+	}
+
+	// Writer process.
+	if opt.GammaGW > 0 {
+		var scheduleWrite func()
+		remainingWrites := int(float64(opt.Reads)*opt.GammaGW/opt.GammaCR) + opt.Reads
+		scheduleWrite = func() {
+			c.Sim.Schedule(expGap(opt.GammaGW), func() {
+				if remainingWrites <= 0 {
+					return
+				}
+				remainingWrites--
+				c.Put(opt.Key, "v", nil)
+				scheduleWrite()
+			})
+		}
+		scheduleWrite()
+	}
+
+	// Client session.
+	var lastSeen uint64
+	readsDone := 0
+	var scheduleRead func()
+	scheduleRead = func() {
+		c.Sim.Schedule(expGap(opt.GammaCR), func() {
+			if readsDone >= opt.Reads {
+				return
+			}
+			onDone := func(rr dynamo.ReadResult) {
+				seq := rr.Version.Seq
+				res.ObservedSeqs = append(res.ObservedSeqs, seq)
+				if readsDone >= opt.Warmup {
+					res.Reads++
+					if seq < lastSeen {
+						res.Violations++
+						if lastSeen <= rr.NewestCommittedSeq {
+							res.CommittedViolations++
+						}
+					}
+				}
+				if seq > lastSeen {
+					lastSeen = seq
+				}
+				readsDone++
+				scheduleRead()
+			}
+			if opt.Sticky {
+				c.GetFrom(stickyCoord, opt.Key, onDone)
+			} else {
+				c.Get(opt.Key, onDone)
+			}
+		})
+	}
+	scheduleRead()
+
+	// Run until the session completes (bounded by a generous deadline in
+	// case of pathological tails).
+	deadline := c.Sim.Now() + float64(opt.Reads)/opt.GammaCR*100 + 1e6
+	for readsDone < opt.Reads && c.Sim.Now() < deadline {
+		if !c.Sim.Step() {
+			break
+		}
+	}
+	if readsDone < opt.Reads {
+		return nil, errors.New("session: run did not complete (deadline or event exhaustion)")
+	}
+	c.Settle(1e6)
+	return res, nil
+}
+
+// ForwardProgress reports the fraction of (non-warmup) reads that advanced
+// the client's version high-water mark, a "forward progress" measure for
+// timeline-like applications (Section 3.2's motivating use case).
+func (r Result) ForwardProgress() float64 {
+	if len(r.ObservedSeqs) < 2 {
+		return math.NaN()
+	}
+	advanced := 0
+	var hwm uint64
+	for _, s := range r.ObservedSeqs {
+		if s > hwm {
+			advanced++
+			hwm = s
+		}
+	}
+	return float64(advanced) / float64(len(r.ObservedSeqs))
+}
+
+// CompareRouting runs the same measurement with and without sticky routing,
+// returning (random, sticky) violation probabilities — the ablation-sticky
+// experiment.
+func CompareRouting(mk func() (*dynamo.Cluster, error), opt Options, r *rng.RNG) (random, sticky float64, err error) {
+	cr, err := mk()
+	if err != nil {
+		return 0, 0, err
+	}
+	opt.Sticky = false
+	rr, err := Measure(cr, opt, r.Split())
+	if err != nil {
+		return 0, 0, err
+	}
+	cs, err := mk()
+	if err != nil {
+		return 0, 0, err
+	}
+	opt.Sticky = true
+	rs, err := Measure(cs, opt, r.Split())
+	if err != nil {
+		return 0, 0, err
+	}
+	return rr.PViolation(), rs.PViolation(), nil
+}
+
+// WilsonInterval returns the 95% interval for the violation probability.
+func (r Result) WilsonInterval() (lo, hi float64) {
+	return stats.WilsonInterval(r.Violations, r.Reads)
+}

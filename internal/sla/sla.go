@@ -1,0 +1,189 @@
+// Package sla implements the latency/staleness service-level optimizer the
+// paper proposes in Section 6: "With PBS, we can automatically configure
+// replication parameters by optimizing operation latency given constraints
+// on staleness and minimum durability." The optimizer enumerates the small
+// O(N²) configuration space, scores each (N, R, W) with a WARS Monte Carlo
+// run, and returns the lowest-latency configuration meeting the target.
+package sla
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+	"pbs/internal/wars"
+)
+
+// Target states the service-level objective.
+type Target struct {
+	// TWindow and MinPConsistent bound staleness: reads issued TWindow
+	// after commit must be consistent with probability >= MinPConsistent.
+	TWindow        float64
+	MinPConsistent float64
+	// MinN and MinW set durability floors: at least MinN replicas, and
+	// writes must reach at least MinW replicas before commit.
+	MinN, MinW int
+	// LatencyQuantile is the operation-latency quantile to optimize
+	// (default 0.999, the paper's 99.9th percentile focus).
+	LatencyQuantile float64
+	// ReadWeight balances read vs write latency in the objective
+	// (default 0.5; Section 5.8 reports combined read+write latency).
+	ReadWeight float64
+}
+
+func (t *Target) setDefaults() error {
+	if t.MinPConsistent <= 0 || t.MinPConsistent > 1 {
+		return errors.New("sla: MinPConsistent must be in (0, 1]")
+	}
+	if t.TWindow < 0 {
+		return errors.New("sla: TWindow must be non-negative")
+	}
+	if t.LatencyQuantile == 0 {
+		t.LatencyQuantile = 0.999
+	}
+	if t.LatencyQuantile <= 0 || t.LatencyQuantile >= 1 {
+		return errors.New("sla: LatencyQuantile must be in (0, 1)")
+	}
+	if t.ReadWeight == 0 {
+		t.ReadWeight = 0.5
+	}
+	if t.ReadWeight < 0 || t.ReadWeight > 1 {
+		return errors.New("sla: ReadWeight must be in [0, 1]")
+	}
+	if t.MinN < 0 || t.MinW < 0 {
+		return errors.New("sla: durability floors must be non-negative")
+	}
+	return nil
+}
+
+// Choice is one evaluated configuration.
+type Choice struct {
+	N, R, W int
+	// PConsistent is the estimated consistency probability at the target
+	// window.
+	PConsistent float64
+	// TVisibility is the estimated window for the target probability.
+	TVisibility float64
+	// ReadLatency and WriteLatency are at the target quantile.
+	ReadLatency, WriteLatency float64
+	// Score is the weighted latency objective (lower is better).
+	Score float64
+	// Feasible reports whether the choice meets the target.
+	Feasible bool
+}
+
+func (c Choice) String() string {
+	return fmt.Sprintf("N=%d R=%d W=%d p=%.5f t*=%.2f Lr=%.2f Lw=%.2f score=%.2f feasible=%v",
+		c.N, c.R, c.W, c.PConsistent, c.TVisibility, c.ReadLatency, c.WriteLatency, c.Score, c.Feasible)
+}
+
+// Result is the optimizer output.
+type Result struct {
+	Best Choice
+	// All lists every evaluated configuration, sorted by (Feasible desc,
+	// Score asc) — useful for presenting the trade-off space.
+	All []Choice
+}
+
+// Optimize evaluates every configuration with N in [max(1,MinN), maxN] and
+// 1 <= R, W <= N under the given latency model and returns the feasible
+// choice with the lowest weighted latency. The scenario is IID; use
+// OptimizeScenario for topology-aware deployments.
+func Optimize(model dist.LatencyModel, maxN int, target Target, trials int, r *rng.RNG) (*Result, error) {
+	return OptimizeScenario(func(n int) wars.Scenario { return wars.NewIID(n, model) }, maxN, target, trials, r)
+}
+
+// OptimizeScenario is Optimize with a caller-provided scenario factory per
+// replication factor.
+func OptimizeScenario(mkScenario func(n int) wars.Scenario, maxN int, target Target, trials int, r *rng.RNG) (*Result, error) {
+	if err := target.setDefaults(); err != nil {
+		return nil, err
+	}
+	if maxN < 1 {
+		return nil, errors.New("sla: maxN must be at least 1")
+	}
+	if trials < 1 {
+		return nil, errors.New("sla: trials must be positive")
+	}
+	minN := target.MinN
+	if minN < 1 {
+		minN = 1
+	}
+	if minN > maxN {
+		return nil, fmt.Errorf("sla: MinN (%d) exceeds maxN (%d)", minN, maxN)
+	}
+
+	var all []Choice
+	for n := minN; n <= maxN; n++ {
+		sc := mkScenario(n)
+		for rr := 1; rr <= n; rr++ {
+			for w := 1; w <= n; w++ {
+				run, err := wars.Simulate(sc, wars.Config{R: rr, W: w}, trials, r.Split())
+				if err != nil {
+					return nil, err
+				}
+				ch := Choice{
+					N: n, R: rr, W: w,
+					PConsistent:  run.PConsistent(target.TWindow),
+					TVisibility:  run.TVisibility(target.MinPConsistent),
+					ReadLatency:  run.ReadLatency(target.LatencyQuantile),
+					WriteLatency: run.WriteLatency(target.LatencyQuantile),
+				}
+				ch.Score = target.ReadWeight*ch.ReadLatency + (1-target.ReadWeight)*ch.WriteLatency
+				ch.Feasible = ch.PConsistent >= target.MinPConsistent && w >= target.MinW
+				all = append(all, ch)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Feasible != all[j].Feasible {
+			return all[i].Feasible
+		}
+		if all[i].Score != all[j].Score {
+			return all[i].Score < all[j].Score
+		}
+		// Deterministic tie-break.
+		if all[i].N != all[j].N {
+			return all[i].N < all[j].N
+		}
+		if all[i].R != all[j].R {
+			return all[i].R < all[j].R
+		}
+		return all[i].W < all[j].W
+	})
+	res := &Result{All: all}
+	if len(all) > 0 && all[0].Feasible {
+		res.Best = all[0]
+	} else {
+		return res, errors.New("sla: no feasible configuration meets the target")
+	}
+	return res, nil
+}
+
+// LatencySavings compares the best feasible partial-quorum choice against
+// the cheapest strict quorum (R+W > N at the same N), quantifying the
+// paper's headline observation (Section 5.8: e.g. 81.1% combined-latency
+// reduction for YMMR at a 202 ms window). Returns the fractional saving in
+// the weighted objective; zero when the best choice is itself strict.
+func (res *Result) LatencySavings() float64 {
+	best := res.Best
+	if best.N == 0 {
+		return math.NaN()
+	}
+	if best.R+best.W > best.N {
+		return 0
+	}
+	strictBest := math.Inf(1)
+	for _, c := range res.All {
+		if c.N == best.N && c.R+c.W > c.N && c.Score < strictBest {
+			strictBest = c.Score
+		}
+	}
+	if math.IsInf(strictBest, 1) || strictBest == 0 {
+		return math.NaN()
+	}
+	return 1 - best.Score/strictBest
+}

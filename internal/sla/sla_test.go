@@ -1,0 +1,175 @@
+package sla
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+)
+
+func TestTargetValidation(t *testing.T) {
+	model := dist.LNKDSSD()
+	bad := []Target{
+		{MinPConsistent: 0},
+		{MinPConsistent: 1.5},
+		{MinPConsistent: 0.9, TWindow: -1},
+		{MinPConsistent: 0.9, LatencyQuantile: 1.5},
+		{MinPConsistent: 0.9, ReadWeight: 2},
+		{MinPConsistent: 0.9, MinN: -1},
+	}
+	for i, tgt := range bad {
+		if _, err := Optimize(model, 3, tgt, 100, rng.New(1)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := Optimize(model, 0, Target{MinPConsistent: 0.9}, 100, rng.New(1)); err == nil {
+		t.Error("maxN=0 accepted")
+	}
+	if _, err := Optimize(model, 3, Target{MinPConsistent: 0.9}, 0, rng.New(1)); err == nil {
+		t.Error("0 trials accepted")
+	}
+	if _, err := Optimize(model, 2, Target{MinPConsistent: 0.9, MinN: 3}, 100, rng.New(1)); err == nil {
+		t.Error("MinN > maxN accepted")
+	}
+}
+
+func TestOptimizePrefersPartialQuorumWhenStalenessAllowed(t *testing.T) {
+	// LNKD-SSD: R=W=1 reaches 99.9% consistency within ~2ms (paper Table
+	// 4), so a 5ms window should select a partial quorum and save latency.
+	res, err := Optimize(dist.LNKDSSD(), 3, Target{
+		TWindow:        5,
+		MinPConsistent: 0.999,
+		MinN:           3,
+	}, 30000, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Best
+	if !b.Feasible {
+		t.Fatal("no feasible choice")
+	}
+	if b.R+b.W > b.N {
+		t.Fatalf("expected a partial quorum, got %v", b)
+	}
+	if s := res.LatencySavings(); s <= 0 || math.IsNaN(s) {
+		t.Fatalf("expected positive savings, got %v", s)
+	}
+}
+
+func TestOptimizeRequiresStrictWhenZeroWindowPerfect(t *testing.T) {
+	// Demanding certainty immediately after commit forces R+W > N.
+	res, err := Optimize(dist.LNKDDISK(), 3, Target{
+		TWindow:        0,
+		MinPConsistent: 1.0,
+		MinN:           3,
+	}, 20000, rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Best
+	if b.R+b.W <= b.N {
+		t.Fatalf("perfect consistency needs a strict quorum, got %v", b)
+	}
+	if res.LatencySavings() != 0 {
+		t.Fatalf("strict best should have zero savings, got %v", res.LatencySavings())
+	}
+}
+
+func TestDurabilityFloorRespected(t *testing.T) {
+	res, err := Optimize(dist.LNKDSSD(), 3, Target{
+		TWindow:        10,
+		MinPConsistent: 0.99,
+		MinN:           3,
+		MinW:           2,
+	}, 20000, rng.New(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.W < 2 {
+		t.Fatalf("W floor violated: %v", res.Best)
+	}
+}
+
+func TestAllSortedFeasibleFirst(t *testing.T) {
+	res, err := Optimize(dist.LNKDSSD(), 2, Target{
+		TWindow:        5,
+		MinPConsistent: 0.99,
+	}, 10000, rng.New(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenInfeasible := false
+	var prevScore float64
+	prevFeasible := true
+	for i, c := range res.All {
+		if seenInfeasible && c.Feasible {
+			t.Fatal("feasible choice after infeasible in sort order")
+		}
+		if !c.Feasible {
+			seenInfeasible = true
+		}
+		if i > 0 && c.Feasible == prevFeasible && c.Score < prevScore-1e-9 {
+			t.Fatal("scores not ascending within feasibility class")
+		}
+		prevScore, prevFeasible = c.Score, c.Feasible
+	}
+	// 2 configs per N? N in [1,2]: N=1 has 1, N=2 has 4 → 5 total.
+	if len(res.All) != 5 {
+		t.Fatalf("evaluated %d configurations, want 5", len(res.All))
+	}
+}
+
+func TestInfeasibleTargetErrors(t *testing.T) {
+	// No configuration with N<=2 can give perfect consistency at t=0 with
+	// R=W=1... actually strict R+W>N can. Demand an impossible latency-free
+	// objective instead: perfect consistency with MinW exceeding N.
+	_, err := Optimize(dist.LNKDSSD(), 2, Target{
+		TWindow:        0,
+		MinPConsistent: 0.999,
+		MinW:           3,
+	}, 5000, rng.New(46))
+	if err == nil {
+		t.Fatal("impossible target accepted")
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	c := Choice{N: 3, R: 1, W: 2, PConsistent: 0.999, TVisibility: 1.5,
+		ReadLatency: 0.7, WriteLatency: 1.7, Score: 1.2, Feasible: true}
+	s := c.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestHigherNImprovesTailLatencyForFixedRW(t *testing.T) {
+	// Section 6: "operators can specify a minimum replication factor for
+	// durability ... but can also automatically increase N, decreasing
+	// tail latency for fixed R and W." Verify the optimizer data shows
+	// this: R=W=1 at N=5 has lower tail read latency than at N=2.
+	res, err := Optimize(dist.LNKDDISK(), 5, Target{
+		TWindow:        1000,
+		MinPConsistent: 0.5,
+	}, 30000, rng.New(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n2, n5 float64
+	for _, c := range res.All {
+		if c.R == 1 && c.W == 1 {
+			switch c.N {
+			case 2:
+				n2 = c.ReadLatency
+			case 5:
+				n5 = c.ReadLatency
+			}
+		}
+	}
+	if n2 == 0 || n5 == 0 {
+		t.Fatal("missing configurations")
+	}
+	if n5 >= n2 {
+		t.Fatalf("N=5 tail read latency %v should beat N=2's %v", n5, n2)
+	}
+}

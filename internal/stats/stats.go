@@ -1,0 +1,414 @@
+// Package stats provides the statistical toolkit used throughout the PBS
+// reproduction: summary statistics, quantiles, empirical CDFs, error metrics
+// (RMSE, N-RMSE), histograms, and confidence intervals.
+//
+// The paper reports latency percentiles (Tables 1, 2 and 4), CDF plots
+// (Figure 5), consistency-probability curves (Figures 4, 6, 7), and
+// validation error as RMSE / N-RMSE (Section 5.2); this package implements
+// each of those measurements.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN if xs is empty.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Min returns the smallest value in xs, or NaN if xs is empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value in xs, or NaN if xs is empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of sorted xs using linear
+// interpolation between order statistics (the same convention as numpy's
+// default). xs must be sorted ascending; it panics otherwise in debug use.
+// Returns NaN for empty input.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile is Quantile with p expressed in percent (0..100).
+func Percentile(sorted []float64, p float64) float64 {
+	return Quantile(sorted, p/100)
+}
+
+// Quantiles returns the quantiles of xs at each q in qs. It sorts a copy of
+// xs once, so it is cheaper than repeated Quantile calls on unsorted data.
+func Quantiles(xs []float64, qs []float64) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = Quantile(sorted, q)
+	}
+	return out
+}
+
+// Summary holds the descriptive statistics the paper reports for production
+// latency data (Table 2 reports min/50/75/95/98/99/99.9/max/mean/stddev).
+type Summary struct {
+	Count    int
+	Mean     float64
+	StdDev   float64
+	Min      float64
+	Max      float64
+	P50      float64
+	P75      float64
+	P95      float64
+	P99      float64
+	P999     float64 // 99.9th percentile
+	P9999    float64 // 99.99th percentile
+	Variance float64
+}
+
+// Summarize computes a Summary of xs. Returns ErrEmpty for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		Count:    len(xs),
+		Mean:     Mean(xs),
+		Variance: Variance(xs),
+		Min:      sorted[0],
+		Max:      sorted[len(sorted)-1],
+		P50:      Quantile(sorted, 0.50),
+		P75:      Quantile(sorted, 0.75),
+		P95:      Quantile(sorted, 0.95),
+		P99:      Quantile(sorted, 0.99),
+		P999:     Quantile(sorted, 0.999),
+		P9999:    Quantile(sorted, 0.9999),
+	}
+	s.StdDev = math.Sqrt(s.Variance)
+	return s, nil
+}
+
+// RMSE returns the root-mean-square error between predicted and observed.
+// Returns an error when the slices differ in length or are empty.
+func RMSE(predicted, observed []float64) (float64, error) {
+	if len(predicted) != len(observed) {
+		return 0, errors.New("stats: RMSE length mismatch")
+	}
+	if len(predicted) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for i := range predicted {
+		d := predicted[i] - observed[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(predicted))), nil
+}
+
+// NRMSE returns the RMSE normalized by the observed range (max-min), the
+// normalization the paper uses for latency fits ("N-RMSE"). If the observed
+// range is zero the plain RMSE is returned.
+func NRMSE(predicted, observed []float64) (float64, error) {
+	rmse, err := RMSE(predicted, observed)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := Min(observed), Max(observed)
+	if hi > lo {
+		return rmse / (hi - lo), nil
+	}
+	return rmse, nil
+}
+
+// ECDF is an empirical cumulative distribution function over a fixed sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (a copy is sorted; xs is not modified).
+func NewECDF(xs []float64) *ECDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return &ECDF{sorted: sorted}
+}
+
+// P returns the empirical P(X <= x).
+func (e *ECDF) P(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// Number of samples <= x.
+	n := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(n) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile of the sample.
+func (e *ECDF) Quantile(q float64) float64 {
+	return Quantile(e.sorted, q)
+}
+
+// Len returns the number of samples.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Values returns the sorted sample values (shared slice; do not modify).
+func (e *ECDF) Values() []float64 { return e.sorted }
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi). Out-of-range
+// observations are clamped into the first/last bucket so mass is conserved.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int64
+	width   float64
+	samples int64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, n), width: (hi - lo) / float64(n)}
+}
+
+// Observe adds a sample.
+func (h *Histogram) Observe(x float64) {
+	i := int((x - h.Lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.samples++
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() int64 { return h.samples }
+
+// BucketMid returns the midpoint of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.width
+}
+
+// CDFAt returns the fraction of samples in buckets whose upper edge is <= x.
+func (h *Histogram) CDFAt(x float64) float64 {
+	if h.samples == 0 {
+		return math.NaN()
+	}
+	var cum int64
+	for i := range h.Counts {
+		upper := h.Lo + float64(i+1)*h.width
+		if upper > x {
+			break
+		}
+		cum += h.Counts[i]
+	}
+	return float64(cum) / float64(h.samples)
+}
+
+// WilsonInterval returns the Wilson score confidence interval for a binomial
+// proportion with successes k out of n at approximately the 95% level
+// (z = 1.96). It is well behaved for p near 0 or 1, which matters when
+// estimating "probability of consistency" values like 0.999.
+func WilsonInterval(k, n int64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	margin := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-margin, center+margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Counter estimates a probability from Bernoulli trials.
+type Counter struct {
+	Successes int64
+	Trials    int64
+}
+
+// Observe records one trial.
+func (c *Counter) Observe(success bool) {
+	c.Trials++
+	if success {
+		c.Successes++
+	}
+}
+
+// P returns the success fraction, or NaN with no trials.
+func (c *Counter) P() float64 {
+	if c.Trials == 0 {
+		return math.NaN()
+	}
+	return float64(c.Successes) / float64(c.Trials)
+}
+
+// Interval returns the 95% Wilson interval for the success probability.
+func (c *Counter) Interval() (lo, hi float64) {
+	return WilsonInterval(c.Successes, c.Trials)
+}
+
+// KthSmallest returns the k-th smallest element (0-indexed) of xs without
+// fully sorting, using quickselect with median-of-three pivoting. xs is
+// reordered in place. It panics when k is out of range.
+//
+// WARS needs order statistics on small per-trial arrays (commit time is the
+// W-th smallest of W+A); quickselect keeps the per-trial cost linear.
+func KthSmallest(xs []float64, k int) float64 {
+	if k < 0 || k >= len(xs) {
+		panic("stats: KthSmallest index out of range")
+	}
+	lo, hi := 0, len(xs)-1
+	for {
+		if lo == hi {
+			return xs[lo]
+		}
+		// Median-of-three pivot.
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return xs[k]
+		}
+	}
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Logspace returns n log-evenly spaced values from lo to hi inclusive.
+// lo and hi must be positive.
+func Logspace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= 0 {
+		panic("stats: Logspace requires positive bounds")
+	}
+	ls := Linspace(math.Log(lo), math.Log(hi), n)
+	for i, v := range ls {
+		ls[i] = math.Exp(v)
+	}
+	_ = ls[len(ls)-1]
+	ls[len(ls)-1] = hi
+	return ls
+}

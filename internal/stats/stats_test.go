@@ -1,0 +1,335 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pbs/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); !approx(m, 3, 1e-12) {
+		t.Fatalf("mean = %v, want 3", m)
+	}
+	if v := Variance(xs); !approx(v, 2, 1e-12) {
+		t.Fatalf("variance = %v, want 2", v)
+	}
+	if s := StdDev(xs); !approx(s, math.Sqrt2, 1e-12) {
+		t.Fatalf("stddev = %v, want sqrt(2)", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Fatal("empty mean/variance should be NaN")
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("empty min/max should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50}, {0.1, 14},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !approx(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	xs := []float64{7}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := Quantile(xs, q); got != 7 {
+			t.Fatalf("Quantile(%v) of singleton = %v", q, got)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := rng.New(1)
+	if err := quick.Check(func(seed uint64) bool {
+		rr := rng.New(seed)
+		n := 1 + rr.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.Float64() * 100
+		}
+		sort.Float64s(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		_ = r
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileMatchesQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Percentile(xs, 95) != Quantile(xs, 0.95) {
+		t.Fatal("Percentile(95) != Quantile(0.95)")
+	}
+}
+
+func TestQuantilesSortsCopy(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	got := Quantiles(xs, []float64{0, 1})
+	if got[0] != 1 || got[1] != 5 {
+		t.Fatalf("Quantiles = %v", got)
+	}
+	if xs[0] != 5 {
+		t.Fatal("Quantiles modified its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..1000
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 1000 || !approx(s.Mean, 500.5, 1e-9) {
+		t.Fatalf("summary count/mean = %d/%v", s.Count, s.Mean)
+	}
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("summary min/max = %v/%v", s.Min, s.Max)
+	}
+	if !approx(s.P50, 500.5, 1e-6) {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P999 < 998 || s.P999 > 1000 {
+		t.Fatalf("P999 = %v", s.P999)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	p := []float64{1, 2, 3}
+	o := []float64{1, 2, 3}
+	if v, err := RMSE(p, o); err != nil || v != 0 {
+		t.Fatalf("RMSE identical = %v, %v", v, err)
+	}
+	o2 := []float64{2, 3, 4}
+	if v, _ := RMSE(p, o2); !approx(v, 1, 1e-12) {
+		t.Fatalf("RMSE offset = %v, want 1", v)
+	}
+	if _, err := RMSE(p, []float64{1}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := RMSE(nil, nil); err != ErrEmpty {
+		t.Fatal("empty not rejected")
+	}
+}
+
+func TestNRMSE(t *testing.T) {
+	p := []float64{0, 10}
+	o := []float64{0, 20}
+	// RMSE = sqrt(100/2) = 7.0710..; range = 20 → NRMSE ≈ 0.3535
+	v, err := NRMSE(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, math.Sqrt(50)/20, 1e-9) {
+		t.Fatalf("NRMSE = %v", v)
+	}
+	// Degenerate range falls back to RMSE.
+	v2, err := NRMSE([]float64{1, 2}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := RMSE([]float64{1, 2}, []float64{5, 5})
+	if v2 != want {
+		t.Fatalf("degenerate NRMSE = %v, want %v", v2, want)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.P(c.x); !approx(got, c.want, 1e-12) {
+			t.Errorf("P(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Fatal("ECDF length")
+	}
+}
+
+func TestECDFQuantileInverse(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Float64() * 50
+	}
+	e := NewECDF(xs)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		x := e.Quantile(q)
+		p := e.P(x)
+		if math.Abs(p-q) > 0.01 {
+			t.Fatalf("P(Quantile(%v)) = %v", q, p)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	h.Observe(-5) // clamps to first bucket
+	h.Observe(99) // clamps to last bucket
+	if h.Total() != 12 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+	if got := h.CDFAt(5); !approx(got, 6.0/12, 1e-12) {
+		t.Fatalf("CDFAt(5) = %v", got)
+	}
+	if mid := h.BucketMid(0); !approx(mid, 0.5, 1e-12) {
+		t.Fatalf("BucketMid(0) = %v", mid)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(1, 1, 10)
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v,%v] should contain 0.5", lo, hi)
+	}
+	if lo < 0.38 || hi > 0.62 {
+		t.Fatalf("interval [%v,%v] too wide for n=100", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Fatal("zero trials should give [0,1]")
+	}
+	lo, hi = WilsonInterval(100, 100)
+	if hi < 1-1e-9 || lo < 0.9 {
+		t.Fatalf("all-success interval [%v,%v]", lo, hi)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if !math.IsNaN(c.P()) {
+		t.Fatal("empty counter should be NaN")
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(i%4 == 0)
+	}
+	if !approx(c.P(), 0.25, 1e-12) {
+		t.Fatalf("P = %v", c.P())
+	}
+	lo, hi := c.Interval()
+	if lo >= 0.25 || hi <= 0.25 {
+		t.Fatalf("interval [%v, %v]", lo, hi)
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(r.Float64() * 10) // duplicates likely
+		}
+		k := r.Intn(n)
+		cp := append([]float64(nil), xs...)
+		got := KthSmallest(cp, k)
+		sort.Float64s(xs)
+		if got != xs[k] {
+			t.Fatalf("KthSmallest(%v, %d) = %v, want %v", cp, k, got, xs[k])
+		}
+	}
+}
+
+func TestKthSmallestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	KthSmallest([]float64{1}, 1)
+}
+
+func TestLinspace(t *testing.T) {
+	ls := Linspace(0, 10, 11)
+	if len(ls) != 11 || ls[0] != 0 || ls[10] != 10 || !approx(ls[5], 5, 1e-12) {
+		t.Fatalf("Linspace = %v", ls)
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Linspace n=1 = %v", got)
+	}
+	if Linspace(0, 1, 0) != nil {
+		t.Fatal("Linspace n=0 should be nil")
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	ls := Logspace(1, 100, 3)
+	if !approx(ls[0], 1, 1e-9) || !approx(ls[1], 10, 1e-9) || !approx(ls[2], 100, 1e-9) {
+		t.Fatalf("Logspace = %v", ls)
+	}
+}
+
+func TestKthSmallestMatchesQuantileExtremes(t *testing.T) {
+	xs := []float64{9, 1, 7, 3}
+	cp := append([]float64(nil), xs...)
+	if KthSmallest(cp, 0) != 1 {
+		t.Fatal("min via KthSmallest")
+	}
+	cp = append([]float64(nil), xs...)
+	if KthSmallest(cp, 3) != 9 {
+		t.Fatal("max via KthSmallest")
+	}
+}

@@ -1,0 +1,194 @@
+package stats
+
+// Streaming statistics for online consistency/latency profiling. The paper
+// proposes measuring latency distributions online to drive PBS predictions
+// ("operators can dynamically configure replication using online latency
+// measurements", Section 6); these estimators provide constant-memory
+// mean/variance (Welford) and quantile (P², Jain & Chlamtac 1985) tracking
+// suitable for per-node monitoring.
+
+import "math"
+
+// Welford accumulates mean and variance in one pass, numerically stably.
+// The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Observe adds a sample.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of samples.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the running mean (NaN with no samples).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running population variance (NaN with no samples).
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds another accumulator into this one (parallel Welford), so
+// per-replica trackers can be combined into a cluster view.
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	delta := o.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += o.m2 + delta*delta*n1*n2/total
+	w.n += o.n
+}
+
+// P2Quantile estimates a single quantile online with five markers and O(1)
+// memory (the P² algorithm). Accuracy is typically within a percent or two
+// of the exact sample quantile for smooth distributions.
+type P2Quantile struct {
+	q       float64
+	n       int64
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-indexed)
+	want    [5]float64 // desired marker positions
+	incr    [5]float64 // desired position increments per observation
+	primed  bool
+	buf     []float64
+}
+
+// NewP2Quantile creates an estimator for the q-th quantile, 0 < q < 1.
+func NewP2Quantile(q float64) *P2Quantile {
+	if q <= 0 || q >= 1 {
+		panic("stats: P² quantile must be in (0, 1)")
+	}
+	p := &P2Quantile{q: q}
+	p.incr = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Observe adds a sample.
+func (p *P2Quantile) Observe(x float64) {
+	p.n++
+	if !p.primed {
+		p.buf = append(p.buf, x)
+		if len(p.buf) == 5 {
+			sortFive(&p.heights, p.buf)
+			p.pos = [5]float64{1, 2, 3, 4, 5}
+			p.want = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+			p.primed = true
+			p.buf = nil
+		}
+		return
+	}
+
+	// Find the cell k containing x and update extreme heights.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (p *P2Quantile) parabolic(i int, d float64) float64 {
+	num1 := p.pos[i] - p.pos[i-1] + d
+	num2 := p.pos[i+1] - p.pos[i] - d
+	den := p.pos[i+1] - p.pos[i-1]
+	t1 := (p.heights[i+1] - p.heights[i]) / (p.pos[i+1] - p.pos[i])
+	t2 := (p.heights[i] - p.heights[i-1]) / (p.pos[i] - p.pos[i-1])
+	return p.heights[i] + d/den*(num1*t1+num2*t2)
+}
+
+// linear is the fallback linear height prediction.
+func (p *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.heights[i] + d*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Count returns the number of samples observed.
+func (p *P2Quantile) Count() int64 { return p.n }
+
+// Value returns the current quantile estimate. With fewer than five samples
+// it falls back to the exact small-sample quantile; with none it is NaN.
+func (p *P2Quantile) Value() float64 {
+	if !p.primed {
+		if len(p.buf) == 0 {
+			return math.NaN()
+		}
+		cp := append([]float64(nil), p.buf...)
+		insertionSort(cp)
+		return Quantile(cp, p.q)
+	}
+	return p.heights[2]
+}
+
+// sortFive sorts exactly five initial samples into dst.
+func sortFive(dst *[5]float64, src []float64) {
+	copy(dst[:], src)
+	insertionSort(dst[:])
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pbs/internal/rng"
+)
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 10000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.Float64()*100 - 20
+		w.Observe(xs[i])
+	}
+	if w.Count() != 10000 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatalf("mean %v vs %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.Variance()-Variance(xs)) > 1e-6 {
+		t.Fatalf("variance %v vs %v", w.Variance(), Variance(xs))
+	}
+	if math.Abs(w.StdDev()-StdDev(xs)) > 1e-6 {
+		t.Fatalf("stddev %v vs %v", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) {
+		t.Fatal("empty accumulator should be NaN")
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	r := rng.New(2)
+	var a, b, all Welford
+	for i := 0; i < 5000; i++ {
+		x := r.NormFloat64()*3 + 7
+		all.Observe(x)
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatal("merged count")
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-6 {
+		t.Fatalf("merged variance %v vs %v", a.Variance(), all.Variance())
+	}
+	// Merging into empty copies the source.
+	var empty Welford
+	empty.Merge(&all)
+	if empty.Mean() != all.Mean() {
+		t.Fatal("merge into empty")
+	}
+	// Merging empty is a no-op.
+	before := all.Mean()
+	var e2 Welford
+	all.Merge(&e2)
+	if all.Mean() != before {
+		t.Fatal("merge of empty changed state")
+	}
+}
+
+func TestP2QuantileUniform(t *testing.T) {
+	r := rng.New(3)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		p := NewP2Quantile(q)
+		xs := make([]float64, 50000)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+			p.Observe(xs[i])
+		}
+		sort.Float64s(xs)
+		exact := Quantile(xs, q)
+		got := p.Value()
+		if math.Abs(got-exact) > 2.5 { // 2.5 of a 0..100 range
+			t.Fatalf("q=%v: P² %v vs exact %v", q, got, exact)
+		}
+	}
+}
+
+func TestP2QuantileExponentialTail(t *testing.T) {
+	r := rng.New(5)
+	p := NewP2Quantile(0.99)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = -math.Log(r.Float64Open()) * 10 // Exp(mean 10)
+		p.Observe(xs[i])
+	}
+	sort.Float64s(xs)
+	exact := Quantile(xs, 0.99) // ≈ 46
+	got := p.Value()
+	if math.Abs(got-exact)/exact > 0.1 {
+		t.Fatalf("P² tail estimate %v vs exact %v", got, exact)
+	}
+	if p.Count() != 100000 {
+		t.Fatal("count")
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	p := NewP2Quantile(0.5)
+	if !math.IsNaN(p.Value()) {
+		t.Fatal("empty estimator should be NaN")
+	}
+	p.Observe(3)
+	p.Observe(1)
+	p.Observe(2)
+	if got := p.Value(); got != 2 {
+		t.Fatalf("small-sample median = %v", got)
+	}
+}
+
+func TestP2QuantilePanics(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("q=%v: no panic", q)
+				}
+			}()
+			NewP2Quantile(q)
+		}()
+	}
+}
+
+func TestP2QuantileMonotoneStream(t *testing.T) {
+	// Sorted input is the adversarial case for online estimators; P²
+	// should still land near the true quantile.
+	p := NewP2Quantile(0.9)
+	for i := 0; i < 10000; i++ {
+		p.Observe(float64(i))
+	}
+	if got := p.Value(); math.Abs(got-9000) > 500 {
+		t.Fatalf("sorted-stream estimate %v, want ≈9000", got)
+	}
+}

@@ -1,0 +1,153 @@
+// Package tabular renders experiment results as aligned-text and Markdown
+// tables, matching the row/column structure of the paper's tables so that
+// regenerated results are directly comparable.
+package tabular
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is an in-memory table with a fixed header row.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given column headers.
+func New(title string, headers ...string) *Table {
+	if len(headers) == 0 {
+		panic("tabular: need at least one column")
+	}
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; missing cells are blank, extras panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic("tabular: row wider than header")
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowF appends a row of formatted values: strings pass through, float64
+// are rendered with %.4g, ints with %d.
+func (t *Table) AddRowF(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			out[i] = fmt.Sprintf("%d", v)
+		case int64:
+			out[i] = fmt.Sprintf("%d", v)
+		case uint64:
+			out[i] = fmt.Sprintf("%d", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// widths computes per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		w[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if l := len([]rune(c)); l > w[i] {
+				w[i] = l
+			}
+		}
+	}
+	return w
+}
+
+// String renders an aligned plain-text table.
+func (t *Table) String() string {
+	w := t.widths()
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", w[i]-len([]rune(c))))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.headers)) + "\n")
+	for _, row := range t.rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders comma-separated values (no quoting; cells must not contain
+// commas — experiment output never does).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.headers, ",") + "\n")
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return b.String()
+}
+
+// Ms formats a millisecond quantity the way the paper prints them.
+func Ms(v float64) string {
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Prob formats a probability with enough digits for "how many nines".
+func Prob(p float64) string {
+	return fmt.Sprintf("%.5f", p)
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(p float64) string {
+	return fmt.Sprintf("%.2f%%", p*100)
+}

@@ -1,0 +1,101 @@
+package tabular
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tb := New("Demo", "config", "latency")
+	tb.AddRow("R=1", "0.66")
+	tb.AddRow("R=2 W=2", "1.62")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(lines[1], "config") || !strings.Contains(lines[1], "latency") {
+		t.Fatal("missing headers")
+	}
+}
+
+func TestAddRowF(t *testing.T) {
+	tb := New("", "a", "b", "c", "d")
+	tb.AddRowF("s", 1.23456, 42, int64(7))
+	out := tb.String()
+	if !strings.Contains(out, "1.235") || !strings.Contains(out, "42") {
+		t.Fatalf("formatting wrong:\n%s", out)
+	}
+	if tb.Rows() != 1 {
+		t.Fatal("row count")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("T", "x", "y")
+	tb.AddRow("1", "2")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| x | y |") || !strings.Contains(md, "| 1 | 2 |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	if !strings.Contains(md, "**T**") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "x", "y")
+	tb.AddRow("1", "2")
+	csv := tb.CSV()
+	if csv != "x,y\n1,2\n" {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only")
+	if !strings.Contains(tb.String(), "only") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestWideRowPanics(t *testing.T) {
+	tb := New("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tb.AddRow("1", "2")
+}
+
+func TestEmptyHeadersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New("x")
+}
+
+func TestFormatters(t *testing.T) {
+	if Ms(230.4) != "230.4" {
+		t.Fatalf("Ms(230.4) = %q", Ms(230.4))
+	}
+	if Ms(45.5) != "45.50" {
+		t.Fatalf("Ms(45.5) = %q", Ms(45.5))
+	}
+	if Ms(1.85) != "1.85" {
+		t.Fatalf("Ms(1.85) = %q", Ms(1.85))
+	}
+	if Prob(0.999) != "0.99900" {
+		t.Fatalf("Prob = %q", Prob(0.999))
+	}
+	if Pct(0.811) != "81.10%" {
+		t.Fatalf("Pct = %q", Pct(0.811))
+	}
+}

@@ -1,0 +1,129 @@
+// Package vclock implements vector clocks, the causal version-ordering
+// mechanism Dynamo-style stores use to order writes (Section 2.1, footnote
+// 2 of the paper: "a causal ordering provided by mechanisms such as vector
+// clocks with commutative merge functions").
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VC maps node identifiers to event counters. The zero value (nil) is a
+// valid empty clock.
+type VC map[int]uint64
+
+// New returns an empty clock.
+func New() VC { return make(VC) }
+
+// Copy returns an independent copy.
+func (v VC) Copy() VC {
+	out := make(VC, len(v))
+	for k, c := range v {
+		out[k] = c
+	}
+	return out
+}
+
+// Tick increments node's counter, returning the clock for chaining.
+func (v VC) Tick(node int) VC {
+	v[node]++
+	return v
+}
+
+// Get returns node's counter (zero when absent).
+func (v VC) Get(node int) uint64 { return v[node] }
+
+// Merge returns the element-wise maximum of v and o — the commutative,
+// associative, idempotent join that makes replica convergence safe.
+func (v VC) Merge(o VC) VC {
+	out := v.Copy()
+	for k, c := range o {
+		if c > out[k] {
+			out[k] = c
+		}
+	}
+	return out
+}
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+const (
+	// Equal: identical clocks.
+	Equal Ordering = iota
+	// Before: the receiver causally precedes the argument.
+	Before
+	// After: the receiver causally follows the argument.
+	After
+	// Concurrent: neither dominates — a write conflict.
+	Concurrent
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	default:
+		return "concurrent"
+	}
+}
+
+// Compare returns the causal ordering of v relative to o.
+func (v VC) Compare(o VC) Ordering {
+	vLess, oLess := false, false
+	for k, c := range v {
+		oc := o[k]
+		if c < oc {
+			vLess = true
+		} else if c > oc {
+			oLess = true
+		}
+	}
+	for k, oc := range o {
+		if _, ok := v[k]; !ok && oc > 0 {
+			vLess = true
+		}
+	}
+	switch {
+	case vLess && oLess:
+		return Concurrent
+	case vLess:
+		return Before
+	case oLess:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Descends reports whether v causally descends from o (v == o or v after
+// o); this is Dynamo's syntactic-reconciliation test.
+func (v VC) Descends(o VC) bool {
+	c := v.Compare(o)
+	return c == Equal || c == After
+}
+
+// String renders the clock deterministically, e.g. "{1:3, 2:1}".
+func (v VC) String() string {
+	keys := make([]int, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%d", k, v[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

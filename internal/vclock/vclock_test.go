@@ -1,0 +1,159 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbs/internal/rng"
+)
+
+func TestTickAndGet(t *testing.T) {
+	v := New()
+	v.Tick(1).Tick(1).Tick(2)
+	if v.Get(1) != 2 || v.Get(2) != 1 || v.Get(3) != 0 {
+		t.Fatalf("clock = %v", v)
+	}
+}
+
+func TestCompareBasics(t *testing.T) {
+	a := New().Tick(1)
+	b := a.Copy().Tick(1)
+	if a.Compare(b) != Before {
+		t.Fatal("a should be before b")
+	}
+	if b.Compare(a) != After {
+		t.Fatal("b should be after a")
+	}
+	if a.Compare(a.Copy()) != Equal {
+		t.Fatal("copies should be equal")
+	}
+	c := New().Tick(2)
+	if a.Compare(c) != Concurrent || c.Compare(a) != Concurrent {
+		t.Fatal("independent ticks should be concurrent")
+	}
+}
+
+func TestCompareEmptyClocks(t *testing.T) {
+	var a, b VC
+	if a.Compare(b) != Equal {
+		t.Fatal("nil clocks should be equal")
+	}
+	c := New().Tick(1)
+	if a.Compare(c) != Before || c.Compare(a) != After {
+		t.Fatal("empty clock ordering")
+	}
+}
+
+func TestDescends(t *testing.T) {
+	a := New().Tick(1)
+	b := a.Copy().Tick(2)
+	if !b.Descends(a) {
+		t.Fatal("b should descend from a")
+	}
+	if a.Descends(b) {
+		t.Fatal("a should not descend from b")
+	}
+	if !a.Descends(a.Copy()) {
+		t.Fatal("a should descend from itself")
+	}
+}
+
+func TestMergeProperties(t *testing.T) {
+	// Merge is commutative, associative, idempotent, and the result
+	// descends from both inputs.
+	gen := func(seed uint64) VC {
+		r := rng.New(seed)
+		v := New()
+		for i := 0; i < r.Intn(5); i++ {
+			node := r.Intn(4)
+			for j := 0; j <= r.Intn(3); j++ {
+				v.Tick(node)
+			}
+		}
+		return v
+	}
+	if err := quick.Check(func(s1, s2, s3 uint64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		ab := a.Merge(b)
+		ba := b.Merge(a)
+		if ab.Compare(ba) != Equal {
+			return false // commutativity
+		}
+		if a.Merge(a).Compare(a) != Equal {
+			return false // idempotence
+		}
+		left := a.Merge(b).Merge(c)
+		right := a.Merge(b.Merge(c))
+		if left.Compare(right) != Equal {
+			return false // associativity
+		}
+		return ab.Descends(a) && ab.Descends(b)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDoesNotMutate(t *testing.T) {
+	a := New().Tick(1)
+	b := New().Tick(2)
+	_ = a.Merge(b)
+	if a.Get(2) != 0 || b.Get(1) != 0 {
+		t.Fatal("merge mutated an input")
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		a, b := New(), New()
+		for i := 0; i < 6; i++ {
+			n := r.Intn(3)
+			if r.Float64() < 0.5 {
+				a.Tick(n)
+			} else {
+				b.Tick(n)
+			}
+		}
+		ab, ba := a.Compare(b), b.Compare(a)
+		switch ab {
+		case Equal:
+			return ba == Equal
+		case Before:
+			return ba == After
+		case After:
+			return ba == Before
+		default:
+			return ba == Concurrent
+		}
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCausalChainTransitivity(t *testing.T) {
+	a := New().Tick(1)
+	b := a.Copy().Tick(2)
+	c := b.Copy().Tick(3)
+	if a.Compare(c) != Before || c.Compare(a) != After {
+		t.Fatal("transitivity across a causal chain")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New().Tick(2).Tick(1).Tick(2)
+	if got := v.String(); got != "{1:1, 2:2}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if New().String() != "{}" {
+		t.Fatal("empty clock string")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	names := map[Ordering]string{Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent"}
+	for o, want := range names {
+		if o.String() != want {
+			t.Fatalf("Ordering(%d).String() = %q", o, o.String())
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package wars
+
+// Latency/staleness trade-off frontier: Section 5.8 of the paper presents
+// the trade-off as a table (Table 4); this file computes the Pareto
+// frontier over all (R, W) configurations for a scenario, the structure an
+// operator actually navigates when relaxing consistency for latency.
+
+import (
+	"sort"
+
+	"pbs/internal/rng"
+)
+
+// FrontierPoint is one evaluated configuration.
+type FrontierPoint struct {
+	R, W int
+	// TVisibility is the window for the target consistency probability.
+	TVisibility float64
+	// CombinedLatency is the sum of read and write latency at the target
+	// quantile (the metric the paper combines in Section 5.8).
+	CombinedLatency float64
+	ReadLatency     float64
+	WriteLatency    float64
+	// Pareto marks points not dominated in (TVisibility, CombinedLatency).
+	Pareto bool
+}
+
+// Frontier evaluates every (R, W) in [1, N]² and marks the Pareto-optimal
+// set: configurations for which no other configuration has both a smaller
+// staleness window and lower combined latency. Points are returned sorted
+// by combined latency ascending.
+func Frontier(sc Scenario, pConsistent, latencyQuantile float64, trials int, r *rng.RNG) ([]FrontierPoint, error) {
+	n := sc.Replicas()
+	var pts []FrontierPoint
+	for rr := 1; rr <= n; rr++ {
+		for w := 1; w <= n; w++ {
+			run, err := Simulate(sc, Config{R: rr, W: w}, trials, r.Split())
+			if err != nil {
+				return nil, err
+			}
+			lr := run.ReadLatency(latencyQuantile)
+			lw := run.WriteLatency(latencyQuantile)
+			pts = append(pts, FrontierPoint{
+				R: rr, W: w,
+				TVisibility:     run.TVisibility(pConsistent),
+				ReadLatency:     lr,
+				WriteLatency:    lw,
+				CombinedLatency: lr + lw,
+			})
+		}
+	}
+	// Pareto marking: O(n⁴) pairwise dominance over at most N² points.
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if pts[j].TVisibility <= pts[i].TVisibility &&
+				pts[j].CombinedLatency <= pts[i].CombinedLatency &&
+				(pts[j].TVisibility < pts[i].TVisibility ||
+					pts[j].CombinedLatency < pts[i].CombinedLatency) {
+				dominated = true
+				break
+			}
+		}
+		pts[i].Pareto = !dominated
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].CombinedLatency != pts[j].CombinedLatency {
+			return pts[i].CombinedLatency < pts[j].CombinedLatency
+		}
+		return pts[i].TVisibility < pts[j].TVisibility
+	})
+	return pts, nil
+}

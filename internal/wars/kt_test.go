@@ -1,0 +1,145 @@
+package wars
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+)
+
+func TestKTOptionsValidation(t *testing.T) {
+	sc := NewIID(3, expModel(5, 2))
+	cfg := Config{R: 1, W: 1}
+	r := rng.New(1)
+	cases := []KTOptions{
+		{K: 0, T: 0, Gap: dist.Point{V: 1}, Window: 1},
+		{K: 1, T: 0, Gap: nil, Window: 1},
+		{K: 3, T: 0, Gap: dist.Point{V: 1}, Window: 2},
+		{K: 1, T: -1, Gap: dist.Point{V: 1}, Window: 1},
+	}
+	for i, opt := range cases {
+		if _, err := KTStaleness(sc, cfg, opt, 10, r); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := KTStaleness(sc, Config{R: 0, W: 1},
+		KTOptions{K: 1, Gap: dist.Point{V: 1}, Window: 1}, 10, r); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := KTStaleness(sc, cfg,
+		KTOptions{K: 1, Gap: dist.Point{V: 1}, Window: 1}, 0, r); err == nil {
+		t.Error("0 trials accepted")
+	}
+}
+
+func TestKTStalenessDecreasesWithK(t *testing.T) {
+	sc := NewIID(3, expModel(20, 2)) // slow writes → meaningful staleness
+	cfg := Config{R: 1, W: 1}
+	base := KTOptions{T: 0, Gap: dist.Point{V: 0}, Window: 6}
+	ks := []int{1, 2, 3, 5}
+	curve, err := KTStalenessCurve(sc, cfg, base, ks, 40000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+0.01 {
+			t.Fatalf("pskt should not grow with k: %v", curve)
+		}
+	}
+}
+
+func TestKTStalenessDecreasesWithT(t *testing.T) {
+	sc := NewIID(3, expModel(20, 2))
+	cfg := Config{R: 1, W: 1}
+	prev := 2.0
+	for _, tms := range []float64{0, 10, 40, 120} {
+		p, err := KTStaleness(sc, cfg,
+			KTOptions{K: 1, T: tms, Gap: dist.Point{V: 0}, Window: 1}, 40000, rng.New(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+0.01 {
+			t.Fatalf("pskt should fall with t: t=%v p=%v prev=%v", tms, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestEquationFiveIsConservative(t *testing.T) {
+	// Equation 5 assumes the last k writes committed simultaneously; with
+	// positive gaps between writes, older versions have propagated further,
+	// so the simulated pskt must not exceed pst^k (within noise).
+	sc := NewIID(3, expModel(20, 2))
+	cfg := Config{R: 1, W: 1}
+	run := mustSimulate(t, sc, cfg, 200000, 13)
+	for _, k := range []int{1, 2, 3} {
+		pst := run.PStale(0)
+		bound := math.Pow(pst, float64(k))
+		sim, err := KTStaleness(sc, cfg,
+			KTOptions{K: k, T: 0, Gap: dist.NewExponential(0.05), Window: k + 3},
+			60000, rng.New(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim > bound+0.01 {
+			t.Fatalf("k=%d: simulated pskt %v exceeds Eq.5 bound %v", k, sim, bound)
+		}
+	}
+}
+
+func TestKTSimultaneousWritesNearEquationFive(t *testing.T) {
+	// With Gap = 0 the writes are simultaneous, matching Equation 5's
+	// pathological assumption... but unlike Eq. 5 the k write quorums are
+	// not independent across versions in WARS (the same read R[i] applies
+	// to all). The simultaneous case should still sit close to pst^k for
+	// k=1 (identity) and below pst for k>=2.
+	sc := NewIID(3, expModel(20, 2))
+	cfg := Config{R: 1, W: 1}
+	run := mustSimulate(t, sc, cfg, 200000, 19)
+	pst := run.PStale(0)
+	sim1, err := KTStaleness(sc, cfg,
+		KTOptions{K: 1, T: 0, Gap: dist.Point{V: 0}, Window: 1}, 200000, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim1-pst) > 0.01 {
+		t.Fatalf("K=1 window=1 should match single-write pst: sim %v vs %v", sim1, pst)
+	}
+	sim2, err := KTStaleness(sc, cfg,
+		KTOptions{K: 2, T: 0, Gap: dist.Point{V: 0}, Window: 2}, 100000, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim2 > sim1+0.01 {
+		t.Fatalf("K=2 staleness %v should be below K=1 %v", sim2, sim1)
+	}
+}
+
+func TestTVisibilityWithWritesConvergesToSingleWrite(t *testing.T) {
+	sc := NewIID(3, expModel(10, 2))
+	cfg := Config{R: 1, W: 1}
+	run := mustSimulate(t, sc, cfg, 200000, 29)
+	for _, tms := range []float64{0, 5, 20} {
+		want := run.PConsistent(tms)
+		got, err := TVisibilityWithWrites(sc, cfg, tms, dist.Point{V: 1e7}, 3, 60000, rng.New(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("t=%v: windowed %v vs single-write %v", tms, got, want)
+		}
+	}
+}
+
+func TestKTStrictQuorumNeverStale(t *testing.T) {
+	sc := NewIID(3, expModel(10, 2))
+	p, err := KTStaleness(sc, Config{R: 2, W: 2},
+		KTOptions{K: 1, T: 0, Gap: dist.NewExponential(1), Window: 4}, 20000, rng.New(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0 {
+		t.Fatalf("strict quorum showed staleness %v", p)
+	}
+}

@@ -1,0 +1,76 @@
+package wars
+
+// Write-propagation estimation: the bridge between the WARS simulator and
+// the paper's closed-form Equation 4. Section 3.4 expresses pst in terms of
+// Pw(c, t), the probability that at least c replicas hold a committed
+// version t seconds after commit; "in practice, Pw depends on the
+// anti-entropy mechanisms in use and the expected latency of operations but
+// we can approximate it (Section 4) or measure it online". EstimatePw is
+// that approximation: it samples write dissemination (W) and commit times
+// (W-th order statistic of W+A) and counts replicas reached by wt + t.
+
+import (
+	"errors"
+
+	"pbs/internal/rng"
+	"pbs/internal/stats"
+)
+
+// Propagation is an estimated write-propagation profile at one time offset:
+// AtLeast[c] = P(Wr >= c), for c in [0, N]. By construction AtLeast[c] = 1
+// for c <= W and AtLeast is non-increasing.
+type Propagation struct {
+	N, W    int
+	T       float64
+	AtLeast []float64
+}
+
+// CDF adapts the profile to the quorum package's PropagationCDF signature.
+func (p *Propagation) CDF(c int) float64 {
+	if c <= 0 {
+		return 1
+	}
+	if c > p.N {
+		return 0
+	}
+	return p.AtLeast[c]
+}
+
+// EstimatePw samples the scenario's write path and estimates the
+// propagation profile t time units after commit for write quorum size w.
+func EstimatePw(sc Scenario, w int, t float64, trials int, r *rng.RNG) (*Propagation, error) {
+	n := sc.Replicas()
+	if w < 1 || w > n {
+		return nil, errors.New("wars: invalid write quorum size")
+	}
+	if trials < 1 {
+		return nil, errors.New("wars: trials must be positive")
+	}
+	if t < 0 {
+		return nil, errors.New("wars: t must be non-negative")
+	}
+	counts := make([]int64, n+1) // counts[c]: trials with exactly c replicas reached
+	tr := newTrial(n)
+	wa := make([]float64, n)
+	for i := 0; i < trials; i++ {
+		sc.Fill(r, tr)
+		for j := 0; j < n; j++ {
+			wa[j] = tr.W[j] + tr.A[j]
+		}
+		wt := stats.KthSmallest(wa, w-1)
+		reached := 0
+		for j := 0; j < n; j++ {
+			if tr.W[j] <= wt+t {
+				reached++
+			}
+		}
+		counts[reached]++
+	}
+	p := &Propagation{N: n, W: w, T: t, AtLeast: make([]float64, n+1)}
+	var cum int64
+	for c := n; c >= 0; c-- {
+		cum += counts[c]
+		p.AtLeast[c] = float64(cum) / float64(trials)
+	}
+	return p, nil
+}

@@ -1,0 +1,164 @@
+package wars
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/quorum"
+	"pbs/internal/rng"
+)
+
+func TestEstimatePwShape(t *testing.T) {
+	sc := NewIID(3, expModel(10, 2))
+	p, err := EstimatePw(sc, 1, 5, 50000, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CDF(0) != 1 || p.CDF(1) != 1 {
+		t.Fatal("Pw(c) must be 1 for c <= W")
+	}
+	if p.CDF(4) != 0 {
+		t.Fatal("Pw(N+1) must be 0")
+	}
+	prev := 1.0
+	for c := 0; c <= 3; c++ {
+		v := p.CDF(c)
+		if v > prev+1e-12 {
+			t.Fatalf("Pw not non-increasing at c=%d", c)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("Pw out of range at c=%d: %v", c, v)
+		}
+		prev = v
+	}
+}
+
+func TestEstimatePwGrowsWithT(t *testing.T) {
+	sc := NewIID(3, expModel(10, 2))
+	p0, err := EstimatePw(sc, 1, 0, 50000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50, err := EstimatePw(sc, 1, 50, 50000, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50.CDF(3) < p0.CDF(3) {
+		t.Fatalf("propagation should grow with t: %v vs %v", p50.CDF(3), p0.CDF(3))
+	}
+	if p50.CDF(3) < 0.95 {
+		t.Fatalf("after 5 write means, propagation should be nearly complete: %v", p50.CDF(3))
+	}
+}
+
+func TestEquationFourUpperBoundsWARS(t *testing.T) {
+	// Section 3.4: Eq. 4 assumes instantaneous reads, so it conservatively
+	// upper-bounds the true (WARS) staleness probability; the gap closes as
+	// read-request delays shrink.
+	sc := NewIID(3, expModel(10, 2))
+	run, err := Simulate(sc, Config{R: 1, W: 1}, 200000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tms := range []float64{0, 2, 5, 10, 25} {
+		pw, err := EstimatePw(sc, 1, tms, 100000, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq4 := quorum.TVisibilityStaleProb(quorum.Config{N: 3, R: 1, W: 1}, pw.CDF)
+		warsP := run.PStale(tms)
+		if eq4 < warsP-0.01 {
+			t.Fatalf("t=%v: Eq.4 %v should upper-bound WARS %v", tms, eq4, warsP)
+		}
+	}
+}
+
+func TestEquationFourTightWithInstantReads(t *testing.T) {
+	// With R≈0 delays the instantaneous-read assumption holds and Eq. 4
+	// should match WARS closely.
+	m := dist.LatencyModel{
+		Name: "instant-reads",
+		W:    dist.NewExponential(0.1),
+		A:    dist.NewExponential(0.5),
+		R:    dist.NewUniform(0, 1e-6),
+		S:    dist.NewUniform(0, 1e-6),
+	}
+	sc := NewIID(3, m)
+	run, err := Simulate(sc, Config{R: 1, W: 1}, 200000, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tms := range []float64{0, 5, 20} {
+		pw, err := EstimatePw(sc, 1, tms, 200000, rng.New(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq4 := quorum.TVisibilityStaleProb(quorum.Config{N: 3, R: 1, W: 1}, pw.CDF)
+		warsP := run.PStale(tms)
+		if math.Abs(eq4-warsP) > 0.01 {
+			t.Fatalf("t=%v: Eq.4 %v vs WARS %v (should match with instant reads)", tms, eq4, warsP)
+		}
+	}
+}
+
+func TestEstimatePwValidation(t *testing.T) {
+	sc := NewIID(3, expModel(10, 2))
+	if _, err := EstimatePw(sc, 0, 1, 100, rng.New(1)); err == nil {
+		t.Fatal("w=0 accepted")
+	}
+	if _, err := EstimatePw(sc, 4, 1, 100, rng.New(1)); err == nil {
+		t.Fatal("w>N accepted")
+	}
+	if _, err := EstimatePw(sc, 1, -1, 100, rng.New(1)); err == nil {
+		t.Fatal("negative t accepted")
+	}
+	if _, err := EstimatePw(sc, 1, 1, 0, rng.New(1)); err == nil {
+		t.Fatal("0 trials accepted")
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	sc := NewIID(3, expModel(10, 2))
+	pts, err := Frontier(sc, 0.999, 0.99, 20000, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("expected 9 configurations, got %d", len(pts))
+	}
+	paretoCount := 0
+	for _, p := range pts {
+		if p.Pareto {
+			paretoCount++
+		}
+		if p.CombinedLatency != p.ReadLatency+p.WriteLatency {
+			t.Fatal("combined latency mismatch")
+		}
+	}
+	if paretoCount == 0 {
+		t.Fatal("no Pareto-optimal points")
+	}
+	// Dominance invariant: no Pareto point dominated by any other point.
+	for _, a := range pts {
+		if !a.Pareto {
+			continue
+		}
+		for _, b := range pts {
+			if b.TVisibility < a.TVisibility && b.CombinedLatency < a.CombinedLatency {
+				t.Fatalf("Pareto point R=%d W=%d dominated by R=%d W=%d", a.R, a.W, b.R, b.W)
+			}
+		}
+	}
+	// Sorted ascending by combined latency.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CombinedLatency < pts[i-1].CombinedLatency {
+			t.Fatal("not sorted by combined latency")
+		}
+	}
+	// R=W=1 has the lowest combined latency; strict R=W=3 the highest
+	// (for IID exponential models).
+	if pts[0].R != 1 || pts[0].W != 1 {
+		t.Fatalf("cheapest point should be R=W=1, got R=%d W=%d", pts[0].R, pts[0].W)
+	}
+}

@@ -1,0 +1,186 @@
+// Package workload generates the synthetic request streams driving the
+// store experiments: key-popularity distributions (uniform, Zipf), arrival
+// processes (Poisson, fixed-rate, closed-loop), and read/write mixes. The
+// paper's production workloads (Section 5.4: LinkedIn at 60% read / 40%
+// read-modify-write, Yammer at ~718 gets/s vs ~46 puts/s) are expressible
+// as Mix plus Poisson arrivals.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+)
+
+// KeyChooser picks the key for each operation.
+type KeyChooser interface {
+	Key(r *rng.RNG) string
+	// Cardinality returns the keyspace size.
+	Cardinality() int
+}
+
+// UniformKeys selects uniformly among N keys.
+type UniformKeys struct {
+	N      int
+	Prefix string
+}
+
+// NewUniformKeys returns a uniform chooser over n keys. Panics if n < 1.
+func NewUniformKeys(n int, prefix string) UniformKeys {
+	if n < 1 {
+		panic("workload: keyspace must have at least one key")
+	}
+	return UniformKeys{N: n, Prefix: prefix}
+}
+
+func (u UniformKeys) Key(r *rng.RNG) string {
+	return fmt.Sprintf("%s%d", u.Prefix, r.Intn(u.N))
+}
+
+func (u UniformKeys) Cardinality() int { return u.N }
+
+// ZipfKeys selects among N keys with Zipfian popularity: key i (0-indexed)
+// has probability proportional to 1/(i+1)^S. Hot keys model the skewed
+// access patterns production stores see.
+type ZipfKeys struct {
+	N      int
+	S      float64
+	Prefix string
+	cdf    []float64
+}
+
+// NewZipfKeys precomputes the popularity CDF. Panics if n < 1 or s < 0.
+func NewZipfKeys(n int, s float64, prefix string) *ZipfKeys {
+	if n < 1 {
+		panic("workload: keyspace must have at least one key")
+	}
+	if s < 0 {
+		panic("workload: zipf exponent must be non-negative")
+	}
+	z := &ZipfKeys{N: n, S: s, Prefix: prefix, cdf: make([]float64, n)}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		z.cdf[i] = total
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	return z
+}
+
+func (z *ZipfKeys) Key(r *rng.RNG) string {
+	u := r.Float64()
+	lo, hi := 0, z.N-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return fmt.Sprintf("%s%d", z.Prefix, lo)
+}
+
+func (z *ZipfKeys) Cardinality() int { return z.N }
+
+// Rank returns the popularity rank encoded in a key produced by this
+// chooser (0 = hottest). It panics on malformed keys.
+func (z *ZipfKeys) Rank(key string) int {
+	var rank int
+	if _, err := fmt.Sscanf(key[len(z.Prefix):], "%d", &rank); err != nil {
+		panic("workload: malformed zipf key " + key)
+	}
+	return rank
+}
+
+// Arrival produces inter-arrival gaps.
+type Arrival interface {
+	NextGap(r *rng.RNG) float64
+}
+
+// Poisson models an open-loop Poisson process with the given rate
+// (events per unit time); gaps are exponential with mean 1/Rate.
+type Poisson struct {
+	Rate float64
+}
+
+// NewPoisson returns a Poisson arrival process. Panics if rate <= 0.
+func NewPoisson(rate float64) Poisson {
+	if rate <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	return Poisson{Rate: rate}
+}
+
+func (p Poisson) NextGap(r *rng.RNG) float64 {
+	return -math.Log(r.Float64Open()) / p.Rate
+}
+
+// FixedRate issues one event every Gap units.
+type FixedRate struct {
+	Gap float64
+}
+
+func (f FixedRate) NextGap(*rng.RNG) float64 { return f.Gap }
+
+// ThinkTime models a closed-loop client: after each operation completes the
+// client waits a sample of D before the next (the gap distribution is
+// arbitrary).
+type ThinkTime struct {
+	D dist.Dist
+}
+
+func (tt ThinkTime) NextGap(r *rng.RNG) float64 {
+	g := tt.D.Sample(r)
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// OpKind is a workload operation type.
+type OpKind int
+
+const (
+	// OpRead is a Get.
+	OpRead OpKind = iota
+	// OpWrite is a Put.
+	OpWrite
+)
+
+// Mix chooses operation kinds with a fixed read fraction.
+type Mix struct {
+	ReadFraction float64
+}
+
+// NewMix returns a read/write mix. Panics unless 0 <= readFraction <= 1.
+func NewMix(readFraction float64) Mix {
+	if readFraction < 0 || readFraction > 1 {
+		panic("workload: read fraction must be in [0,1]")
+	}
+	return Mix{ReadFraction: readFraction}
+}
+
+func (m Mix) Op(r *rng.RNG) OpKind {
+	if r.Float64() < m.ReadFraction {
+		return OpRead
+	}
+	return OpWrite
+}
+
+// YammerMix returns the Yammer production read/write mix implied by Table
+// 2's mean rates: 718.18 gets/s vs 45.65 puts/s (≈94% reads).
+func YammerMix() Mix {
+	return NewMix(718.18 / (718.18 + 45.65))
+}
+
+// LinkedInMix returns the LinkedIn production mix from Section 5.4: 60%
+// reads and 40% read-modify-writes. Treating a read-modify-write as a read
+// followed by a write, the wire-level mix is ~71.4% reads.
+func LinkedInMix() Mix {
+	return NewMix((0.6 + 0.4) / (0.6 + 2*0.4))
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+)
+
+func TestUniformKeysCoverage(t *testing.T) {
+	u := NewUniformKeys(10, "k")
+	r := rng.New(1)
+	counts := map[string]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[u.Key(r)]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("saw %d distinct keys", len(counts))
+	}
+	for k, c := range counts {
+		if !strings.HasPrefix(k, "k") {
+			t.Fatalf("key %q missing prefix", k)
+		}
+		if math.Abs(float64(c)-n/10) > 6*math.Sqrt(n/10) {
+			t.Fatalf("key %s count %d not uniform", k, c)
+		}
+	}
+	if u.Cardinality() != 10 {
+		t.Fatal("cardinality")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipfKeys(100, 1.2, "z")
+	r := rng.New(2)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(z.Key(r))]++
+	}
+	// Rank 0 should dominate rank 10 by roughly 11^1.2 ≈ 17.8x.
+	if counts[0] < counts[10]*8 {
+		t.Fatalf("zipf not skewed: rank0=%d rank10=%d", counts[0], counts[10])
+	}
+	// All probabilities positive: the tail should still be hit sometimes.
+	if counts[99] == 0 && counts[98] == 0 && counts[97] == 0 {
+		t.Fatal("deep tail never sampled")
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	z := NewZipfKeys(10, 0, "u")
+	r := rng.New(3)
+	counts := make([]int, 10)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(z.Key(r))]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/10) > 6*math.Sqrt(n/10) {
+			t.Fatalf("rank %d count %d not uniform", i, c)
+		}
+	}
+}
+
+func TestPoissonGapMean(t *testing.T) {
+	p := NewPoisson(0.5) // mean gap 2
+	r := rng.New(4)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g := p.NextGap(r)
+		if g <= 0 {
+			t.Fatal("non-positive gap")
+		}
+		sum += g
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.05 {
+		t.Fatalf("mean gap = %v, want 2", mean)
+	}
+}
+
+func TestFixedRate(t *testing.T) {
+	f := FixedRate{Gap: 3}
+	r := rng.New(5)
+	for i := 0; i < 10; i++ {
+		if f.NextGap(r) != 3 {
+			t.Fatal("fixed rate gap")
+		}
+	}
+}
+
+func TestThinkTimeClampsNegative(t *testing.T) {
+	tt := ThinkTime{D: dist.NewNormal(0.1, 10)} // often negative
+	r := rng.New(6)
+	for i := 0; i < 1000; i++ {
+		if tt.NextGap(r) < 0 {
+			t.Fatal("negative think time")
+		}
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	m := NewMix(0.75)
+	r := rng.New(7)
+	reads := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Op(r) == OpRead {
+			reads++
+		}
+	}
+	if frac := float64(reads) / n; math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("read fraction = %v", frac)
+	}
+}
+
+func TestProductionMixes(t *testing.T) {
+	y := YammerMix()
+	if y.ReadFraction < 0.90 || y.ReadFraction > 0.97 {
+		t.Fatalf("yammer read fraction = %v, want ≈0.94", y.ReadFraction)
+	}
+	l := LinkedInMix()
+	if l.ReadFraction < 0.6 || l.ReadFraction > 0.8 {
+		t.Fatalf("linkedin read fraction = %v, want ≈0.71", l.ReadFraction)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewUniformKeys(0, "") },
+		func() { NewZipfKeys(0, 1, "") },
+		func() { NewZipfKeys(5, -1, "") },
+		func() { NewPoisson(0) },
+		func() { NewMix(-0.1) },
+		func() { NewMix(1.1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

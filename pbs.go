@@ -1,0 +1,153 @@
+// Package pbs implements Probabilistically Bounded Staleness (PBS) for
+// quorum-replicated data stores, reproducing Bailis et al., VLDB 2012:
+// expected staleness bounds for partial (non-strict) quorums in terms of
+// versions (k-staleness), wall-clock time (t-visibility), and their
+// combination (⟨k,t⟩-staleness).
+//
+// The package answers two families of questions:
+//
+//   - Closed form (Sections 3.1-3.3): given N replicas with read/write
+//     quorum sizes R and W, what is the probability a read returns one of
+//     the last k versions? What load/capacity does staleness tolerance buy?
+//
+//   - Monte Carlo (Sections 4-5): given the four WARS one-way message
+//     latency distributions of a Dynamo-style system, what is the
+//     probability a read issued t seconds after a write commits observes
+//     it, and what operation latencies does each configuration pay?
+//
+// Quick start:
+//
+//	cfg := pbs.Config{N: 3, R: 1, W: 1}
+//	fmt.Println(cfg.KStalenessConsistency(3)) // 0.7037...
+//
+//	pred, _ := pbs.NewPredictor(pbs.IIDScenario(3, pbs.LNKDSSD()),
+//	    pbs.Quorum{R: 1, W: 1}, pbs.WithSeed(1))
+//	fmt.Println(pred.PConsistent(5))   // P(read at t=5ms is consistent)
+//	fmt.Println(pred.TVisibility(0.999)) // window for 99.9% consistency
+//
+// The heavy machinery — the WARS simulator, the discrete-event Dynamo-style
+// store used for validation, the experiment harness regenerating every
+// table and figure in the paper — lives in internal/ packages; this package
+// is the stable public surface.
+package pbs
+
+import (
+	"pbs/internal/dist"
+	"pbs/internal/quorum"
+	"pbs/internal/wars"
+)
+
+// Config is a Dynamo-style replication configuration: N replicas, R
+// responses required per read, W acknowledgments required per write.
+type Config struct {
+	N, R, W int
+}
+
+// qc converts to the internal representation.
+func (c Config) qc() quorum.Config { return quorum.Config{N: c.N, R: c.R, W: c.W} }
+
+// Validate reports whether the configuration is well formed.
+func (c Config) Validate() error { return c.qc().Validate() }
+
+// IsStrict reports whether R+W > N (read and write quorums always overlap,
+// guaranteeing consistency under normal operation).
+func (c Config) IsStrict() bool { return c.qc().IsStrict() }
+
+// NonIntersectionProb returns Equation 1: the probability that a uniformly
+// random read quorum misses a uniformly random write quorum.
+func (c Config) NonIntersectionProb() float64 { return quorum.NonIntersectionProb(c.qc()) }
+
+// KStalenessProb returns Equation 2: the probability that a read returns a
+// value older than the k most recent versions (no anti-entropy; an upper
+// bound for expanding quorums).
+func (c Config) KStalenessProb(k int) float64 { return quorum.KStalenessProb(c.qc(), k) }
+
+// KStalenessConsistency returns 1 - KStalenessProb(k): the probability of
+// reading one of the last k versions.
+func (c Config) KStalenessConsistency(k int) float64 {
+	return quorum.KStalenessConsistency(c.qc(), k)
+}
+
+// MinKForConsistency returns the smallest staleness tolerance k achieving
+// the target probability of consistency, and whether it is achievable.
+func (c Config) MinKForConsistency(target float64) (int, bool) {
+	return quorum.MinKForConsistency(c.qc(), target)
+}
+
+// MonotonicReadsProb returns Equation 3: the probability that a client
+// session violates monotonic reads given the global write rate gammaGW and
+// the client read rate gammaCR for the key.
+func (c Config) MonotonicReadsProb(gammaGW, gammaCR float64) float64 {
+	return quorum.MonotonicReadsProb(c.qc(), gammaGW, gammaCR, false)
+}
+
+// KStalenessLoad returns the Section 3.3 lower bound on quorum-system load
+// when tolerating k versions of staleness with inconsistency probability at
+// most p over n replicas. Lower load means higher capacity.
+func KStalenessLoad(p float64, k, n int) float64 { return quorum.KStalenessLoad(p, k, n) }
+
+// Dist is a latency distribution (milliseconds by convention).
+type Dist = dist.Dist
+
+// LatencyModel bundles the four WARS one-way delay distributions:
+// W (write dissemination), A (write ack), R (read request), S (read
+// response).
+type LatencyModel = dist.LatencyModel
+
+// Exponential returns an exponential distribution with the given rate.
+func Exponential(lambda float64) Dist { return dist.NewExponential(lambda) }
+
+// Pareto returns a Pareto distribution with scale xm and shape alpha.
+func Pareto(xm, alpha float64) Dist { return dist.NewPareto(xm, alpha) }
+
+// Uniform returns a uniform distribution on [lo, hi].
+func Uniform(lo, hi float64) Dist { return dist.NewUniform(lo, hi) }
+
+// Fixed returns a point-mass (deterministic) delay.
+func Fixed(v float64) Dist { return dist.Point{V: v} }
+
+// Mixture returns a weighted mixture; weights need not sum to 1.
+func Mixture(weights []float64, dists []Dist) Dist {
+	if len(weights) != len(dists) {
+		panic("pbs: Mixture needs one weight per distribution")
+	}
+	comps := make([]dist.Component, len(weights))
+	for i := range weights {
+		comps[i] = dist.Component{Weight: weights[i], D: dists[i]}
+	}
+	return dist.NewMixture(comps...)
+}
+
+// SymmetricModel builds a LatencyModel with one distribution for writes and
+// another shared by A, R and S — the shape of the paper's LNKD-DISK fit.
+func SymmetricModel(name string, w, ars Dist) LatencyModel {
+	return LatencyModel{Name: name, W: w, A: ars, R: ars, S: ars}
+}
+
+// LNKDSSD returns the paper's Table 3 fit for LinkedIn Voldemort on SSDs.
+func LNKDSSD() LatencyModel { return dist.LNKDSSD() }
+
+// LNKDDISK returns the paper's Table 3 fit for LinkedIn Voldemort on
+// 15k RPM disks.
+func LNKDDISK() LatencyModel { return dist.LNKDDISK() }
+
+// YMMR returns the paper's Table 3 fit for Yammer's Riak deployment.
+func YMMR() LatencyModel { return dist.YMMR() }
+
+// WANDelayMs is the one-way inter-datacenter delay of the paper's WAN
+// scenario (75 ms).
+const WANDelayMs = dist.WANDelayMs
+
+// Scenario generates per-replica WARS delays per trial.
+type Scenario = wars.Scenario
+
+// IIDScenario places n replicas with independent, identically distributed
+// delays from the model — the paper's LNKD-SSD/LNKD-DISK/YMMR setting.
+func IIDScenario(n int, model LatencyModel) Scenario { return wars.NewIID(n, model) }
+
+// WANScenario places each replica in its own datacenter with extra one-way
+// delay between datacenters; operations originate at a random datacenter
+// (Section 5.5).
+func WANScenario(n int, local LatencyModel, delayMs float64) Scenario {
+	return wars.NewWAN(n, local, delayMs)
+}

@@ -1,0 +1,196 @@
+package pbs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigClosedForms(t *testing.T) {
+	c := Config{N: 3, R: 1, W: 1}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsStrict() {
+		t.Fatal("R=W=1, N=3 is partial")
+	}
+	if got := c.NonIntersectionProb(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("ps = %v", got)
+	}
+	if got := c.KStalenessConsistency(3); math.Abs(got-0.7037) > 0.001 {
+		t.Fatalf("k=3 consistency = %v, paper says 0.703", got)
+	}
+	if got := c.KStalenessProb(1); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("psk(1) = %v", got)
+	}
+	k, ok := c.MinKForConsistency(0.98)
+	if !ok || k != 10 {
+		t.Fatalf("MinK = %d, %v", k, ok)
+	}
+	if got := c.MonotonicReadsProb(1, 1); math.Abs(got-4.0/9.0) > 1e-12 {
+		t.Fatalf("psMR = %v", got)
+	}
+	if (Config{N: 3, R: 2, W: 2}).NonIntersectionProb() != 0 {
+		t.Fatal("strict quorum should never miss")
+	}
+}
+
+func TestKStalenessLoadMonotone(t *testing.T) {
+	prev := 2.0
+	for k := 1; k <= 8; k++ {
+		l := KStalenessLoad(0.001, k, 100)
+		if l > prev {
+			t.Fatalf("load grew with k at %d", k)
+		}
+		prev = l
+	}
+}
+
+func TestDistConstructors(t *testing.T) {
+	if Exponential(2).Mean() != 0.5 {
+		t.Fatal("exponential")
+	}
+	if Pareto(1, 2).Mean() != 2 {
+		t.Fatal("pareto")
+	}
+	if Uniform(0, 4).Mean() != 2 {
+		t.Fatal("uniform")
+	}
+	if Fixed(3).Mean() != 3 {
+		t.Fatal("fixed")
+	}
+	m := Mixture([]float64{0.5, 0.5}, []Dist{Fixed(0), Fixed(10)})
+	if m.Mean() != 5 {
+		t.Fatal("mixture")
+	}
+}
+
+func TestMixturePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Mixture([]float64{1}, []Dist{Fixed(1), Fixed(2)})
+}
+
+func TestSymmetricModel(t *testing.T) {
+	m := SymmetricModel("demo", Exponential(1), Fixed(2))
+	if m.W.Mean() != 1 || m.A.Mean() != 2 || m.R.Mean() != 2 || m.S.Mean() != 2 {
+		t.Fatal("symmetric model wiring")
+	}
+	if m.Name != "demo" {
+		t.Fatal("name")
+	}
+}
+
+func TestProductionModels(t *testing.T) {
+	for _, m := range []LatencyModel{LNKDSSD(), LNKDDISK(), YMMR()} {
+		if m.W == nil || m.A == nil || m.R == nil || m.S == nil {
+			t.Fatalf("%s has nil distribution", m.Name)
+		}
+	}
+	if WANDelayMs != 75 {
+		t.Fatal("WAN delay constant")
+	}
+}
+
+func TestPredictorBasics(t *testing.T) {
+	pred, err := NewPredictor(IIDScenario(3, LNKDSSD()), Quorum{R: 1, W: 1},
+		WithSeed(7), WithTrials(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 5.6: LNKD-SSD has 97.4% immediate consistency and reaches
+	// very high probability within single-digit milliseconds.
+	p0 := pred.PConsistent(0)
+	if math.Abs(p0-0.974) > 0.01 {
+		t.Fatalf("P(0) = %v, paper reports ≈0.974", p0)
+	}
+	if tv := pred.TVisibility(0.999); tv > 5 {
+		t.Fatalf("t@99.9%% = %v ms, paper reports ≈1.85ms", tv)
+	}
+	if pred.PStale(0)+pred.PConsistent(0) != 1 {
+		t.Fatal("PStale complement")
+	}
+	if pred.ReadLatency(0.5) <= 0 || pred.WriteLatency(0.5) <= 0 {
+		t.Fatal("latency quantiles")
+	}
+	curve := pred.Curve([]float64{0, 1, 2})
+	if len(curve) != 3 || curve[2] < curve[0] {
+		t.Fatal("curve")
+	}
+}
+
+func TestPredictorKT(t *testing.T) {
+	pred, err := NewPredictor(IIDScenario(3, LNKDDISK()), Quorum{R: 1, W: 1},
+		WithSeed(9), WithTrials(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := pred.KTStalenessProb(1, 0)
+	p2 := pred.KTStalenessProb(2, 0)
+	if math.Abs(p2-p1*p1) > 1e-12 {
+		t.Fatalf("kt bound: %v vs %v²", p2, p1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 should panic")
+		}
+	}()
+	pred.KTStalenessProb(0, 0)
+}
+
+func TestPredictorRejectsBadQuorum(t *testing.T) {
+	if _, err := NewPredictor(IIDScenario(3, LNKDSSD()), Quorum{R: 0, W: 1}); err == nil {
+		t.Fatal("R=0 accepted")
+	}
+	if _, err := NewPredictor(IIDScenario(3, LNKDSSD()), Quorum{R: 1, W: 4}); err == nil {
+		t.Fatal("W>N accepted")
+	}
+}
+
+func TestPredictorDeterministic(t *testing.T) {
+	mk := func() *Predictor {
+		p, err := NewPredictor(IIDScenario(3, YMMR()), Quorum{R: 1, W: 1},
+			WithSeed(11), WithTrials(20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(), mk()
+	for _, tms := range []float64{0, 10, 100} {
+		if a.PConsistent(tms) != b.PConsistent(tms) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestWANScenarioImmediateConsistency(t *testing.T) {
+	pred, err := NewPredictor(WANScenario(3, LNKDDISK(), WANDelayMs), Quorum{R: 1, W: 1},
+		WithSeed(13), WithTrials(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Section 5.6: ≈33% immediately after commit.
+	if p := pred.PConsistent(0); math.Abs(p-0.33) > 0.05 {
+		t.Fatalf("WAN P(0) = %v", p)
+	}
+}
+
+func TestOptimizeSLA(t *testing.T) {
+	res, err := OptimizeSLA(LNKDSSD(), 3, SLATarget{
+		TWindow:        5,
+		MinPConsistent: 0.999,
+		MinN:           3,
+	}, WithSeed(17), WithTrials(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Feasible {
+		t.Fatal("no feasible choice")
+	}
+	if res.Best.N != 3 {
+		t.Fatalf("MinN violated: %+v", res.Best)
+	}
+}

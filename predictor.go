@@ -1,0 +1,116 @@
+package pbs
+
+import (
+	"pbs/internal/rng"
+	"pbs/internal/sla"
+	"pbs/internal/wars"
+)
+
+// Quorum is the per-operation response thresholds applied to a scenario.
+type Quorum struct {
+	R, W int
+}
+
+// options collects Predictor tuning.
+type options struct {
+	seed   uint64
+	trials int
+}
+
+// Option configures NewPredictor and OptimizeSLA.
+type Option func(*options)
+
+// WithSeed fixes the Monte Carlo seed, making predictions reproducible.
+// The default seed is 1.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithTrials sets the Monte Carlo sample count (default 100000). More
+// trials sharpen tail estimates like TVisibility(0.999) at linear cost.
+func WithTrials(n int) Option {
+	return func(o *options) { o.trials = n }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{seed: 1, trials: 100000}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// Predictor answers PBS t-visibility and latency questions for one
+// scenario and quorum configuration, backed by a WARS Monte Carlo run
+// (Sections 4-5 of the paper).
+type Predictor struct {
+	run *wars.Run
+}
+
+// NewPredictor simulates the scenario under the given quorum configuration.
+func NewPredictor(sc Scenario, q Quorum, opts ...Option) (*Predictor, error) {
+	o := buildOptions(opts)
+	run, err := wars.Simulate(sc, wars.Config{R: q.R, W: q.W}, o.trials, rng.New(o.seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{run: run}, nil
+}
+
+// PConsistent returns the probability that a read issued t ms after a write
+// commits observes that write (or newer data).
+func (p *Predictor) PConsistent(t float64) float64 { return p.run.PConsistent(t) }
+
+// PStale returns 1 - PConsistent(t): pst of PBS Definition 3.
+func (p *Predictor) PStale(t float64) float64 { return p.run.PStale(t) }
+
+// TVisibility returns the smallest window t such that reads are consistent
+// with probability at least prob — "how eventual is eventual consistency".
+func (p *Predictor) TVisibility(prob float64) float64 { return p.run.TVisibility(prob) }
+
+// KTStalenessProb returns the Section 3.5 rule-of-thumb bound for
+// ⟨k,t⟩-staleness: pst(t)^k, the probability of reading data more than k
+// versions old t ms after the last k versions committed simultaneously.
+func (p *Predictor) KTStalenessProb(k int, t float64) float64 {
+	if k < 1 {
+		panic("pbs: k must be at least 1")
+	}
+	ps := p.PStale(t)
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= ps
+	}
+	return out
+}
+
+// ReadLatency returns the q-quantile (0..1) of read operation latency: the
+// time for the R-th replica response to arrive.
+func (p *Predictor) ReadLatency(q float64) float64 { return p.run.ReadLatency(q) }
+
+// WriteLatency returns the q-quantile of write operation latency: the time
+// for the W-th acknowledgment to arrive.
+func (p *Predictor) WriteLatency(q float64) float64 { return p.run.WriteLatency(q) }
+
+// Curve evaluates PConsistent over the given times, producing the data
+// behind plots like the paper's Figures 4, 6 and 7.
+func (p *Predictor) Curve(ts []float64) []float64 { return p.run.Curve(ts) }
+
+// SLATarget states a staleness/durability objective for OptimizeSLA
+// (Section 6 of the paper): reads TWindow ms after commit must be
+// consistent with probability at least MinPConsistent, with at least MinN
+// replicas and write quorums of at least MinW.
+type SLATarget = sla.Target
+
+// SLAChoice is one evaluated replication configuration.
+type SLAChoice = sla.Choice
+
+// SLAResult is the optimizer output: the best feasible configuration and
+// the full trade-off space.
+type SLAResult = sla.Result
+
+// OptimizeSLA searches every (N, R, W) with N <= maxN for the
+// lowest-latency configuration meeting the target under the latency model.
+func OptimizeSLA(model LatencyModel, maxN int, target SLATarget, opts ...Option) (*SLAResult, error) {
+	o := buildOptions(opts)
+	return sla.Optimize(model, maxN, target, o.trials, rng.New(o.seed))
+}
