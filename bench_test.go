@@ -97,13 +97,63 @@ func BenchmarkClosedFormKStaleness(b *testing.B) {
 	}
 }
 
-// BenchmarkPredictorBuild measures a full 10k-trial WARS simulation.
+// BenchmarkPredictorBuild measures a full 10k-trial WARS simulation with
+// the default (all-cores) parallelism.
 func BenchmarkPredictorBuild(b *testing.B) {
 	sc := pbs.IIDScenario(3, pbs.LNKDDISK())
 	for i := 0; i < b.N; i++ {
 		if _, err := pbs.NewPredictor(sc, pbs.Quorum{R: 1, W: 1},
 			pbs.WithSeed(uint64(i+1)), pbs.WithTrials(10000)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictorBuildSerial is BenchmarkPredictorBuild pinned to one
+// worker — the baseline for the parallel speedup (results are identical).
+func BenchmarkPredictorBuildSerial(b *testing.B) {
+	sc := pbs.IIDScenario(3, pbs.LNKDDISK())
+	for i := 0; i < b.N; i++ {
+		if _, err := pbs.NewPredictor(sc, pbs.Quorum{R: 1, W: 1},
+			pbs.WithSeed(uint64(i+1)), pbs.WithTrials(10000),
+			pbs.WithParallelism(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictorsBatch25 evaluates all 25 (R, W) configurations at N=5
+// against one shared-trial simulation — the sweep shape the SLA optimizer
+// and Figure 6/7 regenerations use.
+func BenchmarkPredictorsBatch25(b *testing.B) {
+	sc := pbs.IIDScenario(5, pbs.LNKDDISK())
+	var qs []pbs.Quorum
+	for r := 1; r <= 5; r++ {
+		for w := 1; w <= 5; w++ {
+			qs = append(qs, pbs.Quorum{R: r, W: w})
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := pbs.NewPredictors(sc, qs,
+			pbs.WithSeed(uint64(i+1)), pbs.WithTrials(10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictors25Independent is the same sweep as
+// BenchmarkPredictorsBatch25 run as 25 independent simulations — the
+// pre-batching cost model, kept as the amortization baseline.
+func BenchmarkPredictors25Independent(b *testing.B) {
+	sc := pbs.IIDScenario(5, pbs.LNKDDISK())
+	for i := 0; i < b.N; i++ {
+		for r := 1; r <= 5; r++ {
+			for w := 1; w <= 5; w++ {
+				if _, err := pbs.NewPredictor(sc, pbs.Quorum{R: r, W: w},
+					pbs.WithSeed(uint64(i+1)), pbs.WithTrials(10000)); err != nil {
+					b.Fatal(err)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,3 @@
+module pbs
+
+go 1.24

@@ -1,0 +1,141 @@
+package dist
+
+// Production latency models and published percentile summaries.
+//
+// Table 3 of the paper fits each production configuration with a mixture of
+// two distributions, "one for the body and the other for the tail": a
+// Pareto body plus an exponential tail. The paper-reported parameters are
+// reproduced here verbatim; internal/fit re-derives comparable fits from
+// the percentile summaries below.
+
+// WANDelayMs is the one-way inter-datacenter delay of the paper's WAN
+// scenario (Section 5.5): 75 ms.
+const WANDelayMs = 75.0
+
+// lnkdSSDDist is the Table 3 LNKD-SSD fit, shared by W, A, R and S:
+// 91.22% Pareto(xm=0.235, alpha=10) + 8.78% Exp(lambda=1.66).
+func lnkdSSDDist() Dist {
+	return NewMixture(
+		Component{Weight: 0.9122, D: NewPareto(0.235, 10)},
+		Component{Weight: 0.0878, D: NewExponential(1.66)},
+	)
+}
+
+// LNKDSSD returns the paper's Table 3 fit for LinkedIn Voldemort on SSDs.
+// All four WARS delays share one distribution.
+func LNKDSSD() LatencyModel {
+	d := lnkdSSDDist()
+	return LatencyModel{Name: "LNKD-SSD", W: d, A: d, R: d, S: d}
+}
+
+// LNKDDISK returns the paper's Table 3 fit for LinkedIn Voldemort on
+// 15k RPM disks: only the write-dissemination delay W differs from the SSD
+// configuration (38% Pareto(xm=1.05, alpha=1.51) + 62% Exp(lambda=0.183));
+// A, R and S reuse the LNKD-SSD fit.
+func LNKDDISK() LatencyModel {
+	w := NewMixture(
+		Component{Weight: 0.38, D: NewPareto(1.05, 1.51)},
+		Component{Weight: 0.62, D: NewExponential(0.183)},
+	)
+	d := lnkdSSDDist()
+	return LatencyModel{Name: "LNKD-DISK", W: w, A: d, R: d, S: d}
+}
+
+// YMMR returns the paper's Table 3 fit for Yammer's Riak deployment:
+// W is 93.9% Pareto(3, 3.35) + 6.1% Exp(0.0028); A=R=S is
+// 98.2% Pareto(1.5, 3.8) + 1.8% Exp(0.0217).
+func YMMR() LatencyModel {
+	w := NewMixture(
+		Component{Weight: 0.939, D: NewPareto(3, 3.35)},
+		Component{Weight: 0.061, D: NewExponential(0.0028)},
+	)
+	ars := NewMixture(
+		Component{Weight: 0.982, D: NewPareto(1.5, 3.8)},
+		Component{Weight: 0.018, D: NewExponential(0.0217)},
+	)
+	return LatencyModel{Name: "YMMR", W: w, A: ars, R: ars, S: ars}
+}
+
+// WANLocal returns the local (intra-datacenter) latency model of the
+// paper's WAN scenario: the LNKD-DISK fit, with each remote one-way message
+// additionally delayed by WANDelayMs (applied by wars.NewWAN).
+func WANLocal() LatencyModel {
+	m := LNKDDISK()
+	m.Name = "WAN-local"
+	return m
+}
+
+// PercentilePoint is one row of a published latency summary.
+type PercentilePoint struct {
+	Percentile float64 // 0..100
+	LatencyMs  float64
+}
+
+// PercentileTable is a published latency percentile summary (the paper's
+// Tables 1 and 2). Mean is zero when the source did not report one.
+type PercentileTable struct {
+	Name   string
+	Points []PercentilePoint
+	Mean   float64
+}
+
+// Table1SSD returns the LinkedIn SSD latency summary of Table 1: the mean
+// plus two tail percentiles (LinkedIn published only coarse statistics; the
+// richer traces behind the Table 3 fits are private).
+func Table1SSD() PercentileTable {
+	return PercentileTable{
+		Name: "LNKD-SSD (Table 1)",
+		Points: []PercentilePoint{
+			{Percentile: 99, LatencyMs: 1.32},
+			{Percentile: 99.9, LatencyMs: 4.10},
+		},
+		Mean: 0.29,
+	}
+}
+
+// Table1Disk returns the LinkedIn 15k RPM disk latency summary of Table 1.
+func Table1Disk() PercentileTable {
+	return PercentileTable{
+		Name: "LNKD-DISK (Table 1)",
+		Points: []PercentilePoint{
+			{Percentile: 99, LatencyMs: 25.10},
+			{Percentile: 99.9, LatencyMs: 53.20},
+		},
+		Mean: 4.57,
+	}
+}
+
+// Table2Reads returns the Yammer read-latency percentile summary of
+// Table 2.
+func Table2Reads() PercentileTable {
+	return PercentileTable{
+		Name: "YMMR reads (Table 2)",
+		Points: []PercentilePoint{
+			{Percentile: 50, LatencyMs: 3.46},
+			{Percentile: 75, LatencyMs: 3.93},
+			{Percentile: 95, LatencyMs: 5.11},
+			{Percentile: 98, LatencyMs: 5.90},
+			{Percentile: 99, LatencyMs: 8.31},
+			{Percentile: 99.9, LatencyMs: 153.79},
+			{Percentile: 100, LatencyMs: 259.17},
+		},
+	}
+}
+
+// Table2Writes returns the Yammer write-latency percentile summary of
+// Table 2. The knee above the 98th percentile is the long tail the paper
+// fit "conservatively" (without chasing the maximum).
+func Table2Writes() PercentileTable {
+	return PercentileTable{
+		Name: "YMMR writes (Table 2)",
+		Points: []PercentilePoint{
+			{Percentile: 50, LatencyMs: 5.73},
+			{Percentile: 75, LatencyMs: 6.50},
+			{Percentile: 95, LatencyMs: 8.48},
+			{Percentile: 98, LatencyMs: 10.36},
+			{Percentile: 99, LatencyMs: 38.02},
+			{Percentile: 99.9, LatencyMs: 435.83},
+			{Percentile: 100, LatencyMs: 611.57},
+		},
+	}
+}

@@ -128,13 +128,15 @@ func RunFigure5(cfg Config) (*Result, error) {
 	sections := []string{}
 	tb := tabular.New("operation latency quantiles (ms), N=3 (Figure 5 data)",
 		"scenario", "op", "quorum", "p50", "p99", "p99.9")
+	configs := []wars.Config{{R: 1, W: 1}, {R: 2, W: 2}, {R: 3, W: 3}}
 	for si, sc := range productionScenarios(3) {
 		var readSeries, writeSeries []asciichart.Series
-		for q := 1; q <= 3; q++ {
-			run, err := wars.Simulate(sc, wars.Config{R: q, W: q}, cfg.Trials, r.Split())
-			if err != nil {
-				return nil, err
-			}
+		runs, err := wars.SimulateBatch(sc, configs, cfg.Trials, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		for qi, run := range runs {
+			q := configs[qi].R
 			tb.AddRow(scenarioNames[si], "read", fmt.Sprintf("R=%d", q),
 				tabular.Ms(run.ReadLatency(0.5)), tabular.Ms(run.ReadLatency(0.99)), tabular.Ms(run.ReadLatency(0.999)))
 			tb.AddRow(scenarioNames[si], "write", fmt.Sprintf("W=%d", q),
@@ -178,11 +180,12 @@ func RunFigure6(cfg Config) (*Result, error) {
 	for si, sc := range productionScenarios(3) {
 		var series []asciichart.Series
 		ts := stats.Logspace(0.1, 2000, 48)
-		for _, c := range configs {
-			run, err := wars.Simulate(sc, c, cfg.Trials, r.Split())
-			if err != nil {
-				return nil, err
-			}
+		runs, err := wars.SimulateBatch(sc, configs, cfg.Trials, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		for ci, run := range runs {
+			c := configs[ci]
 			tb.AddRow(scenarioNames[si], fmt.Sprintf("R=%d W=%d", c.R, c.W),
 				tabular.Prob(run.PConsistent(0)),
 				tabular.Prob(run.PConsistent(10)),
@@ -281,11 +284,12 @@ func RunTable4(cfg Config) (*Result, error) {
 	for si, sc := range productionScenarios(3) {
 		tb := tabular.New(fmt.Sprintf("Table 4 (%s): 99.9th-pct latencies and t @ pst=0.001, N=3", scenarioNames[si]),
 			"config", "Lr (ms)", "Lw (ms)", "t (ms)", "strict")
-		for _, c := range configs {
-			run, err := wars.Simulate(sc, c, cfg.Trials, r.Split())
-			if err != nil {
-				return nil, err
-			}
+		runs, err := wars.SimulateBatch(sc, configs, cfg.Trials, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		for ci, run := range runs {
+			c := configs[ci]
 			strict := ""
 			if c.R+c.W > 3 {
 				strict = "yes"

@@ -65,6 +65,18 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
 }
 
+// NewStream returns the stream-th member of a family of independent
+// generators rooted at seed. Unlike Split, which advances the parent's
+// mutable state, NewStream is a pure function of (seed, stream): shard i of
+// a parallel simulation can derive its generator without observing any
+// other shard, so results are independent of worker count and scheduling.
+// The stream index is scrambled through SplitMix64 before seeding so that
+// consecutive indices yield decorrelated state.
+func NewStream(seed, stream uint64) *RNG {
+	sm := stream
+	return New(seed ^ splitmix64(&sm))
+}
+
 // step advances the 128-bit LCG state: state = state*mul + inc.
 func (r *RNG) step() {
 	hi, lo := bits.Mul64(r.stateLo, mulLo)

@@ -93,12 +93,28 @@ type Result struct {
 // choice with the lowest weighted latency. The scenario is IID; use
 // OptimizeScenario for topology-aware deployments.
 func Optimize(model dist.LatencyModel, maxN int, target Target, trials int, r *rng.RNG) (*Result, error) {
-	return OptimizeScenario(func(n int) wars.Scenario { return wars.NewIID(n, model) }, maxN, target, trials, r)
+	return OptimizeWorkers(model, maxN, target, trials, r, 0)
+}
+
+// OptimizeWorkers is Optimize with an explicit simulation worker count
+// (<= 0 selects all cores).
+func OptimizeWorkers(model dist.LatencyModel, maxN int, target Target, trials int, r *rng.RNG, workers int) (*Result, error) {
+	mk := func(n int) wars.Scenario { return wars.NewIID(n, model) }
+	return OptimizeScenarioWorkers(mk, maxN, target, trials, r, workers)
 }
 
 // OptimizeScenario is Optimize with a caller-provided scenario factory per
 // replication factor.
 func OptimizeScenario(mkScenario func(n int) wars.Scenario, maxN int, target Target, trials int, r *rng.RNG) (*Result, error) {
+	return OptimizeScenarioWorkers(mkScenario, maxN, target, trials, r, 0)
+}
+
+// OptimizeScenarioWorkers is OptimizeScenario with an explicit simulation
+// worker count (<= 0 selects all cores). All N² configurations at each
+// replication factor are scored against one shared-trial batch simulation
+// (wars.SimulateBatch): the per-replica delay matrices are sampled once per
+// N instead of once per (N, R, W), so the sweep costs one simulation per N.
+func OptimizeScenarioWorkers(mkScenario func(n int) wars.Scenario, maxN int, target Target, trials int, r *rng.RNG, workers int) (*Result, error) {
 	if err := target.setDefaults(); err != nil {
 		return nil, err
 	}
@@ -119,23 +135,27 @@ func OptimizeScenario(mkScenario func(n int) wars.Scenario, maxN int, target Tar
 	var all []Choice
 	for n := minN; n <= maxN; n++ {
 		sc := mkScenario(n)
+		cfgs := make([]wars.Config, 0, n*n)
 		for rr := 1; rr <= n; rr++ {
 			for w := 1; w <= n; w++ {
-				run, err := wars.Simulate(sc, wars.Config{R: rr, W: w}, trials, r.Split())
-				if err != nil {
-					return nil, err
-				}
-				ch := Choice{
-					N: n, R: rr, W: w,
-					PConsistent:  run.PConsistent(target.TWindow),
-					TVisibility:  run.TVisibility(target.MinPConsistent),
-					ReadLatency:  run.ReadLatency(target.LatencyQuantile),
-					WriteLatency: run.WriteLatency(target.LatencyQuantile),
-				}
-				ch.Score = target.ReadWeight*ch.ReadLatency + (1-target.ReadWeight)*ch.WriteLatency
-				ch.Feasible = ch.PConsistent >= target.MinPConsistent && w >= target.MinW
-				all = append(all, ch)
+				cfgs = append(cfgs, wars.Config{R: rr, W: w})
 			}
+		}
+		runs, err := wars.SimulateBatchWorkers(sc, cfgs, trials, r.Split(), workers)
+		if err != nil {
+			return nil, err
+		}
+		for i, run := range runs {
+			ch := Choice{
+				N: n, R: cfgs[i].R, W: cfgs[i].W,
+				PConsistent:  run.PConsistent(target.TWindow),
+				TVisibility:  run.TVisibility(target.MinPConsistent),
+				ReadLatency:  run.ReadLatency(target.LatencyQuantile),
+				WriteLatency: run.WriteLatency(target.LatencyQuantile),
+			}
+			ch.Score = target.ReadWeight*ch.ReadLatency + (1-target.ReadWeight)*ch.WriteLatency
+			ch.Feasible = ch.PConsistent >= target.MinPConsistent && ch.W >= target.MinW
+			all = append(all, ch)
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {

@@ -1,0 +1,117 @@
+package wars
+
+import (
+	"sort"
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+	"pbs/internal/stats"
+)
+
+func benchScenario(n int) Scenario { return NewIID(n, dist.LNKDDISK()) }
+
+// BenchmarkSimulate measures the engine at default (all-core) parallelism.
+func BenchmarkSimulate(b *testing.B) {
+	sc := benchScenario(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(sc, Config{R: 1, W: 1}, 10000, rng.New(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateSerial pins the engine to one worker.
+func BenchmarkSimulateSerial(b *testing.B) {
+	sc := benchScenario(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateWorkers(sc, Config{R: 1, W: 1}, 10000, rng.New(uint64(i+1)), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateLegacy reproduces the pre-engine inner loop — a
+// sort.Slice over a fresh closure per trial — as the recorded baseline the
+// shared-trial engine replaced. Kept in test code only.
+func BenchmarkSimulateLegacy(b *testing.B) {
+	sc := benchScenario(3)
+	cfg := Config{R: 1, W: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		legacySimulate(b, sc, cfg, 10000, rng.New(uint64(i+1)))
+	}
+}
+
+func legacySimulate(b *testing.B, sc Scenario, cfg Config, trials int, r *rng.RNG) {
+	n := sc.Replicas()
+	thresholds := make([]float64, trials)
+	readLat := make([]float64, trials)
+	writeLat := make([]float64, trials)
+	tr := newTrial(n)
+	wa := make([]float64, n)
+	rs := make([]float64, n)
+	order := make([]int, n)
+	for i := 0; i < trials; i++ {
+		sc.Fill(r, tr)
+		for j := 0; j < n; j++ {
+			wa[j] = tr.W[j] + tr.A[j]
+		}
+		wt := stats.KthSmallest(wa, cfg.W-1)
+		writeLat[i] = wt
+		for j := 0; j < n; j++ {
+			rs[j] = tr.R[j] + tr.S[j]
+			order[j] = j
+		}
+		sort.Slice(order, func(a, c int) bool { return rs[order[a]] < rs[order[c]] })
+		readLat[i] = rs[order[cfg.R-1]]
+		thr := tr.W[order[0]] - tr.R[order[0]] - wt
+		for j := 1; j < cfg.R; j++ {
+			idx := order[j]
+			if v := tr.W[idx] - tr.R[idx] - wt; v < thr {
+				thr = v
+			}
+		}
+		thresholds[i] = thr
+	}
+	sort.Float64s(thresholds)
+	sort.Float64s(readLat)
+	sort.Float64s(writeLat)
+}
+
+// BenchmarkSimulateBatch25 runs the full 25-configuration sweep at N=5 in
+// one shared-trial batch.
+func BenchmarkSimulateBatch25(b *testing.B) {
+	sc := benchScenario(5)
+	var cfgs []Config
+	for r := 1; r <= 5; r++ {
+		for w := 1; w <= 5; w++ {
+			cfgs = append(cfgs, Config{R: r, W: w})
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateBatch(sc, cfgs, 10000, rng.New(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate25Independent runs the same sweep as 25 independent
+// simulations — the structure sla.Optimize had before batching.
+func BenchmarkSimulate25Independent(b *testing.B) {
+	sc := benchScenario(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := rng.New(uint64(i + 1))
+		for rr := 1; rr <= 5; rr++ {
+			for w := 1; w <= 5; w++ {
+				if _, err := Simulate(sc, Config{R: rr, W: w}, 10000, r.Split()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

@@ -28,26 +28,32 @@ type FrontierPoint struct {
 // Frontier evaluates every (R, W) in [1, N]² and marks the Pareto-optimal
 // set: configurations for which no other configuration has both a smaller
 // staleness window and lower combined latency. Points are returned sorted
-// by combined latency ascending.
+// by combined latency ascending. All configurations are scored against one
+// shared set of sampled trials (SimulateBatch), so dominance comparisons
+// see identical workloads rather than independent noise.
 func Frontier(sc Scenario, pConsistent, latencyQuantile float64, trials int, r *rng.RNG) ([]FrontierPoint, error) {
 	n := sc.Replicas()
-	var pts []FrontierPoint
+	cfgs := make([]Config, 0, n*n)
 	for rr := 1; rr <= n; rr++ {
 		for w := 1; w <= n; w++ {
-			run, err := Simulate(sc, Config{R: rr, W: w}, trials, r.Split())
-			if err != nil {
-				return nil, err
-			}
-			lr := run.ReadLatency(latencyQuantile)
-			lw := run.WriteLatency(latencyQuantile)
-			pts = append(pts, FrontierPoint{
-				R: rr, W: w,
-				TVisibility:     run.TVisibility(pConsistent),
-				ReadLatency:     lr,
-				WriteLatency:    lw,
-				CombinedLatency: lr + lw,
-			})
+			cfgs = append(cfgs, Config{R: rr, W: w})
 		}
+	}
+	runs, err := SimulateBatch(sc, cfgs, trials, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]FrontierPoint, 0, len(runs))
+	for i, run := range runs {
+		lr := run.ReadLatency(latencyQuantile)
+		lw := run.WriteLatency(latencyQuantile)
+		pts = append(pts, FrontierPoint{
+			R: cfgs[i].R, W: cfgs[i].W,
+			TVisibility:     run.TVisibility(pConsistent),
+			ReadLatency:     lr,
+			WriteLatency:    lw,
+			CombinedLatency: lr + lw,
+		})
 	}
 	// Pareto marking: O(n⁴) pairwise dominance over at most N² points.
 	for i := range pts {

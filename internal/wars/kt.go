@@ -9,7 +9,6 @@ package wars
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"pbs/internal/dist"
 	"pbs/internal/rng"
@@ -110,9 +109,8 @@ func KTStaleness(sc Scenario, cfg Config, opt KTOptions, trials int, r *rng.RNG)
 		readStart := lastCommit + opt.T
 		for i := 0; i < n; i++ {
 			rs[i] = tr.R[i] + tr.S[i]
-			order[i] = i
 		}
-		sort.Slice(order, func(a, b int) bool { return rs[order[a]] < rs[order[b]] })
+		orderByValue(order, rs)
 
 		// Each of the first R responders reports its newest version at the
 		// moment the read request arrives (readStart + tr.R[i]).

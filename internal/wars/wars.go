@@ -26,7 +26,6 @@
 package wars
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -53,6 +52,11 @@ func newTrial(n int) *Trial {
 
 // Scenario generates WARS trials. Implementations decide how delays vary
 // across replicas (IID cluster, WAN topology, proxied coordinator, ...).
+//
+// Fill must be safe for concurrent use by multiple goroutines with distinct
+// generators: the simulation engine shards trials across workers, each
+// calling Fill with its own *rng.RNG. Scenarios should therefore be
+// immutable after construction, keeping all per-trial state in r and tr.
 type Scenario interface {
 	// Name identifies the scenario in reports.
 	Name() string
@@ -187,79 +191,13 @@ type Run struct {
 	writeLat   []float64 // sorted W-th order statistic of W+A
 }
 
-// Simulate runs the WARS Monte Carlo for the given scenario and quorum
-// configuration.
-func Simulate(sc Scenario, cfg Config, trials int, r *rng.RNG) (*Run, error) {
-	n := sc.Replicas()
-	if cfg.R < 1 || cfg.R > n || cfg.W < 1 || cfg.W > n {
-		return nil, fmt.Errorf("wars: invalid configuration R=%d W=%d for N=%d", cfg.R, cfg.W, n)
-	}
-	if trials < 1 {
-		return nil, errors.New("wars: trials must be positive")
-	}
-	run := &Run{
-		ScenarioName: sc.Name(),
-		N:            n, R: cfg.R, W: cfg.W,
-		Trials:     trials,
-		thresholds: make([]float64, trials),
-		readLat:    make([]float64, trials),
-		writeLat:   make([]float64, trials),
-	}
-	tr := newTrial(n)
-	wa := make([]float64, n)
-	rs := make([]float64, n)
-	order := make([]int, n)
-	for i := 0; i < trials; i++ {
-		sc.Fill(r, tr)
-		// Commit time: W-th smallest W+A.
-		for j := 0; j < n; j++ {
-			wa[j] = tr.W[j] + tr.A[j]
-		}
-		wt := kthOf(wa, cfg.W-1)
-		run.writeLat[i] = wt
-
-		// Read: order replicas by response arrival R+S; first R count.
-		for j := 0; j < n; j++ {
-			rs[j] = tr.R[j] + tr.S[j]
-			order[j] = j
-		}
-		sort.Slice(order, func(a, b int) bool { return rs[order[a]] < rs[order[b]] })
-		run.readLat[i] = rs[order[cfg.R-1]]
-
-		// Consistency threshold: min over the first R responses of
-		// (W[i] - R[i]) - wt. Negative thresholds mean consistent at t=0.
-		thr := tr.W[order[0]] - tr.R[order[0]] - wt
-		for j := 1; j < cfg.R; j++ {
-			idx := order[j]
-			if v := tr.W[idx] - tr.R[idx] - wt; v < thr {
-				thr = v
-			}
-		}
-		run.thresholds[i] = thr
-	}
-	sort.Float64s(run.thresholds)
-	sort.Float64s(run.readLat)
-	sort.Float64s(run.writeLat)
-	return run, nil
-}
-
-// kthOf returns the k-th smallest (0-indexed) of xs without disturbing the
-// caller's ordering assumptions (it operates on a scratch copy held in xs —
-// callers pass reusable scratch slices whose order is irrelevant).
-func kthOf(xs []float64, k int) float64 {
-	return stats.KthSmallest(xs, k)
-}
-
 // PConsistent returns the estimated probability that a read issued t after
 // commit returns the committed (or newer) value: the fraction of trials
-// whose threshold is <= t.
+// whose threshold is <= t. Thresholds equal to t count as consistent (the
+// paper's predicate uses <), so the binary search finds the upper bound of
+// t rather than the lower.
 func (run *Run) PConsistent(t float64) float64 {
-	n := sort.SearchFloat64s(run.thresholds, t)
-	// SearchFloat64s finds the first index with value >= t; thresholds
-	// equal to t count as consistent (the paper's predicate uses <).
-	for n < len(run.thresholds) && run.thresholds[n] == t {
-		n++
-	}
+	n := sort.Search(len(run.thresholds), func(i int) bool { return run.thresholds[i] > t })
 	return float64(n) / float64(len(run.thresholds))
 }
 

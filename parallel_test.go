@@ -1,0 +1,74 @@
+package pbs
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelismDoesNotChangeResults pins the public determinism
+// guarantee: WithParallelism trades wall-clock for nothing else.
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	mk := func(workers int) *Predictor {
+		p, err := NewPredictor(IIDScenario(3, LNKDDISK()), Quorum{R: 1, W: 1},
+			WithSeed(5), WithTrials(30000), WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	serial := mk(1)
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		par := mk(workers)
+		for _, tms := range []float64{0, 1, 10, 100} {
+			if serial.PConsistent(tms) != par.PConsistent(tms) {
+				t.Fatalf("workers=%d: PConsistent(%v) diverged", workers, tms)
+			}
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if serial.ReadLatency(q) != par.ReadLatency(q) ||
+				serial.WriteLatency(q) != par.WriteLatency(q) ||
+				serial.TVisibility(q) != par.TVisibility(q) {
+				t.Fatalf("workers=%d: latency quantile %v diverged", workers, q)
+			}
+		}
+	}
+}
+
+// TestNewPredictorsMatchesSingle verifies the shared-trial batch
+// constructor returns exactly what per-configuration constructors would.
+func TestNewPredictorsMatchesSingle(t *testing.T) {
+	qs := []Quorum{{R: 1, W: 1}, {R: 2, W: 1}, {R: 3, W: 2}}
+	batch, err := NewPredictors(IIDScenario(3, LNKDSSD()), qs,
+		WithSeed(11), WithTrials(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(qs) {
+		t.Fatalf("got %d predictors, want %d", len(batch), len(qs))
+	}
+	for i, q := range qs {
+		solo, err := NewPredictor(IIDScenario(3, LNKDSSD()), q,
+			WithSeed(11), WithTrials(20000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tms := range []float64{0, 1, 5} {
+			if batch[i].PConsistent(tms) != solo.PConsistent(tms) {
+				t.Fatalf("config %d: batch and solo predictors diverged at t=%v", i, tms)
+			}
+		}
+		if batch[i].ReadLatency(0.999) != solo.ReadLatency(0.999) {
+			t.Fatalf("config %d: read latency diverged", i)
+		}
+	}
+}
+
+func TestNewPredictorsRejectsBadQuorum(t *testing.T) {
+	if _, err := NewPredictors(IIDScenario(3, LNKDSSD()),
+		[]Quorum{{R: 1, W: 1}, {R: 0, W: 1}}); err == nil {
+		t.Fatal("invalid quorum accepted")
+	}
+	if _, err := NewPredictors(IIDScenario(3, LNKDSSD()), nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

@@ -13,11 +13,12 @@ type Quorum struct {
 
 // options collects Predictor tuning.
 type options struct {
-	seed   uint64
-	trials int
+	seed    uint64
+	trials  int
+	workers int
 }
 
-// Option configures NewPredictor and OptimizeSLA.
+// Option configures NewPredictor, NewPredictors and OptimizeSLA.
 type Option func(*options)
 
 // WithSeed fixes the Monte Carlo seed, making predictions reproducible.
@@ -30,6 +31,14 @@ func WithSeed(seed uint64) Option {
 // trials sharpen tail estimates like TVisibility(0.999) at linear cost.
 func WithTrials(n int) Option {
 	return func(o *options) { o.trials = n }
+}
+
+// WithParallelism sets the number of simulation worker goroutines. The
+// default (and any n <= 0) is runtime.GOMAXPROCS(0). Results are identical
+// for every parallelism level — trials are sharded deterministically from
+// the seed, so parallelism only changes wall-clock time.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.workers = n }
 }
 
 func buildOptions(opts []Option) options {
@@ -50,11 +59,33 @@ type Predictor struct {
 // NewPredictor simulates the scenario under the given quorum configuration.
 func NewPredictor(sc Scenario, q Quorum, opts ...Option) (*Predictor, error) {
 	o := buildOptions(opts)
-	run, err := wars.Simulate(sc, wars.Config{R: q.R, W: q.W}, o.trials, rng.New(o.seed))
+	run, err := wars.SimulateWorkers(sc, wars.Config{R: q.R, W: q.W}, o.trials, rng.New(o.seed), o.workers)
 	if err != nil {
 		return nil, err
 	}
 	return &Predictor{run: run}, nil
+}
+
+// NewPredictors simulates every quorum configuration against one shared
+// set of sampled trials: each trial's per-replica delays are drawn once and
+// scored under all configurations, so comparing the returned predictors
+// isolates the effect of the quorum choice and the whole batch costs about
+// one simulation. predictors[i] corresponds to qs[i].
+func NewPredictors(sc Scenario, qs []Quorum, opts ...Option) ([]*Predictor, error) {
+	o := buildOptions(opts)
+	cfgs := make([]wars.Config, len(qs))
+	for i, q := range qs {
+		cfgs[i] = wars.Config{R: q.R, W: q.W}
+	}
+	runs, err := wars.SimulateBatchWorkers(sc, cfgs, o.trials, rng.New(o.seed), o.workers)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]*Predictor, len(runs))
+	for i, run := range runs {
+		preds[i] = &Predictor{run: run}
+	}
+	return preds, nil
 }
 
 // PConsistent returns the probability that a read issued t ms after a write
@@ -110,7 +141,9 @@ type SLAResult = sla.Result
 
 // OptimizeSLA searches every (N, R, W) with N <= maxN for the
 // lowest-latency configuration meeting the target under the latency model.
+// All configurations at each replication factor are evaluated against one
+// shared-trial batch simulation.
 func OptimizeSLA(model LatencyModel, maxN int, target SLATarget, opts ...Option) (*SLAResult, error) {
 	o := buildOptions(opts)
-	return sla.Optimize(model, maxN, target, o.trials, rng.New(o.seed))
+	return sla.OptimizeWorkers(model, maxN, target, o.trials, rng.New(o.seed), o.workers)
 }
