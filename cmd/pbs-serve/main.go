@@ -1,0 +1,231 @@
+// Command pbs-serve boots a live networked PBS cluster on loopback and
+// measures it against its own predictions: N internal/server replicas
+// (HTTP key-value API, TCP replication, injectable WARS latency), a
+// concurrent load generator driving a configurable workload through the
+// cluster, an online staleness monitor streaming measured staleness and
+// latency, and a probe campaign whose measured t-visibility is printed
+// side by side with the wars Monte Carlo prediction — the live-cluster
+// counterpart of the pbs calculator.
+//
+// Example:
+//
+//	pbs-serve -replicas 3 -n 3 -r 1 -w 2 -model lnkd-disk -scale 16 \
+//	          -rate 2000 -duration 10s -epochs 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pbs/internal/client"
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+	"pbs/internal/server"
+	"pbs/internal/stats"
+	"pbs/internal/tabular"
+	"pbs/internal/wars"
+	"pbs/internal/workload"
+)
+
+func latencyModel(name string) (dist.LatencyModel, bool) {
+	if name == "validation" {
+		// The paper's Section 5.2 validation model: exponential W (mean
+		// 20ms) and A=R=S (mean 10ms).
+		return dist.LatencyModel{
+			Name: "validation",
+			W:    dist.NewExponential(1.0 / 20),
+			A:    dist.NewExponential(1.0 / 10),
+			R:    dist.NewExponential(1.0 / 10),
+			S:    dist.NewExponential(1.0 / 10),
+		}, true
+	}
+	return dist.ModelByName(name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pbs-serve: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	replicas := flag.Int("replicas", 3, "cluster size")
+	n := flag.Int("n", 3, "replication factor N")
+	r := flag.Int("r", 1, "read quorum size R")
+	w := flag.Int("w", 1, "write quorum size W")
+	modelName := flag.String("model", "lnkd-disk", "latency model: lnkd-ssd, lnkd-disk, ymmr, validation")
+	scale := flag.Float64("scale", 1, "latency time-scale factor (stretch injected delays)")
+	readRepair := flag.Bool("read-repair", false, "enable read repair")
+	rate := flag.Float64("rate", 2000, "load generator target ops/s (0 = closed loop)")
+	clients := flag.Int("clients", 16, "concurrent load-generator workers")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	keys := flag.Int("keys", 1024, "keyspace size")
+	zipf := flag.Float64("zipf", 0.99, "Zipf popularity exponent (0 = uniform keys)")
+	readFraction := flag.Float64("read-fraction", 0.8, "read fraction of the workload")
+	epochs := flag.Int("epochs", 200, "t-visibility probe epochs (0 = skip probing)")
+	trials := flag.Int("trials", 100000, "Monte Carlo trials for the prediction")
+	interval := flag.Duration("interval", 2*time.Second, "live snapshot interval")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	model, ok := latencyModel(*modelName)
+	if !ok {
+		fatalf("unknown model %q (want lnkd-ssd, lnkd-disk, ymmr or validation)", *modelName)
+	}
+	scaled := dist.ScaleModel(model, *scale)
+
+	// Prediction first: the table the live cluster has to live up to.
+	pred, err := wars.Simulate(wars.NewIID(*n, scaled), wars.Config{R: *r, W: *w}, *trials, rng.New(*seed))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cluster, err := server.StartLocal(*replicas, server.Params{
+		N: *n, R: *r, W: *w,
+		ReadRepair: *readRepair,
+		Model:      &model, Scale: *scale,
+		Seed: *seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cluster.Close()
+
+	fmt.Printf("pbs-serve: live PBS cluster on loopback\n")
+	fmt.Printf("  replicas=%d N=%d R=%d W=%d model=%s scale=%g read-repair=%v\n",
+		*replicas, *n, *r, *w, model.Name, *scale, *readRepair)
+	for i, addr := range cluster.HTTPAddrs {
+		fmt.Printf("  node %d: %s\n", i, addr)
+	}
+	strict := ""
+	if *r+*w > *n {
+		strict = " (strict quorum: R+W > N)"
+	}
+	fmt.Printf("  predicted: P(consistent, t=0)=%.4f, t-visibility@99.9%%=%.1fms%s\n\n",
+		pred.PConsistent(0), pred.TVisibility(0.999), strict)
+
+	c, err := client.Dial(cluster.HTTPAddrs[0])
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var chooser workload.KeyChooser
+	if *zipf > 0 {
+		chooser = workload.NewZipfKeys(*keys, *zipf, "key-")
+	} else {
+		chooser = workload.NewUniformKeys(*keys, "key-")
+	}
+
+	// Load generator + live monitor in the background.
+	mon := client.NewMonitor()
+	var loadRes client.LoadResult
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var err error
+		loadRes, err = client.RunLoad(c, mon, client.LoadOptions{
+			Clients: *clients, Rate: *rate, Duration: *duration,
+			Keys: chooser, Mix: workload.NewMix(*readFraction), Seed: *seed,
+		})
+		if err != nil {
+			fatalf("load generator: %v", err)
+		}
+	}()
+
+	// Probe campaign concurrently with the load: measured t-visibility
+	// under real traffic.
+	var meas *client.TVisMeasurement
+	if *epochs > 0 {
+		tmax := pred.TVisibility(0.95)
+		if tmax < 2 {
+			tmax = 2
+		}
+		if tmax > 400 {
+			tmax = 400
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var err error
+			meas, err = client.MeasureTVisibility(c, client.TVisOptions{
+				Ts: stats.Linspace(0, tmax, 10), Epochs: *epochs, Concurrency: 8,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pbs-serve: probe campaign: %v\n", err)
+			}
+		}()
+	}
+
+	// Live snapshots while the workload runs.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	qs := []float64{0.5, 0.95, 0.999}
+	start := time.Now()
+	ticker := time.NewTicker(*interval)
+live:
+	for {
+		select {
+		case <-done:
+			break live
+		case <-ticker.C:
+			s := mon.Snapshot(qs)
+			fmt.Printf("[%5.1fs] ops=%d (%.0f/s) stale=%.2f%% mean-k=%.3f read p50/p95=%.1f/%.1fms write p50/p95=%.1f/%.1fms\n",
+				time.Since(start).Seconds(), s.Reads+s.Writes,
+				float64(s.Reads+s.Writes)/time.Since(start).Seconds(),
+				s.PStale*100, s.MeanKBehind,
+				s.ReadClientMs[0], s.ReadClientMs[1],
+				s.WriteClientMs[0], s.WriteClientMs[1])
+		}
+	}
+	ticker.Stop()
+
+	// Final measured-vs-predicted tables.
+	snap := mon.Snapshot(qs)
+	fmt.Printf("\nload generator: %d ops in %v (%.0f ops/s, %d errors)\n\n",
+		loadRes.Ops, loadRes.Elapsed.Round(time.Millisecond), loadRes.Throughput, loadRes.Errors)
+
+	lt := tabular.New("operation latency: measured (coordinator) vs predicted (WARS)",
+		"quantile", "read meas", "read pred", "write meas", "write pred")
+	for i, q := range qs {
+		lt.AddRow(fmt.Sprintf("p%g", q*100),
+			tabular.Ms(snap.ReadCoordMs[i]), tabular.Ms(pred.ReadLatency(q)),
+			tabular.Ms(snap.WriteCoordMs[i]), tabular.Ms(pred.WriteLatency(q)))
+	}
+	fmt.Println(lt.String())
+
+	st := tabular.New("staleness: measured vs predicted",
+		"metric", "measured", "predicted")
+	st.AddRow("P(stale) under workload", tabular.Pct(snap.PStale), "(depends on read timing)")
+	st.AddRow("mean k-staleness (versions behind)", fmt.Sprintf("%.4f", snap.MeanKBehind), "-")
+	st.AddRow("max k-staleness", fmt.Sprintf("%d", snap.MaxKBehind), "-")
+	var flags, repairs int64
+	for i := 0; i < c.Nodes(); i++ {
+		if ns, err := c.Stats(i); err == nil {
+			flags += ns.DetectorFlags
+			repairs += ns.ReadRepairs
+		}
+	}
+	st.AddRow("detector flags (Sec 4.3)", fmt.Sprintf("%d", flags), "-")
+	st.AddRow("read repairs", fmt.Sprintf("%d", repairs), "-")
+	fmt.Println(st.String())
+
+	if meas != nil {
+		tv := tabular.New("t-visibility: measured vs predicted",
+			"t (ms)", "measured P", "predicted P", "delta")
+		predCurve := pred.Curve(meas.MeanOffsets())
+		measCurve := meas.Curve()
+		for i := range meas.Ts {
+			tv.AddRow(fmt.Sprintf("%.1f", meas.Ts[i]),
+				tabular.Prob(measCurve[i]), tabular.Prob(predCurve[i]),
+				fmt.Sprintf("%+.4f", measCurve[i]-predCurve[i]))
+		}
+		fmt.Println(tv.String())
+		if rmse, err := stats.RMSE(predCurve, measCurve); err == nil {
+			fmt.Printf("t-visibility agreement: RMSE %.2f%% over %d probe points (%d epochs)\n",
+				rmse*100, len(meas.Ts), *epochs)
+		}
+	}
+}

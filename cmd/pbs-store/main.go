@@ -17,16 +17,7 @@ import (
 )
 
 func latencyModel(name string) (dist.LatencyModel, bool) {
-	switch name {
-	case "lnkd-ssd":
-		return dist.LNKDSSD(), true
-	case "lnkd-disk":
-		return dist.LNKDDISK(), true
-	case "ymmr":
-		return dist.YMMR(), true
-	default:
-		return dist.LatencyModel{}, false
-	}
+	return dist.ModelByName(name)
 }
 
 func main() {

@@ -17,6 +17,7 @@ import (
 
 	"pbs"
 	"pbs/internal/core"
+	"pbs/internal/dist"
 	"pbs/internal/wars"
 )
 
@@ -36,18 +37,12 @@ run "pbs <subcommand> -h" for flags
 }
 
 func model(name string) pbs.LatencyModel {
-	switch name {
-	case "lnkd-ssd":
-		return pbs.LNKDSSD()
-	case "lnkd-disk":
-		return pbs.LNKDDISK()
-	case "ymmr":
-		return pbs.YMMR()
-	default:
+	m, ok := dist.ModelByName(name)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "pbs: unknown model %q (want lnkd-ssd, lnkd-disk, ymmr or wan)\n", name)
 		os.Exit(2)
-		panic("unreachable")
 	}
+	return m
 }
 
 func main() {

@@ -1,0 +1,250 @@
+// Package client is the client side of the live networked PBS store: a
+// ring-routing HTTP client for the internal/server key-value API, a
+// concurrent load generator driven by internal/workload, an online
+// staleness monitor streaming measured t-visibility/k-staleness and
+// latency quantiles, and the probe-based t-visibility measurement that
+// the end-to-end conformance suite compares against wars.SimulateBatch
+// predictions.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbs/internal/ring"
+	"pbs/internal/server"
+)
+
+// Client talks to a cluster of internal/server nodes. It routes writes to
+// each key's primary coordinator (the first node of the key's preference
+// list, which serializes version assignment) and spreads reads across all
+// nodes round-robin — any node can coordinate a read. Safe for concurrent
+// use.
+type Client struct {
+	addrs []string
+	n     int
+	ring  *ring.Ring
+	hc    *http.Client
+
+	readRR atomic.Uint64
+}
+
+// Dial fetches the cluster configuration from any node's /config endpoint
+// and returns a routing client.
+func Dial(seedURL string) (*Client, error) {
+	hc := newHTTPClient()
+	resp, err := hc.Get(strings.TrimRight(seedURL, "/") + "/config")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: config fetch: %s", resp.Status)
+	}
+	var cfg server.ConfigResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
+		return nil, err
+	}
+	return New(cfg)
+}
+
+// New builds a client from an already known configuration.
+func New(cfg server.ConfigResponse) (*Client, error) {
+	if cfg.Nodes < 1 || len(cfg.Addrs) != cfg.Nodes {
+		return nil, fmt.Errorf("client: bad config: %d nodes, %d addrs", cfg.Nodes, len(cfg.Addrs))
+	}
+	if cfg.Vnodes < 1 {
+		return nil, fmt.Errorf("client: bad config: %d vnodes", cfg.Vnodes)
+	}
+	return &Client{
+		addrs: cfg.Addrs,
+		n:     cfg.N,
+		ring:  ring.New(cfg.Nodes, cfg.Vnodes),
+		hc:    newHTTPClient(),
+	}, nil
+}
+
+func newHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        0, // unlimited
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+			DisableCompression:  true,
+		},
+		Timeout: 30 * time.Second,
+	}
+}
+
+// Nodes returns the cluster size.
+func (c *Client) Nodes() int { return len(c.addrs) }
+
+// PutResult is the outcome of a write.
+type PutResult struct {
+	// Seq is the version number the cluster assigned.
+	Seq uint64
+	// CommittedAt is the coordinator's wall clock at quorum commit — the
+	// origin for t-visibility probing (same machine, same clock, for the
+	// loopback conformance setup).
+	CommittedAt time.Time
+	// CoordMs is the coordinator-measured write latency (WARS W-th order
+	// statistic analogue); ClientMs additionally includes the client hop.
+	CoordMs  float64
+	ClientMs float64
+}
+
+// GetResult is the outcome of a read.
+type GetResult struct {
+	Found bool
+	Seq   uint64
+	Value string
+	// CoordMs is the coordinator-measured read latency (WARS R-th order
+	// statistic analogue); ClientMs additionally includes the client hop.
+	CoordMs  float64
+	ClientMs float64
+}
+
+func (c *Client) kvURL(node int, key string) string {
+	return c.addrs[node] + "/kv/" + url.PathEscape(key)
+}
+
+// Put writes value to key through the key's primary coordinator.
+func (c *Client) Put(key, value string) (PutResult, error) {
+	node := c.ring.Coordinator(key)
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodPut, c.kvURL(node, key), strings.NewReader(value))
+	if err != nil {
+		return PutResult{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return PutResult{}, err
+	}
+	var pr server.PutResponse
+	if err := decodeResponse(resp, &pr); err != nil {
+		return PutResult{}, err
+	}
+	return PutResult{
+		Seq:         pr.Seq,
+		CommittedAt: time.Unix(0, pr.CommittedUnixNano),
+		CoordMs:     pr.CoordMs,
+		ClientMs:    float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// Get reads key through a round-robin coordinator.
+func (c *Client) Get(key string) (GetResult, error) {
+	node := int(c.readRR.Add(1)) % len(c.addrs)
+	return c.GetVia(node, key)
+}
+
+// GetVia reads key through a specific coordinator node (sticky sessions,
+// tests).
+func (c *Client) GetVia(node int, key string) (GetResult, error) {
+	if node < 0 || node >= len(c.addrs) {
+		return GetResult{}, fmt.Errorf("client: node %d outside cluster of %d", node, len(c.addrs))
+	}
+	start := time.Now()
+	resp, err := c.hc.Get(c.kvURL(node, key))
+	if err != nil {
+		return GetResult{}, err
+	}
+	var gr server.GetResponse
+	if err := decodeResponse(resp, &gr); err != nil {
+		return GetResult{}, err
+	}
+	return GetResult{
+		Found:    gr.Found,
+		Seq:      gr.Seq,
+		Value:    gr.Value,
+		CoordMs:  gr.CoordMs,
+		ClientMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// Stats fetches one node's counters.
+func (c *Client) Stats(node int) (server.StatsResponse, error) {
+	var st server.StatsResponse
+	if node < 0 || node >= len(c.addrs) {
+		return st, fmt.Errorf("client: node %d outside cluster of %d", node, len(c.addrs))
+	}
+	resp, err := c.hc.Get(c.addrs[node] + "/stats")
+	if err != nil {
+		return st, err
+	}
+	err = decodeResponse(resp, &st)
+	return st, err
+}
+
+func decodeResponse(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Session is a client session with monotonic-reads tracking (paper
+// Section 3.2): it records the highest version observed per key and counts
+// reads that regress. With Sticky routing all session reads go through one
+// coordinator — the paper's "continue to contact the same replica"
+// mitigation.
+type Session struct {
+	c      *Client
+	sticky int // -1: round-robin
+
+	mu         sync.Mutex
+	lastSeen   map[string]uint64
+	reads      int64
+	violations int64
+}
+
+// NewSession starts a session. When sticky is true all reads route through
+// one fixed coordinator.
+func (c *Client) NewSession(sticky bool) *Session {
+	s := &Session{c: c, sticky: -1, lastSeen: make(map[string]uint64)}
+	if sticky {
+		s.sticky = int(c.readRR.Add(1)) % len(c.addrs)
+	}
+	return s
+}
+
+// Get reads key within the session, reporting whether this read violated
+// monotonic reads (observed an older version than a previous session
+// read).
+func (s *Session) Get(key string) (res GetResult, violated bool, err error) {
+	if s.sticky >= 0 {
+		res, err = s.c.GetVia(s.sticky, key)
+	} else {
+		res, err = s.c.Get(key)
+	}
+	if err != nil {
+		return res, false, err
+	}
+	s.mu.Lock()
+	s.reads++
+	last := s.lastSeen[key]
+	if res.Seq < last {
+		violated = true
+		s.violations++
+	} else {
+		s.lastSeen[key] = res.Seq
+	}
+	s.mu.Unlock()
+	return res, violated, nil
+}
+
+// Stats returns the session's read and monotonic-reads violation counts.
+func (s *Session) Stats() (reads, violations int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.violations
+}

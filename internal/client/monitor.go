@@ -1,0 +1,154 @@
+package client
+
+// Online staleness monitoring. The Monitor observes every operation the
+// load generator issues and streams the measurements the paper reports for
+// live systems: the stale-read fraction, the k-staleness distribution (how
+// many versions behind each read returned, Section 3.1's "versions
+// tolerated"), and read/write latency quantiles at both the client and the
+// coordinator (the coordinator view is the WARS order-statistic the
+// predictor models). Ground truth for staleness is the monitor's own
+// commit log: a read is stale when it returns a version older than the
+// newest version the monitor had seen committed for that key when the read
+// was issued.
+
+import (
+	"sort"
+	"sync"
+
+	"pbs/internal/stats"
+)
+
+// Monitor aggregates measurements from concurrent load-generator workers.
+// Safe for concurrent use.
+type Monitor struct {
+	mu sync.Mutex
+
+	committed map[string]uint64
+
+	readClient  []float64
+	readCoord   []float64
+	writeClient []float64
+	writeCoord  []float64
+
+	reads      int64
+	writes     int64
+	staleReads int64
+	kBehindSum int64
+	kBehindMax int64
+	kHist      map[int64]int64
+
+	readMean, writeMean stats.Welford
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{
+		committed: make(map[string]uint64),
+		kHist:     make(map[int64]int64),
+	}
+}
+
+// Committed returns the newest committed sequence number the monitor has
+// seen for key (0 when the key has never been written). Load-generator
+// readers snapshot this before issuing a read; the returned value is the
+// staleness baseline for that read.
+func (m *Monitor) Committed(key string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.committed[key]
+}
+
+// RecordWrite logs a committed write.
+func (m *Monitor) RecordWrite(key string, seq uint64, clientMs, coordMs float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writes++
+	if seq > m.committed[key] {
+		m.committed[key] = seq
+	}
+	m.writeClient = append(m.writeClient, clientMs)
+	m.writeCoord = append(m.writeCoord, coordMs)
+	m.writeMean.Observe(clientMs)
+}
+
+// RecordRead logs a completed read. baseline is the Committed value
+// snapshotted before the read was issued; seq is the version the read
+// returned.
+func (m *Monitor) RecordRead(key string, seq, baseline uint64, clientMs, coordMs float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reads++
+	var k int64
+	if seq < baseline {
+		k = int64(baseline - seq)
+		m.staleReads++
+	}
+	m.kBehindSum += k
+	if k > m.kBehindMax {
+		m.kBehindMax = k
+	}
+	m.kHist[k]++
+	m.readClient = append(m.readClient, clientMs)
+	m.readCoord = append(m.readCoord, coordMs)
+	m.readMean.Observe(clientMs)
+}
+
+// KCount is one bucket of the k-staleness distribution: Reads reads
+// returned a version KBehind versions behind the newest committed one.
+type KCount struct {
+	KBehind int64
+	Reads   int64
+}
+
+// Snapshot is a point-in-time summary of everything the monitor observed.
+type Snapshot struct {
+	Reads, Writes, StaleReads int64
+	// PStale is the observed stale-read fraction.
+	PStale float64
+	// MeanKBehind and MaxKBehind summarize the k-staleness distribution;
+	// KDist lists it fully (ascending KBehind; KBehind 0 = fresh).
+	MeanKBehind float64
+	MaxKBehind  int64
+	KDist       []KCount
+	// Latency quantiles (milliseconds) at the requested qs, client- and
+	// coordinator-measured.
+	Qs                          []float64
+	ReadClientMs, ReadCoordMs   []float64
+	WriteClientMs, WriteCoordMs []float64
+	MeanReadMs, MeanWriteMs     float64
+}
+
+// Snapshot computes quantiles at qs over everything recorded so far.
+func (m *Monitor) Snapshot(qs []float64) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Reads: m.reads, Writes: m.writes, StaleReads: m.staleReads,
+		MaxKBehind:  m.kBehindMax,
+		Qs:          append([]float64(nil), qs...),
+		MeanReadMs:  m.readMean.Mean(),
+		MeanWriteMs: m.writeMean.Mean(),
+	}
+	if m.reads > 0 {
+		s.PStale = float64(m.staleReads) / float64(m.reads)
+		s.MeanKBehind = float64(m.kBehindSum) / float64(m.reads)
+	}
+	for k, c := range m.kHist {
+		s.KDist = append(s.KDist, KCount{KBehind: k, Reads: c})
+	}
+	sort.Slice(s.KDist, func(i, j int) bool { return s.KDist[i].KBehind < s.KDist[j].KBehind })
+	s.ReadClientMs = stats.Quantiles(m.readClient, qs)
+	s.ReadCoordMs = stats.Quantiles(m.readCoord, qs)
+	s.WriteClientMs = stats.Quantiles(m.writeClient, qs)
+	s.WriteCoordMs = stats.Quantiles(m.writeCoord, qs)
+	return s
+}
+
+// CoordLatencies returns copies of the coordinator-measured read and write
+// latency samples (unsorted), for conformance comparison against WARS
+// predictions.
+func (m *Monitor) CoordLatencies() (read, write []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]float64(nil), m.readCoord...), append([]float64(nil), m.writeCoord...)
+}

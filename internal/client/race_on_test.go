@@ -1,0 +1,8 @@
+//go:build race
+
+package client
+
+// raceEnabled reports whether the race detector is compiled in; the
+// throughput smoke relaxes its floor under race instrumentation (which
+// slows the hot path by an order of magnitude).
+const raceEnabled = true

@@ -1,0 +1,162 @@
+package client
+
+// Probe-based t-visibility measurement on the live cluster — the networked
+// analogue of internal/dynamo.MeasureTVisibility and the paper's
+// validation methodology (Section 5.2): each epoch writes a fresh key,
+// waits for the coordinator-reported commit instant, then issues reads at
+// fixed wall-clock offsets after commit and checks whether they observe
+// the write. Epochs run concurrently (distinct keys, so they are
+// independent), which keeps wall-clock cost near max(ts) rather than
+// epochs × max(ts).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pbs/internal/stats"
+)
+
+// TVisOptions configures MeasureTVisibility.
+type TVisOptions struct {
+	// Ts are the probe offsets after commit, in milliseconds (required).
+	Ts []float64
+	// Epochs is the number of write-then-probe rounds (required).
+	Epochs int
+	// Concurrency bounds the epochs in flight (default 32).
+	Concurrency int
+	// KeyPrefix namespaces the probe keys (default "tvis-").
+	KeyPrefix string
+}
+
+// TVisMeasurement is the empirical outcome: a measured t-visibility curve
+// plus coordinator-measured operation latencies.
+type TVisMeasurement struct {
+	Ts         []float64
+	Consistent []stats.Counter
+	// offsetSums accumulates, per probe point, the actual wall-clock offset
+	// (ms after commit) at which each probe was issued. Probes never fire
+	// early but can fire late under scheduler load; MeanOffsets exposes the
+	// realized probe times so predictions can be evaluated at the offsets
+	// that were actually measured.
+	offsetSums []float64
+	// ReadLatencies and WriteLatencies are coordinator-measured operation
+	// latencies in milliseconds, sorted ascending — directly comparable to
+	// wars.Run.ReadLatencies/WriteLatencies.
+	ReadLatencies  []float64
+	WriteLatencies []float64
+	// Ops counts every operation issued (writes + probe reads).
+	Ops int64
+	// Errors counts failed operations (excluded from the curve).
+	Errors int64
+}
+
+// Curve returns the measured consistency probabilities in Ts order.
+func (m *TVisMeasurement) Curve() []float64 {
+	out := make([]float64, len(m.Ts))
+	for i := range m.Ts {
+		out[i] = m.Consistent[i].P()
+	}
+	return out
+}
+
+// MeanOffsets returns, per probe point, the mean wall-clock offset after
+// commit at which the probes were actually issued (>= the nominal Ts[i];
+// scheduling can delay a probe but never advance it). Conformance checks
+// evaluate predictions at these realized offsets so client-side scheduling
+// lag does not masquerade as extra convergence time.
+func (m *TVisMeasurement) MeanOffsets() []float64 {
+	out := make([]float64, len(m.Ts))
+	for i := range m.Ts {
+		if n := m.Consistent[i].Trials; n > 0 {
+			out[i] = m.offsetSums[i] / float64(n)
+		} else {
+			out[i] = m.Ts[i]
+		}
+	}
+	return out
+}
+
+// MeasureTVisibility runs opt.Epochs write-then-probe epochs against the
+// cluster and returns the measured curve. Returns an error when more than
+// 2% of operations fail (a broken cluster would otherwise masquerade as a
+// measurement).
+func MeasureTVisibility(c *Client, opt TVisOptions) (*TVisMeasurement, error) {
+	if len(opt.Ts) == 0 {
+		return nil, errors.New("client: need at least one probe offset")
+	}
+	if opt.Epochs < 1 {
+		return nil, errors.New("client: need at least one epoch")
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 32
+	}
+	if opt.KeyPrefix == "" {
+		opt.KeyPrefix = "tvis-"
+	}
+
+	m := &TVisMeasurement{
+		Ts:         append([]float64(nil), opt.Ts...),
+		Consistent: make([]stats.Counter, len(opt.Ts)),
+		offsetSums: make([]float64, len(opt.Ts)),
+	}
+	var mu sync.Mutex
+
+	sem := make(chan struct{}, opt.Concurrency)
+	var wg sync.WaitGroup
+	for e := 0; e < opt.Epochs; e++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(e int) {
+			defer func() { <-sem; wg.Done() }()
+			key := fmt.Sprintf("%s%d", opt.KeyPrefix, e)
+			pr, err := c.Put(key, "v")
+			mu.Lock()
+			m.Ops++
+			if err == nil {
+				m.WriteLatencies = append(m.WriteLatencies, pr.CoordMs)
+			} else {
+				m.Errors++
+			}
+			mu.Unlock()
+			if err != nil {
+				return
+			}
+
+			var pwg sync.WaitGroup
+			for i, t := range m.Ts {
+				pwg.Add(1)
+				go func(i int, t float64) {
+					defer pwg.Done()
+					due := pr.CommittedAt.Add(time.Duration(t * float64(time.Millisecond)))
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+					offset := float64(time.Since(pr.CommittedAt)) / float64(time.Millisecond)
+					gr, err := c.Get(key)
+					mu.Lock()
+					defer mu.Unlock()
+					m.Ops++
+					if err != nil {
+						m.Errors++
+						return
+					}
+					m.ReadLatencies = append(m.ReadLatencies, gr.CoordMs)
+					m.Consistent[i].Observe(gr.Seq >= pr.Seq)
+					m.offsetSums[i] += offset
+				}(i, t)
+			}
+			pwg.Wait()
+		}(e)
+	}
+	wg.Wait()
+
+	sort.Float64s(m.ReadLatencies)
+	sort.Float64s(m.WriteLatencies)
+	if m.Ops > 0 && float64(m.Errors) > 0.02*float64(m.Ops) {
+		return m, fmt.Errorf("client: %d of %d probe operations failed", m.Errors, m.Ops)
+	}
+	return m, nil
+}

@@ -96,8 +96,18 @@ func NewPareto(xm, alpha float64) Pareto {
 	return Pareto{Xm: xm, Alpha: alpha}
 }
 
+// finite clamps heavy-tail overflow to the largest representable latency:
+// Pareto draws with alpha << 1 can exceed float64 range, and downstream
+// order statistics must never see +Inf.
+func finite(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	return v
+}
+
 func (p Pareto) Sample(r *rng.RNG) float64 {
-	return p.Xm * math.Pow(r.Float64Open(), -1/p.Alpha)
+	return finite(p.Xm * math.Pow(r.Float64Open(), -1/p.Alpha))
 }
 func (p Pareto) Mean() float64 {
 	if p.Alpha <= 1 {
@@ -107,7 +117,10 @@ func (p Pareto) Mean() float64 {
 }
 func (p Pareto) Quantile(q float64) float64 {
 	checkQuantile(q)
-	return p.Xm * math.Pow(1-q, -1/p.Alpha)
+	if q == 1 {
+		return math.Inf(1)
+	}
+	return finite(p.Xm * math.Pow(1-q, -1/p.Alpha))
 }
 func (p Pareto) CDF(x float64) float64 {
 	if x <= p.Xm {

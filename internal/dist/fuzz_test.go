@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/rng"
+)
+
+// clampParam maps an arbitrary fuzzed float into a safe positive parameter
+// range, rejecting NaN/Inf by substituting a default.
+func clampParam(x, lo, hi float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return lo
+	}
+	x = math.Abs(x)
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func checkSamples(t *testing.T, name string, d Dist, r *rng.RNG, allowNegative bool) {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		v := d.Sample(r)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s: sample %d is %v", name, i, v)
+		}
+		if !allowNegative && v < 0 {
+			t.Fatalf("%s: negative latency sample %v", name, v)
+		}
+	}
+	// CDF stays within [0, 1] and quantiles at interior points are finite.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99} {
+		v := d.Quantile(q)
+		if math.IsNaN(v) {
+			t.Fatalf("%s: Quantile(%v) is NaN", name, q)
+		}
+		if !allowNegative && q > 0 && v < 0 {
+			t.Fatalf("%s: Quantile(%v) = %v negative", name, q, v)
+		}
+	}
+	for _, x := range []float64{-1, 0, 0.5, 10, 1e9} {
+		c := d.CDF(x)
+		if math.IsNaN(c) || c < 0 || c > 1 {
+			t.Fatalf("%s: CDF(%v) = %v outside [0,1]", name, x, c)
+		}
+	}
+}
+
+// FuzzSamplers drives every latency-distribution family with fuzzed
+// parameters and seeds: samples must never be NaN, infinite, or (for
+// latency families) negative.
+func FuzzSamplers(f *testing.F) {
+	f.Add(uint64(1), 1.0, 2.0, 0.5)
+	f.Add(uint64(42), 0.001, 1000.0, 0.9122)
+	f.Add(uint64(7), 3.35, 0.0028, 0.061)
+	f.Fuzz(func(t *testing.T, seed uint64, a, b, wgt float64) {
+		r := rng.New(seed)
+		lambda := clampParam(a, 1e-6, 1e6)
+		xm := clampParam(b, 1e-6, 1e6)
+		alpha := clampParam(a+b, 1e-3, 1e3)
+		weight := clampParam(wgt, 0, 1)
+
+		checkSamples(t, "exponential", NewExponential(lambda), r, false)
+		checkSamples(t, "pareto", NewPareto(xm, alpha), r, false)
+		checkSamples(t, "uniform", NewUniform(0, xm), r, false)
+		checkSamples(t, "point", Point{V: xm}, r, false)
+		// Normal latencies may be negative by documented design; only
+		// NaN/Inf are forbidden.
+		checkSamples(t, "normal", NewNormal(lambda, xm), r, true)
+		mix := NewMixture(
+			Component{Weight: weight, D: NewPareto(xm, alpha)},
+			Component{Weight: 1.0001 - weight, D: NewExponential(lambda)},
+		)
+		checkSamples(t, "mixture", mix, r, false)
+		checkSamples(t, "scaled", NewScaled(mix, clampParam(b, 1e-3, 1e3)), r, false)
+	})
+}
+
+// FuzzProductionModels samples the paper's Table 3 fits (and their scaled
+// variants, as injected by the live server) under fuzzed seeds and scale
+// factors: all four WARS legs must produce finite non-negative delays.
+func FuzzProductionModels(f *testing.F) {
+	f.Add(uint64(1), 1.0)
+	f.Add(uint64(99), 50.0)
+	f.Fuzz(func(t *testing.T, seed uint64, scale float64) {
+		r := rng.New(seed)
+		k := clampParam(scale, 1e-3, 1e4)
+		for _, mk := range []func() LatencyModel{LNKDSSD, LNKDDISK, YMMR, WANLocal} {
+			m := ScaleModel(mk(), k)
+			for _, d := range []Dist{m.W, m.A, m.R, m.S} {
+				for i := 0; i < 32; i++ {
+					v := d.Sample(r)
+					if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+						t.Fatalf("%s (scale %v): bad sample %v", m.Name, k, v)
+					}
+				}
+			}
+		}
+	})
+}

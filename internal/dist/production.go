@@ -12,6 +12,22 @@ package dist
 // scenario (Section 5.5): 75 ms.
 const WANDelayMs = 75.0
 
+// ModelByName resolves a production latency model by its CLI name
+// ("lnkd-ssd", "lnkd-disk", "ymmr"), the shared lookup behind every
+// binary's -model flag.
+func ModelByName(name string) (LatencyModel, bool) {
+	switch name {
+	case "lnkd-ssd":
+		return LNKDSSD(), true
+	case "lnkd-disk":
+		return LNKDDISK(), true
+	case "ymmr":
+		return YMMR(), true
+	default:
+		return LatencyModel{}, false
+	}
+}
+
 // lnkdSSDDist is the Table 3 LNKD-SSD fit, shared by W, A, R and S:
 // 91.22% Pareto(xm=0.235, alpha=10) + 8.78% Exp(lambda=1.66).
 func lnkdSSDDist() Dist {

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/rng"
+)
+
+func TestScaledIsPureTimeDilation(t *testing.T) {
+	base := NewExponential(0.5)
+	s := NewScaled(base, 3)
+	if got, want := s.Mean(), 3*base.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+		if got, want := s.Quantile(q), 3*base.Quantile(q); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	for _, x := range []float64{0, 1, 5, 40} {
+		if got, want := s.CDF(x), base.CDF(x/3); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Samples are exactly k times the base samples for identical RNG state.
+	r1, r2 := rng.New(7), rng.New(7)
+	for i := 0; i < 100; i++ {
+		if got, want := s.Sample(r1), 3*base.Sample(r2); got != want {
+			t.Fatalf("sample %d: %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestScaleModel(t *testing.T) {
+	m := LNKDSSD()
+	if got := ScaleModel(m, 1); got != m {
+		t.Fatal("ScaleModel with k=1 should return the model unchanged")
+	}
+	sm := ScaleModel(m, 10)
+	if sm.Name != m.Name {
+		t.Fatalf("scaled model renamed to %q", sm.Name)
+	}
+	for _, pair := range [][2]Dist{{sm.W, m.W}, {sm.A, m.A}, {sm.R, m.R}, {sm.S, m.S}} {
+		got, base := pair[0], pair[1]
+		if math.Abs(got.Mean()-10*base.Mean()) > 1e-9 {
+			t.Fatalf("scaled mean %v, want %v", got.Mean(), 10*base.Mean())
+		}
+	}
+}
+
+func TestScaledPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewScaled(nil, 2) },
+		func() { NewScaled(Point{V: 1}, 0) },
+		func() { NewScaled(Point{V: 1}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+// Cluster bootstrap: StartLocal launches an n-node cluster on loopback —
+// every node gets a public HTTP listener (the key-value API) and an
+// internal TCP listener (replication transport), all on 127.0.0.1 with
+// OS-assigned ports. This is the harness behind cmd/pbs-serve and the
+// end-to-end conformance suite; a production deployment would run one Node
+// per machine with the same wiring.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"pbs/internal/kvstore"
+	"pbs/internal/ring"
+	"pbs/internal/rng"
+)
+
+// Cluster is a set of locally running nodes.
+type Cluster struct {
+	Params Params
+	Nodes  []*Node
+	// HTTPAddrs are the public base URLs ("http://127.0.0.1:port"), indexed
+	// by node id.
+	HTTPAddrs []string
+}
+
+// StartLocal boots a cluster of `nodes` replicas on loopback and returns
+// once every node is serving. Callers must Close the cluster.
+func StartLocal(nodes int, p Params) (*Cluster, error) {
+	p.setDefaults()
+	if err := p.validate(nodes); err != nil {
+		return nil, err
+	}
+
+	httpLns := make([]net.Listener, nodes)
+	internalLns := make([]net.Listener, nodes)
+	closeAll := func() {
+		for _, ln := range append(httpLns, internalLns...) {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+	}
+	httpAddrs := make([]string, nodes)
+	internalAddrs := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		var err error
+		if httpLns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("server: http listener: %w", err)
+		}
+		if internalLns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("server: internal listener: %w", err)
+		}
+		httpAddrs[i] = "http://" + httpLns[i].Addr().String()
+		internalAddrs[i] = internalLns[i].Addr().String()
+	}
+
+	rg := ring.New(nodes, p.Vnodes)
+	seeds := rng.New(p.Seed)
+	c := &Cluster{Params: p, HTTPAddrs: httpAddrs}
+	for i := 0; i < nodes; i++ {
+		n := &Node{
+			id:     i,
+			params: p,
+			ring:   rg,
+			addrs:  httpAddrs,
+			inj:    newInjector(p.Model, p.Scale, seeds.Uint64()),
+			epoch:  time.Now(),
+			store:  kvstore.New(),
+			peers:  make([]*peer, nodes),
+			proxyClient: &http.Client{
+				Transport: &http.Transport{MaxIdleConnsPerHost: 64},
+				Timeout:   30 * time.Second,
+			},
+		}
+		for j := 0; j < nodes; j++ {
+			n.peers[j] = newPeer(internalAddrs[j])
+		}
+		n.internalLn = internalLns[i]
+		n.httpSrv = &http.Server{Handler: n.handler()}
+		go n.serveInternal(internalLns[i])
+		go n.httpSrv.Serve(httpLns[i])
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// InjectVersion applies a version directly to one replica's local store,
+// bypassing replication — a hook for tests and staleness-detector demos
+// that need a replica to diverge deliberately.
+func (c *Cluster) InjectVersion(node int, key string, seq uint64, value string) bool {
+	return c.Nodes[node].applyLocal(kvstore.Version{Key: key, Seq: seq, Value: value})
+}
+
+// ReplicaSeq reads one replica's locally stored sequence number for key
+// (0 when the replica has not seen the key), for convergence assertions.
+func (c *Cluster) ReplicaSeq(node int, key string) uint64 {
+	v, _ := c.Nodes[node].getLocal(key)
+	return v.Seq
+}
+
+// Close tears the cluster down: HTTP servers, internal listeners, and
+// every pooled peer connection.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.httpSrv.Close()
+		n.internalLn.Close()
+	}
+	for _, n := range c.Nodes {
+		for _, p := range n.peers {
+			p.close()
+		}
+	}
+}

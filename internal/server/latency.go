@@ -1,0 +1,80 @@
+package server
+
+// WARS latency injection. The conformance story of this package is that a
+// loopback cluster must reproduce the paper's production conditions: each
+// coordinated operation draws per-replica one-way delays from a
+// dist.LatencyModel — W (write dissemination), A (write ack), R (read
+// request), S (read response) — and realizes them as wall-clock sleeps on
+// the coordinator's per-replica fan-out goroutines. Sleeping on the
+// coordinator *before* the internal RPC (for the request leg) and *after*
+// it returns (for the response leg) reproduces the WARS arrival times at
+// both ends while keeping replicas and the transport latency-agnostic.
+
+import (
+	"sync"
+	"time"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+)
+
+// injector samples WARS delays for coordinated operations. It is safe for
+// concurrent use; a nil injector injects nothing.
+type injector struct {
+	model dist.LatencyModel
+
+	mu sync.Mutex
+	r  *rng.RNG
+}
+
+// newInjector builds an injector for the scaled model. Returns nil when
+// model is nil (no injected latency — the configuration used for raw
+// throughput benchmarks).
+func newInjector(model *dist.LatencyModel, scale float64, seed uint64) *injector {
+	if model == nil {
+		return nil
+	}
+	m := dist.ScaleModel(*model, scale)
+	return &injector{model: m, r: rng.New(seed)}
+}
+
+// writeDelays fills w and a with per-replica write-propagation and ack
+// delays (milliseconds).
+func (in *injector) writeDelays(w, a []float64) {
+	if in == nil {
+		for i := range w {
+			w[i], a[i] = 0, 0
+		}
+		return
+	}
+	in.mu.Lock()
+	for i := range w {
+		w[i] = in.model.W.Sample(in.r)
+		a[i] = in.model.A.Sample(in.r)
+	}
+	in.mu.Unlock()
+}
+
+// readDelays fills r and s with per-replica read-request and read-response
+// delays (milliseconds).
+func (in *injector) readDelays(r, s []float64) {
+	if in == nil {
+		for i := range r {
+			r[i], s[i] = 0, 0
+		}
+		return
+	}
+	in.mu.Lock()
+	for i := range r {
+		r[i] = in.model.R.Sample(in.r)
+		s[i] = in.model.S.Sample(in.r)
+	}
+	in.mu.Unlock()
+}
+
+// sleepMs blocks for ms milliseconds (no-op for ms <= 0).
+func sleepMs(ms float64) {
+	if ms > 0 {
+		time.Sleep(time.Duration(ms * float64(time.Millisecond)))
+	}
+}

@@ -1,0 +1,448 @@
+// Package server implements the live networked half of the PBS
+// reproduction: a real N-replica Dynamo-style key-value service assembled
+// from the repository's building blocks — internal/kvstore versioned
+// replica storage, internal/ring consistent-hash placement,
+// internal/vclock causal metadata — serving a public HTTP API with
+// coordinated partial-quorum reads and writes (tunable N, R, W),
+// send-to-all fan-out, optional read repair, an asynchronous staleness
+// detector (paper Section 4.3), and injectable per-replica WARS latency
+// (internal/dist) so a loopback cluster reproduces the paper's LNKD-SSD /
+// LNKD-DISK / YMMR production conditions.
+//
+// Any node can coordinate any operation: the coordinator looks up the
+// key's N-replica preference list on the ring and fans the operation out
+// to all N replicas over the internal TCP transport (transport.go), its
+// own replica included — matching the WARS model's IID assumption in which
+// the coordinator is not co-located with any replica. A write commits when
+// W replicas acknowledged; a read returns the newest version among the
+// first R responses. The remaining responses complete in the background,
+// feeding the staleness detector and (when enabled) read repair.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	neturl "net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pbs/internal/dist"
+	"pbs/internal/kvstore"
+	"pbs/internal/ring"
+	"pbs/internal/vclock"
+)
+
+// Params configures every node of a cluster.
+type Params struct {
+	// N, R, W are the replication factor and read/write quorum sizes.
+	N, R, W int
+	// ReadRepair pushes the newest observed version to stale replicas after
+	// each read. Leave off for WARS conformance measurement (the paper's
+	// validation methodology, Section 5.2).
+	ReadRepair bool
+	// Model injects per-replica WARS delays drawn from this latency model
+	// into every coordinated operation. Nil injects nothing.
+	Model *dist.LatencyModel
+	// Scale stretches the model's time axis (see dist.ScaleModel). Zero
+	// means 1.
+	Scale float64
+	// Vnodes is the number of virtual nodes per physical node on the ring
+	// (zero means 64).
+	Vnodes int
+	// Seed seeds latency-injection sampling.
+	Seed uint64
+}
+
+func (p *Params) setDefaults() {
+	if p.Scale == 0 {
+		p.Scale = 1
+	}
+	if p.Vnodes == 0 {
+		p.Vnodes = 64
+	}
+}
+
+func (p Params) validate(nodes int) error {
+	if nodes < 1 {
+		return fmt.Errorf("server: cluster needs at least one node")
+	}
+	if p.N < 1 || p.N > nodes {
+		return fmt.Errorf("server: replication factor N=%d outside [1, %d]", p.N, nodes)
+	}
+	if p.R < 1 || p.R > p.N || p.W < 1 || p.W > p.N {
+		return fmt.Errorf("server: quorums R=%d W=%d outside [1, N=%d]", p.R, p.W, p.N)
+	}
+	return nil
+}
+
+// ConfigResponse is the payload of GET /config: everything a client needs
+// to route operations itself (Section 4.2's client-driven coordination).
+type ConfigResponse struct {
+	Nodes  int      `json:"nodes"`
+	N      int      `json:"n"`
+	R      int      `json:"r"`
+	W      int      `json:"w"`
+	Vnodes int      `json:"vnodes"`
+	Addrs  []string `json:"addrs"`
+}
+
+// PutResponse is the payload of PUT /kv/{key}.
+type PutResponse struct {
+	Seq uint64 `json:"seq"`
+	// CommittedUnixNano is the coordinator wall clock at quorum commit (the
+	// W-th acknowledgment), the origin of the paper's t axis.
+	CommittedUnixNano int64 `json:"committed_unix_nano"`
+	// CoordMs is the coordinator-measured operation latency: fan-out start
+	// to quorum commit, the live counterpart of the WARS W-th order
+	// statistic of W+A.
+	CoordMs float64 `json:"coord_ms"`
+	Node    int     `json:"node"`
+}
+
+// GetResponse is the payload of GET /kv/{key}.
+type GetResponse struct {
+	Found bool   `json:"found"`
+	Seq   uint64 `json:"seq"`
+	Value string `json:"value"`
+	// CoordMs is the coordinator-measured read latency: fan-out start to
+	// the R-th response, the live counterpart of the WARS R-th order
+	// statistic of R+S.
+	CoordMs float64 `json:"coord_ms"`
+	Node    int     `json:"node"`
+}
+
+// StatsResponse is the payload of GET /stats.
+type StatsResponse struct {
+	Node          int    `json:"node"`
+	CoordReads    int64  `json:"coord_reads"`
+	CoordWrites   int64  `json:"coord_writes"`
+	FailedOps     int64  `json:"failed_ops"`
+	ReadRepairs   int64  `json:"read_repairs"`
+	DetectorFlags int64  `json:"detector_flags"`
+	Keys          int    `json:"keys"`
+	Applied       int64  `json:"applied"`
+	Ignored       int64  `json:"ignored"`
+	ClockTicks    uint64 `json:"clock_ticks"`
+}
+
+// keyEntry serializes version-number assignment for one key at its
+// coordinator.
+type keyEntry struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+// Node is one replica process: local storage plus coordinator logic.
+type Node struct {
+	id     int
+	params Params
+	ring   *ring.Ring
+	addrs  []string // public HTTP base URLs of all nodes
+	inj    *injector
+	epoch  time.Time
+
+	storeMu sync.Mutex
+	store   *kvstore.Store
+
+	keys sync.Map // string -> *keyEntry
+
+	peers []*peer
+
+	clockTicks atomic.Uint64 // vector-clock component for coordinated writes
+
+	coordReads    atomic.Int64
+	coordWrites   atomic.Int64
+	failedOps     atomic.Int64
+	readRepairs   atomic.Int64
+	detectorFlags atomic.Int64
+
+	httpSrv     *http.Server
+	internalLn  net.Listener
+	proxyClient *http.Client
+}
+
+// nowMs is the node's store clock (milliseconds since node start), used to
+// stamp version arrival times.
+func (n *Node) nowMs() float64 {
+	return float64(time.Since(n.epoch)) / float64(time.Millisecond)
+}
+
+// applyLocal installs a replicated version into this replica's store.
+func (n *Node) applyLocal(v kvstore.Version) bool {
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
+	return n.store.Apply(v, n.nowMs())
+}
+
+// getLocal reads this replica's current version for key.
+func (n *Node) getLocal(key string) (kvstore.Version, bool) {
+	n.storeMu.Lock()
+	defer n.storeMu.Unlock()
+	return n.store.Get(key)
+}
+
+// nextSeq assigns the next version number for key. Writes for a key are
+// routed to its primary coordinator (ring.Coordinator), which serializes
+// assignment per key; the store's own sequence is folded in so a node that
+// newly becomes coordinator continues the existing version history.
+func (n *Node) nextSeq(key string) uint64 {
+	ei, _ := n.keys.LoadOrStore(key, &keyEntry{})
+	e := ei.(*keyEntry)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n.storeMu.Lock()
+	stored := n.store.Seq(key)
+	n.storeMu.Unlock()
+	if stored > e.next {
+		e.next = stored
+	}
+	e.next++
+	return e.next
+}
+
+// --- HTTP API ----------------------------------------------------------
+
+func (n *Node) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /kv/{key}", n.handlePut)
+	mux.HandleFunc("GET /kv/{key}", n.handleGet)
+	mux.HandleFunc("GET /config", n.handleConfig)
+	mux.HandleFunc("GET /stats", n.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// maxValueBytes bounds one value payload.
+const maxValueBytes = 1 << 20
+
+// forwardedHeader marks a write already proxied once, guarding against
+// forwarding loops if two nodes ever disagree about ring ownership.
+const forwardedHeader = "X-Pbs-Forwarded"
+
+// handlePut coordinates a write: assign the next version, fan it out to
+// all N preference replicas with injected W/A delays, respond at the W-th
+// acknowledgment. Version-number assignment is serialized at the key's
+// primary coordinator, so a PUT arriving at any other node is proxied
+// there first (Section 4.2's "proxying operations") — otherwise two
+// coordinators could assign the same sequence number and fork the key's
+// history.
+func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
+	key := req.PathValue("key")
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxValueBytes))
+	if err != nil {
+		http.Error(w, "server: value exceeds 1 MiB", http.StatusRequestEntityTooLarge)
+		return
+	}
+	if primary := n.ring.Coordinator(key); primary != n.id {
+		if req.Header.Get(forwardedHeader) != "" {
+			http.Error(w, "server: forwarding loop: not the primary coordinator", http.StatusInternalServerError)
+			return
+		}
+		n.forwardPut(w, primary, key, body)
+		return
+	}
+	n.coordWrites.Add(1)
+
+	seq := n.nextSeq(key)
+	ver := kvstore.Version{
+		Key:   key,
+		Seq:   seq,
+		Value: string(body),
+		Clock: vclock.VC{n.id: n.clockTicks.Add(1)},
+	}
+	prefs := n.ring.PreferenceList(key, n.params.N)
+	nReps := len(prefs)
+	wd := make([]float64, nReps)
+	ad := make([]float64, nReps)
+	n.inj.writeDelays(wd, ad)
+
+	start := time.Now()
+	acks := make(chan bool, nReps) // buffered: stragglers never block (send-to-all)
+	for i, nodeID := range prefs {
+		go func(i, nodeID int) {
+			sleepMs(wd[i])
+			_, err := n.peers[nodeID].apply(ver)
+			sleepMs(ad[i])
+			acks <- err == nil
+		}(i, nodeID)
+	}
+
+	got, done := 0, 0
+	for done < nReps && got < n.params.W {
+		if <-acks {
+			got++
+		}
+		done++
+	}
+	if got < n.params.W {
+		n.failedOps.Add(1)
+		http.Error(w, "server: write quorum not reached", http.StatusServiceUnavailable)
+		return
+	}
+	committed := time.Now()
+	writeJSON(w, PutResponse{
+		Seq:               seq,
+		CommittedUnixNano: committed.UnixNano(),
+		CoordMs:           float64(committed.Sub(start)) / float64(time.Millisecond),
+		Node:              n.id,
+	})
+}
+
+// forwardPut proxies a write to the key's primary coordinator and relays
+// the response verbatim.
+func (n *Node) forwardPut(w http.ResponseWriter, primary int, key string, body []byte) {
+	url := n.addrs[primary] + "/kv/" + neturl.PathEscape(key)
+	freq, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	freq.Header.Set(forwardedHeader, "1")
+	resp, err := n.proxyClient.Do(freq)
+	if err != nil {
+		http.Error(w, "server: forward to primary: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// readResp is one replica's answer during a coordinated read.
+type readResp struct {
+	node  int
+	v     kvstore.Version
+	found bool
+	err   error
+}
+
+// handleGet coordinates a read: fan out to all N preference replicas with
+// injected R/S delays, answer with the newest of the first R responses,
+// then keep collecting in the background for the staleness detector and
+// read repair.
+func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
+	key := req.PathValue("key")
+	n.coordReads.Add(1)
+
+	prefs := n.ring.PreferenceList(key, n.params.N)
+	nReps := len(prefs)
+	rd := make([]float64, nReps)
+	sd := make([]float64, nReps)
+	n.inj.readDelays(rd, sd)
+
+	start := time.Now()
+	ch := make(chan readResp, nReps)
+	for i, nodeID := range prefs {
+		go func(i, nodeID int) {
+			sleepMs(rd[i])
+			v, found, err := n.peers[nodeID].getVersion(key)
+			sleepMs(sd[i])
+			ch <- readResp{node: nodeID, v: v, found: found, err: err}
+		}(i, nodeID)
+	}
+
+	var best kvstore.Version
+	bestFound := false
+	succ, done := 0, 0
+	early := make([]readResp, 0, nReps)
+	for done < nReps && succ < n.params.R {
+		x := <-ch
+		done++
+		early = append(early, x)
+		if x.err != nil {
+			continue
+		}
+		succ++
+		if x.found && (!bestFound || x.v.Seq > best.Seq) {
+			best = x.v
+			bestFound = true
+		}
+	}
+	if succ < n.params.R {
+		n.failedOps.Add(1)
+		http.Error(w, "server: read quorum not reached", http.StatusServiceUnavailable)
+		return
+	}
+	answered := time.Now()
+	writeJSON(w, GetResponse{
+		Found:   bestFound,
+		Seq:     best.Seq,
+		Value:   best.Value,
+		CoordMs: float64(answered.Sub(start)) / float64(time.Millisecond),
+		Node:    n.id,
+	})
+
+	// Background: drain the N-R late responses; compare them with the
+	// returned version (the paper's asynchronous staleness detector) and
+	// push the newest version to lagging replicas when read repair is on.
+	go n.finishRead(key, best, early, ch, nReps-done)
+}
+
+func (n *Node) finishRead(key string, returned kvstore.Version, early []readResp, ch <-chan readResp, pending int) {
+	all := early
+	for i := 0; i < pending; i++ {
+		all = append(all, <-ch)
+	}
+	newest := returned
+	for _, x := range all {
+		if x.err == nil && x.found && x.v.Seq > newest.Seq {
+			newest = x.v
+		}
+	}
+	if newest.Seq > returned.Seq {
+		n.detectorFlags.Add(1)
+	}
+	if !n.params.ReadRepair || newest.Seq == 0 {
+		return
+	}
+	for _, x := range all {
+		if x.err == nil && x.v.Seq < newest.Seq {
+			if _, err := n.peers[x.node].apply(newest); err == nil {
+				n.readRepairs.Add(1)
+			}
+		}
+	}
+}
+
+func (n *Node) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, ConfigResponse{
+		Nodes:  len(n.addrs),
+		N:      n.params.N,
+		R:      n.params.R,
+		W:      n.params.W,
+		Vnodes: n.params.Vnodes,
+		Addrs:  n.addrs,
+	})
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, _ *http.Request) {
+	n.storeMu.Lock()
+	keys := n.store.Len()
+	applied, ignored := n.store.Stats()
+	n.storeMu.Unlock()
+	writeJSON(w, StatsResponse{
+		Node:          n.id,
+		CoordReads:    n.coordReads.Load(),
+		CoordWrites:   n.coordWrites.Load(),
+		FailedOps:     n.failedOps.Load(),
+		ReadRepairs:   n.readRepairs.Load(),
+		DetectorFlags: n.detectorFlags.Load(),
+		Keys:          keys,
+		Applied:       applied,
+		Ignored:       ignored,
+		ClockTicks:    n.clockTicks.Load(),
+	})
+}

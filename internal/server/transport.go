@@ -1,0 +1,373 @@
+package server
+
+// Replica-to-replica transport: a length-prefixed binary protocol over
+// persistent TCP connections. The public key-value API is HTTP (node.go);
+// internal replication traffic (version propagation, replica reads, read
+// repair) uses this leaner framing so a single-machine cluster can sustain
+// tens of thousands of coordinated operations per second — every
+// coordinated operation fans out N internal RPCs, so the internal path is
+// the hot path.
+//
+// Framing: one request frame per RPC, one response frame back, at most one
+// RPC in flight per connection. Concurrency comes from a free-list pool of
+// connections per peer; because WARS delay injection happens on the
+// coordinator *before* the RPC is issued, connections are only held for the
+// real loopback round trip (~100 µs) and a small pool serves a large number
+// of concurrent operations.
+//
+//	request:  op(u8)     | len(u32) | payload
+//	response: status(u8) | len(u32) | payload (error text when status != 0)
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pbs/internal/kvstore"
+	"pbs/internal/vclock"
+)
+
+const (
+	opApply byte = 1
+	opGet   byte = 2
+
+	statusOK  byte = 0
+	statusErr byte = 1
+
+	// maxFrame bounds a payload so a corrupt length prefix cannot trigger a
+	// huge allocation.
+	maxFrame = 16 << 20
+
+	// peerPoolSize caps the idle connections kept per peer.
+	peerPoolSize = 64
+
+	// rpcTimeout bounds one internal round trip. Injected WARS delays sleep
+	// on the coordinator before the RPC starts, so this only covers real
+	// network plus handler time.
+	rpcTimeout = 10 * time.Second
+)
+
+// --- wire encoding -----------------------------------------------------
+
+func appendString16(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendString32(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendClock(b []byte, vc vclock.VC) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(vc)))
+	for node, ctr := range vc {
+		b = binary.BigEndian.AppendUint32(b, uint32(node))
+		b = binary.BigEndian.AppendUint64(b, ctr)
+	}
+	return b
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || len(d.b) < n {
+		d.err = errors.New("server: short frame")
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) string16() string { return string(d.take(int(d.u16()))) }
+func (d *decoder) string32() string { return string(d.take(int(d.u32()))) }
+
+func (d *decoder) clock() vclock.VC {
+	n := int(d.u16())
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	vc := vclock.New()
+	for i := 0; i < n; i++ {
+		node := int(d.u32())
+		ctr := d.u64()
+		if d.err != nil {
+			return nil
+		}
+		vc[node] = ctr
+	}
+	return vc
+}
+
+func encodeVersion(b []byte, v kvstore.Version) []byte {
+	b = appendString16(b, v.Key)
+	b = binary.BigEndian.AppendUint64(b, v.Seq)
+	b = appendString32(b, v.Value)
+	return appendClock(b, v.Clock)
+}
+
+func (d *decoder) version() kvstore.Version {
+	var v kvstore.Version
+	v.Key = d.string16()
+	v.Seq = d.u64()
+	v.Value = d.string32()
+	v.Clock = d.clock()
+	return v
+}
+
+// --- framing -----------------------------------------------------------
+
+func writeFrame(w *bufio.Writer, tag byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = tag
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (tag byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// --- server side -------------------------------------------------------
+
+// serveInternal accepts internal connections until the listener closes.
+func (n *Node) serveInternal(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go n.serveConn(conn)
+	}
+}
+
+func (n *Node) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		op, payload, err := readFrame(br)
+		if err != nil {
+			return // peer closed or broken connection
+		}
+		status, resp := n.handleRPC(op, payload)
+		if err := writeFrame(bw, status, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleRPC dispatches one internal request against local replica state.
+func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
+	d := &decoder{b: payload}
+	switch op {
+	case opApply:
+		v := d.version()
+		if d.err != nil {
+			return statusErr, []byte(d.err.Error())
+		}
+		applied := n.applyLocal(v)
+		if applied {
+			return statusOK, []byte{1}
+		}
+		return statusOK, []byte{0}
+	case opGet:
+		key := d.string16()
+		if d.err != nil {
+			return statusErr, []byte(d.err.Error())
+		}
+		v, found := n.getLocal(key)
+		out := []byte{0}
+		if found {
+			out[0] = 1
+		}
+		return statusOK, encodeVersion(out, v)
+	default:
+		return statusErr, []byte(fmt.Sprintf("server: unknown op %d", op))
+	}
+}
+
+// --- client side (peer pool) -------------------------------------------
+
+// peerConn is one pooled connection with its buffered reader/writer.
+type peerConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// peer is the RPC client for one replica's internal endpoint.
+type peer struct {
+	addr string
+	free chan *peerConn
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // every live conn, for Close
+	closed bool
+}
+
+func newPeer(addr string) *peer {
+	return &peer{
+		addr:  addr,
+		free:  make(chan *peerConn, peerPoolSize),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+func (p *peer) get() (*peerConn, error) {
+	select {
+	case pc := <-p.free:
+		return pc, nil
+	default:
+	}
+	c, err := net.DialTimeout("tcp", p.addr, rpcTimeout)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return nil, errors.New("server: peer closed")
+	}
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return pc, nil
+}
+
+func (p *peer) put(pc *peerConn) {
+	select {
+	case p.free <- pc:
+	default:
+		p.retire(pc)
+	}
+}
+
+// retire closes a connection and forgets it, so the live-conn set stays
+// bounded over the node's lifetime.
+func (p *peer) retire(pc *peerConn) {
+	pc.c.Close()
+	p.mu.Lock()
+	delete(p.conns, pc.c)
+	p.mu.Unlock()
+}
+
+// rpc performs one round trip, retiring the connection on any error.
+func (p *peer) rpc(op byte, payload []byte) ([]byte, error) {
+	pc, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	pc.c.SetDeadline(time.Now().Add(rpcTimeout))
+	if err := writeFrame(pc.bw, op, payload); err != nil {
+		p.retire(pc)
+		return nil, err
+	}
+	status, resp, err := readFrame(pc.br)
+	if err != nil {
+		p.retire(pc)
+		return nil, err
+	}
+	p.put(pc)
+	if status != statusOK {
+		return nil, fmt.Errorf("server: peer %s: %s", p.addr, resp)
+	}
+	return resp, nil
+}
+
+// apply replicates v to the peer, reporting whether the peer's state
+// changed.
+func (p *peer) apply(v kvstore.Version) (applied bool, err error) {
+	resp, err := p.rpc(opApply, encodeVersion(nil, v))
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// getVersion reads the peer's current version for key.
+func (p *peer) getVersion(key string) (v kvstore.Version, found bool, err error) {
+	resp, err := p.rpc(opGet, appendString16(nil, key))
+	if err != nil {
+		return kvstore.Version{}, false, err
+	}
+	d := &decoder{b: resp}
+	found = d.u8() == 1
+	v = d.version()
+	if d.err != nil {
+		return kvstore.Version{}, false, d.err
+	}
+	return v, found, nil
+}
+
+// close tears down every live connection.
+func (p *peer) close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := p.conns
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+	for c := range conns {
+		c.Close()
+	}
+}

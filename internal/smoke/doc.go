@@ -1,0 +1,7 @@
+// Package smoke holds end-to-end smoke tests for every binary in cmd/ and
+// every program in examples/: each is run via `go run` with small flag
+// values and asserted to exit 0 with its expected report headers on
+// stdout. These are the tests that catch a binary whose flag wiring or
+// output pipeline broke even though the libraries underneath still pass
+// their unit tests.
+package smoke

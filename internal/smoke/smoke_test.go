@@ -1,0 +1,123 @@
+package smoke
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// moduleRoot walks upward from the working directory to the directory
+// containing go.mod, so `go run pbs/cmd/...` resolves package paths.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// smokeCase runs one binary with small inputs and checks its output.
+type smokeCase struct {
+	name string
+	pkg  string
+	args []string
+	want []string
+}
+
+func smokeCases() []smokeCase {
+	return []smokeCase{
+		// cmd/pbs: every subcommand.
+		{name: "pbs-kstaleness", pkg: "pbs/cmd/pbs",
+			args: []string{"kstaleness", "-n", "3", "-r", "1", "-w", "1", "-k", "3"},
+			want: []string{"configuration", "P(within 3 vers.)"}},
+		{name: "pbs-monotonic", pkg: "pbs/cmd/pbs",
+			args: []string{"monotonic", "-n", "3", "-r", "1", "-w", "1", "-gw", "10", "-cr", "5"},
+			want: []string{"monotonic"}},
+		{name: "pbs-load", pkg: "pbs/cmd/pbs",
+			args: []string{"load", "-p", "0.001", "-k", "3", "-nodes", "10"},
+			want: []string{"load"}},
+		{name: "pbs-tvisibility", pkg: "pbs/cmd/pbs",
+			args: []string{"tvisibility", "-model", "lnkd-disk", "-n", "3", "-r", "1", "-w", "2", "-p", "0.999", "-t", "10", "-trials", "5000"},
+			want: []string{"scenario", "lnkd-disk"}},
+		{name: "pbs-report", pkg: "pbs/cmd/pbs",
+			args: []string{"report", "-n", "3", "-r", "1", "-w", "1", "-trials", "5000"},
+			want: []string{"PBS profile", "k-staleness"}},
+
+		// cmd/pbs-fit: builtin table and the fitted-mixture report.
+		{name: "pbs-fit", pkg: "pbs/cmd/pbs-fit",
+			args: []string{"-table", "t2reads"},
+			want: []string{"mixture fit", "observed vs fitted quantiles"}},
+
+		// cmd/pbs-experiments: the registry and one fast experiment.
+		{name: "pbs-experiments-list", pkg: "pbs/cmd/pbs-experiments",
+			args: []string{"-list"},
+			want: []string{"sec3.1-kstaleness", "sec5.2-validation"}},
+		{name: "pbs-experiments-kstaleness", pkg: "pbs/cmd/pbs-experiments",
+			args: []string{"-run", "sec3.1-kstaleness", "-fast"},
+			want: []string{"P(read within k versions)", "completed in"}},
+
+		// cmd/pbs-store: short discrete-event workload.
+		{name: "pbs-store", pkg: "pbs/cmd/pbs-store",
+			args: []string{"-duration", "3000", "-keys", "16"},
+			want: []string{"cluster: 3 nodes", "stale fraction"}},
+
+		// cmd/pbs-serve: short live-cluster run with probes.
+		{name: "pbs-serve", pkg: "pbs/cmd/pbs-serve",
+			args: []string{"-duration", "2s", "-rate", "300", "-clients", "4", "-epochs", "30",
+				"-trials", "10000", "-model", "lnkd-disk", "-scale", "8", "-r", "1", "-w", "2"},
+			want: []string{"live PBS cluster on loopback", "operation latency: measured",
+				"t-visibility: measured vs predicted", "t-visibility agreement"}},
+
+		// examples/: every program, as shipped.
+		{name: "example-quickstart", pkg: "pbs/examples/quickstart",
+			want: []string{"k-staleness", "t-visibility on LNKD-DISK"}},
+		{name: "example-monotonic", pkg: "pbs/examples/monotonic",
+			want: []string{"monotonic-reads violation probability", "live store sessions"}},
+		{name: "example-sla", pkg: "pbs/examples/sla",
+			want: []string{"evaluated configurations", "chosen: N="}},
+		{name: "example-stalenessmonitor", pkg: "pbs/examples/stalenessmonitor",
+			want: []string{"asynchronous staleness detection", "detector flags"}},
+		{name: "example-wanreplication", pkg: "pbs/examples/wanreplication",
+			want: []string{"geo-replication", "reading the table"}},
+	}
+}
+
+func TestBinariesSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	root := moduleRoot(t)
+	for _, tc := range smokeCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", append([]string{"run", tc.pkg}, tc.args...)...)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s %v: %v\n%s", tc.pkg, tc.args, err, out)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output of %s missing %q\n%s", tc.name, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// samplesFromBytes decodes a fuzzed byte string into a sorted, finite
+// sample set (8 bytes per float64; NaN/Inf draws are mapped into range).
+func samplesFromBytes(data []byte) []float64 {
+	n := len(data) / 8
+	if n == 0 {
+		return nil
+	}
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = float64(i)
+		}
+		xs = append(xs, v)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// FuzzQuantile checks the invariants every consumer of stats.Quantile
+// relies on: non-NaN results for non-empty input, values bounded by the
+// sample min/max, and monotonicity in q.
+func FuzzQuantile(f *testing.F) {
+	f.Add([]byte{}, 0.5)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 0.99)
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed, 0.001)
+	f.Fuzz(func(t *testing.T, data []byte, q float64) {
+		xs := samplesFromBytes(data)
+		if len(xs) == 0 {
+			if v := Quantile(xs, 0.5); !math.IsNaN(v) {
+				t.Fatalf("empty input returned %v, want NaN", v)
+			}
+			return
+		}
+		if math.IsNaN(q) {
+			q = 0.5
+		}
+		// Clamp q into [0, 1]: Quantile's contract.
+		q = math.Min(1, math.Max(0, q))
+
+		v := Quantile(xs, q)
+		if math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) is NaN for %d samples", q, len(xs))
+		}
+		if v < xs[0] || v > xs[len(xs)-1] {
+			t.Fatalf("Quantile(%v) = %v outside sample range [%v, %v]", q, v, xs[0], xs[len(xs)-1])
+		}
+
+		// Monotone in q across a grid that includes the fuzzed q, up to the
+		// ulp-level wobble linear interpolation is allowed (a*(1-f)+b*f is
+		// not exactly monotone in floating point).
+		grid := []float64{0, 0.1, 0.25, q, 0.5, 0.75, 0.9, 0.999, 1}
+		sort.Float64s(grid)
+		prev := math.Inf(-1)
+		for _, g := range grid {
+			gv := Quantile(xs, g)
+			tol := 1e-12 * math.Max(1, math.Max(math.Abs(gv), math.Abs(prev)))
+			if gv < prev-tol {
+				t.Fatalf("Quantile not monotone: q=%v gives %v after %v", g, gv, prev)
+			}
+			if gv > prev {
+				prev = gv
+			}
+		}
+
+		// Percentile must agree with Quantile.
+		if p := Percentile(xs, q*100); p != v && !(math.IsNaN(p) && math.IsNaN(v)) {
+			// Floating division by 100 can differ in the last ulp of q;
+			// tolerate only exact-q disagreement within one interpolation
+			// step.
+			lo, hi := xs[0], xs[len(xs)-1]
+			if math.Abs(p-v) > 1e-9*(1+math.Abs(hi-lo)) {
+				t.Fatalf("Percentile(%v) = %v disagrees with Quantile(%v) = %v", q*100, p, q, v)
+			}
+		}
+	})
+}
+
+// FuzzSummarize checks that the one-pass summary never yields NaN for
+// non-empty finite input and keeps its quantiles ordered.
+func FuzzSummarize(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := samplesFromBytes(data)
+		s, err := Summarize(xs)
+		if len(xs) == 0 {
+			if err == nil {
+				t.Fatal("Summarize accepted empty input")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range map[string]float64{
+			"mean": s.Mean, "min": s.Min, "max": s.Max,
+			"p50": s.P50, "p99": s.P99, "stddev": s.StdDev,
+		} {
+			if math.IsNaN(v) {
+				t.Fatalf("%s is NaN for %d samples", name, len(xs))
+			}
+		}
+		if s.Min > s.P50 || s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+			t.Fatalf("quantiles out of order: %+v", s)
+		}
+	})
+}

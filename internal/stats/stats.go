@@ -98,7 +98,11 @@ func Quantile(sorted []float64, q float64) float64 {
 		return sorted[n-1]
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	v := sorted[lo]*(1-frac) + sorted[hi]*frac
+	// Floating-point rounding in the interpolation can land one ulp
+	// outside the cell; clamp so the result always lies between the
+	// bracketing order statistics.
+	return math.Min(math.Max(v, sorted[lo]), sorted[hi])
 }
 
 // Percentile is Quantile with p expressed in percent (0..100).

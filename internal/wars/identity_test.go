@@ -1,0 +1,55 @@
+package wars
+
+import (
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+)
+
+// TestSimulateBatchIdentityProperty pins the engine's core determinism
+// contract across its whole input space: for every production latency
+// model, seed, and parallelism level, a single-configuration SimulateBatch
+// is bit-identical to Simulate from an RNG in the same state. This is the
+// property the SLA optimizer, the experiment harness, and the live
+// conformance suite all rely on when they treat batch evaluation as a pure
+// amortization of the Monte Carlo.
+func TestSimulateBatchIdentityProperty(t *testing.T) {
+	models := []func() dist.LatencyModel{dist.LNKDSSD, dist.LNKDDISK, dist.YMMR}
+	seeds := []uint64{1, 42, 0xdeadbeef}
+	workerCounts := []int{1, 2, 3, 8}
+	// Trials straddle multiple shards with a ragged tail so shard-boundary
+	// bookkeeping is exercised, not just the easy whole-shard case.
+	const trials = 2*shardTrials + 129
+
+	for _, mk := range models {
+		model := mk()
+		for _, seed := range seeds {
+			// Configuration derived from the seed so the sweep covers
+			// different quorum geometries without a full N² enumeration.
+			cfgRNG := rng.New(seed)
+			n := 2 + cfgRNG.Intn(4) // N in [2, 5]
+			cfg := Config{R: 1 + cfgRNG.Intn(n), W: 1 + cfgRNG.Intn(n)}
+			sc := NewIID(n, model)
+
+			ref, err := Simulate(sc, cfg, trials, rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range workerCounts {
+				batch, err := SimulateBatchWorkers(sc, []Config{cfg}, trials, rng.New(seed), workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := model.Name + "/batch-vs-simulate"
+				sameRun(t, label, ref, batch[0])
+
+				solo, err := SimulateWorkers(sc, cfg, trials, rng.New(seed), workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameRun(t, model.Name+"/workers-vs-default", ref, solo)
+			}
+		}
+	}
+}
