@@ -7,16 +7,29 @@
 // side by side with the wars Monte Carlo prediction — the live-cluster
 // counterpart of the pbs calculator.
 //
-// Example:
+// The cluster can additionally run degraded: -fail scripts fault
+// injection (crashed/paused replicas, dropped or delayed internal RPCs),
+// -handoff and -anti-entropy enable the recovery subsystems that converge
+// replicas after faults, and -tune-sla runs the monitor-fed tuner that
+// fits the measured WARS legs online and recommends (or, with
+// -tune-apply, applies) the cheapest (R, W) meeting a staleness SLA —
+// Section 6's dynamic configuration, live.
+//
+// Examples:
 //
 //	pbs-serve -replicas 3 -n 3 -r 1 -w 2 -model lnkd-disk -scale 16 \
 //	          -rate 2000 -duration 10s -epochs 200
+//	pbs-serve -duration 8s -fail "2s crash 2; 5s recover 2" \
+//	          -handoff -anti-entropy
+//	pbs-serve -duration 10s -r 3 -w 3 -tune-sla "t=100,p=0.99" -tune-apply
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,11 +37,44 @@ import (
 	"pbs/internal/dist"
 	"pbs/internal/rng"
 	"pbs/internal/server"
+	"pbs/internal/sla"
 	"pbs/internal/stats"
 	"pbs/internal/tabular"
+	"pbs/internal/tuner"
 	"pbs/internal/wars"
 	"pbs/internal/workload"
 )
+
+// parseSLA parses a -tune-sla spec "t=<ms>,p=<prob>", e.g. "t=100,p=0.99":
+// reads issued t ms after commit must be consistent with probability p.
+func parseSLA(spec string) (sla.Target, error) {
+	target := sla.Target{}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return target, fmt.Errorf("bad SLA term %q (want t=<ms>,p=<prob>)", part)
+		}
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return target, fmt.Errorf("bad SLA value %q: %v", v, err)
+		}
+		switch k {
+		case "t":
+			target.TWindow = x
+		case "p":
+			target.MinPConsistent = x
+		default:
+			return target, fmt.Errorf("unknown SLA term %q (want t, p)", k)
+		}
+	}
+	if target.MinPConsistent <= 0 || target.MinPConsistent > 1 {
+		return target, fmt.Errorf("SLA needs p=<prob> in (0, 1]")
+	}
+	if target.TWindow < 0 {
+		return target, fmt.Errorf("SLA needs t=<ms> >= 0")
+	}
+	return target, nil
+}
 
 func latencyModel(name string) (dist.LatencyModel, bool) {
 	if name == "validation" {
@@ -68,6 +114,12 @@ func main() {
 	trials := flag.Int("trials", 100000, "Monte Carlo trials for the prediction")
 	interval := flag.Duration("interval", 2*time.Second, "live snapshot interval")
 	seed := flag.Uint64("seed", 1, "random seed")
+	failSpec := flag.String("fail", "", `scripted fault schedule, e.g. "2s crash 1; 5s recover 1; 0s drop 2 0.3"`)
+	handoff := flag.Bool("handoff", false, "enable hinted handoff (buffer writes for unreachable replicas, replay on recovery)")
+	antiEntropy := flag.Bool("anti-entropy", false, "enable background Merkle anti-entropy between replicas")
+	tuneSLA := flag.String("tune-sla", "", `run the dynamic-configuration tuner against this SLA, e.g. "t=100,p=0.99"`)
+	tuneInterval := flag.Duration("tune-interval", 3*time.Second, "tuner round interval")
+	tuneApply := flag.Bool("tune-apply", false, "apply the tuner's recommended (R, W) to the live cluster")
 	flag.Parse()
 
 	model, ok := latencyModel(*modelName)
@@ -75,6 +127,21 @@ func main() {
 		fatalf("unknown model %q (want lnkd-ssd, lnkd-disk, ymmr or validation)", *modelName)
 	}
 	scaled := dist.ScaleModel(model, *scale)
+
+	var schedule []server.FaultEvent
+	if *failSpec != "" {
+		var err error
+		if schedule, err = server.ParseSchedule(*failSpec); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	var slaTarget sla.Target
+	if *tuneSLA != "" {
+		var err error
+		if slaTarget, err = parseSLA(*tuneSLA); err != nil {
+			fatalf("-tune-sla: %v", err)
+		}
+	}
 
 	// Prediction first: the table the live cluster has to live up to.
 	pred, err := wars.Simulate(wars.NewIID(*n, scaled), wars.Config{R: *r, W: *w}, *trials, rng.New(*seed))
@@ -85,7 +152,9 @@ func main() {
 	cluster, err := server.StartLocal(*replicas, server.Params{
 		N: *n, R: *r, W: *w,
 		ReadRepair: *readRepair,
-		Model:      &model, Scale: *scale,
+		Handoff:    *handoff, AntiEntropy: *antiEntropy,
+		WARSSampling: true, // /wars is part of the CLI surface; the tuner feeds on it
+		Model:        &model, Scale: *scale,
 		Seed: *seed,
 	})
 	if err != nil {
@@ -94,10 +163,18 @@ func main() {
 	defer cluster.Close()
 
 	fmt.Printf("pbs-serve: live PBS cluster on loopback\n")
-	fmt.Printf("  replicas=%d N=%d R=%d W=%d model=%s scale=%g read-repair=%v\n",
-		*replicas, *n, *r, *w, model.Name, *scale, *readRepair)
+	fmt.Printf("  replicas=%d N=%d R=%d W=%d model=%s scale=%g read-repair=%v handoff=%v anti-entropy=%v\n",
+		*replicas, *n, *r, *w, model.Name, *scale, *readRepair, *handoff, *antiEntropy)
 	for i, addr := range cluster.HTTPAddrs {
 		fmt.Printf("  node %d: %s\n", i, addr)
+	}
+	if len(schedule) > 0 {
+		fmt.Printf("  fault schedule:\n")
+		for _, e := range schedule {
+			fmt.Printf("    %v\n", e)
+		}
+		stopSchedule := cluster.Faults().RunSchedule(schedule)
+		defer stopSchedule()
 	}
 	strict := ""
 	if *r+*w > *n {
@@ -162,6 +239,47 @@ func main() {
 	// Live snapshots while the workload runs.
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
+
+	// Dynamic-configuration tuner: periodically pool the coordinators'
+	// measured WARS leg samples, fit them online, and optimize (R, W)
+	// against the SLA (Section 6).
+	var lastRec *tuner.Recommendation
+	var recMu sync.Mutex
+	if *tuneSLA != "" {
+		tn := &tuner.Tuner{
+			Source: func() (tuner.Samples, error) {
+				w, a, r, s, err := c.WARSSamples()
+				return tuner.Samples{W: w, A: a, R: r, S: s}, err
+			},
+			Config: tuner.Config{
+				N: *n, Target: slaTarget,
+				Trials: *trials / 2, Seed: *seed,
+			},
+			OnRound: func(rec *tuner.Recommendation, err error) {
+				if err != nil {
+					fmt.Printf("[tuner] %v\n", err)
+					return
+				}
+				recMu.Lock()
+				lastRec = rec
+				recMu.Unlock()
+				fmt.Printf("[tuner] recommended N=%d R=%d W=%d (p=%.4f@t=%gms, read p%g=%.1fms, write p%g=%.1fms)\n",
+					rec.Choice.N, rec.Choice.R, rec.Choice.W, rec.Choice.PConsistent, slaTarget.TWindow,
+					rec.Target.LatencyQuantile*100, rec.Choice.ReadLatency,
+					rec.Target.LatencyQuantile*100, rec.Choice.WriteLatency)
+			},
+		}
+		if *tuneApply {
+			tn.Apply = func(r, w int) error {
+				if cr, cw := cluster.Quorums(); cr == r && cw == w {
+					return nil
+				}
+				fmt.Printf("[tuner] applying R=%d W=%d to the live cluster\n", r, w)
+				return cluster.SetQuorums(r, w)
+			}
+		}
+		go tn.Run(*tuneInterval, done)
+	}
 	qs := []float64{0.5, 0.95, 0.999}
 	start := time.Now()
 	ticker := time.NewTicker(*interval)
@@ -183,6 +301,11 @@ live:
 	ticker.Stop()
 
 	// Final measured-vs-predicted tables.
+	if cr, cw := cluster.Quorums(); cr != *r || cw != *w {
+		fmt.Printf("note: quorums were retuned live (R=%d W=%d -> R=%d W=%d); the measured\n"+
+			"      columns below span both configurations while the prediction is for\n"+
+			"      the startup quorums.\n\n", *r, *w, cr, cw)
+	}
 	snap := mon.Snapshot(qs)
 	fmt.Printf("\nload generator: %d ops in %v (%.0f ops/s, %d errors)\n\n",
 		loadRes.Ops, loadRes.Elapsed.Round(time.Millisecond), loadRes.Throughput, loadRes.Errors)
@@ -201,16 +324,47 @@ live:
 	st.AddRow("P(stale) under workload", tabular.Pct(snap.PStale), "(depends on read timing)")
 	st.AddRow("mean k-staleness (versions behind)", fmt.Sprintf("%.4f", snap.MeanKBehind), "-")
 	st.AddRow("max k-staleness", fmt.Sprintf("%d", snap.MaxKBehind), "-")
-	var flags, repairs int64
-	for i := 0; i < c.Nodes(); i++ {
-		if ns, err := c.Stats(i); err == nil {
-			flags += ns.DetectorFlags
-			repairs += ns.ReadRepairs
+	agg := cluster.Stats()
+	st.AddRow("detector flags (Sec 4.3)", fmt.Sprintf("%d", agg.DetectorFlags), "-")
+	st.AddRow("read repairs", fmt.Sprintf("%d", agg.ReadRepairs), "-")
+	fmt.Println(st.String())
+
+	if *failSpec != "" || *handoff || *antiEntropy {
+		ft := tabular.New("fault tolerance", "metric", "count")
+		ft.AddRow("injected rpc faults", fmt.Sprintf("%d", cluster.Faults().Injected()))
+		ft.AddRow("failed operations", fmt.Sprintf("%d", agg.FailedOps))
+		ft.AddRow("hinted handoff: hints stored", fmt.Sprintf("%d", agg.HintsStored))
+		ft.AddRow("hinted handoff: hints replayed", fmt.Sprintf("%d", agg.HintsReplayed))
+		ft.AddRow("hinted handoff: hints pending", fmt.Sprintf("%d", agg.HintsPending))
+		ft.AddRow("anti-entropy: rounds", fmt.Sprintf("%d", agg.AERounds))
+		ft.AddRow("anti-entropy: versions pulled", fmt.Sprintf("%d", agg.AEPulled))
+		ft.AddRow("anti-entropy: versions pushed", fmt.Sprintf("%d", agg.AEPushed))
+		fmt.Println(ft.String())
+		if log := cluster.Faults().Log(); len(log) > 0 {
+			fmt.Println("fault events:")
+			for _, line := range log {
+				fmt.Printf("  %s\n", line)
+			}
+			fmt.Println()
 		}
 	}
-	st.AddRow("detector flags (Sec 4.3)", fmt.Sprintf("%d", flags), "-")
-	st.AddRow("read repairs", fmt.Sprintf("%d", repairs), "-")
-	fmt.Println(st.String())
+
+	if *tuneSLA != "" {
+		recMu.Lock()
+		rec := lastRec
+		recMu.Unlock()
+		if rec != nil {
+			fmt.Printf("tuner: final recommendation N=%d R=%d W=%d for SLA %q\n",
+				rec.Choice.N, rec.Choice.R, rec.Choice.W, *tuneSLA)
+			for _, lf := range rec.Fits {
+				fmt.Printf("  fitted %v\n", lf)
+			}
+			cr, cw := cluster.Quorums()
+			fmt.Printf("  live cluster quorums now R=%d W=%d (apply=%v)\n", cr, cw, *tuneApply)
+		} else {
+			fmt.Printf("tuner: no recommendation produced (run longer or lower -tune-interval)\n")
+		}
+	}
 
 	if meas != nil {
 		tv := tabular.New("t-visibility: measured vs predicted",

@@ -169,6 +169,38 @@ func (c *Client) GetVia(node int, key string) (GetResult, error) {
 	}, nil
 }
 
+// WARSSamples fetches every node's measured WARS leg samples (GET /wars)
+// and pools them: the cluster-wide empirical W/A/R/S distributions the
+// tuner fits online (Section 6's dynamic configuration). Unreachable
+// nodes (crashed replicas answer 503) are skipped, so the tuning loop
+// keeps running on the survivors' measurements during an outage; an
+// error is returned only when no node answers.
+func (c *Client) WARSSamples() (w, a, r, s []float64, err error) {
+	var lastErr error
+	answered := 0
+	for node := range c.addrs {
+		resp, err := c.hc.Get(c.addrs[node] + "/wars")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var wr server.WARSResponse
+		if err := decodeResponse(resp, &wr); err != nil {
+			lastErr = err
+			continue
+		}
+		answered++
+		w = append(w, wr.W...)
+		a = append(a, wr.A...)
+		r = append(r, wr.R...)
+		s = append(s, wr.S...)
+	}
+	if answered == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("client: no node served /wars: %w", lastErr)
+	}
+	return w, a, r, s, nil
+}
+
 // Stats fetches one node's counters.
 func (c *Client) Stats(node int) (server.StatsResponse, error) {
 	var st server.StatsResponse

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"pbs/internal/dist"
 	"pbs/internal/stats"
 )
 
@@ -151,4 +152,30 @@ func (m *Monitor) CoordLatencies() (read, write []float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]float64(nil), m.readCoord...), append([]float64(nil), m.writeCoord...)
+}
+
+// LatencyTables is the monitor's measured latency distributions in the
+// paper's published-summary form (dist.PercentileTable) — one shared code
+// path for online fitting (internal/fit, the tuner) and reporting.
+type LatencyTables struct {
+	ReadCoord, WriteCoord   dist.PercentileTable
+	ReadClient, WriteClient dist.PercentileTable
+}
+
+// LatencyTables exports every latency sample set the monitor holds as
+// percentile tables on the dist.FitPercentiles grid. The samples are
+// copied under the lock and summarized (sorted) outside it, so concurrent
+// operation recording never stalls behind the O(n log n) quantile work.
+func (m *Monitor) LatencyTables() LatencyTables {
+	m.mu.Lock()
+	cp := func(xs []float64) []float64 { return append([]float64(nil), xs...) }
+	readCoord, writeCoord := cp(m.readCoord), cp(m.writeCoord)
+	readClient, writeClient := cp(m.readClient), cp(m.writeClient)
+	m.mu.Unlock()
+	return LatencyTables{
+		ReadCoord:   dist.TableFromSamples("read-coord", readCoord, nil),
+		WriteCoord:  dist.TableFromSamples("write-coord", writeCoord, nil),
+		ReadClient:  dist.TableFromSamples("read-client", readClient, nil),
+		WriteClient: dist.TableFromSamples("write-client", writeClient, nil),
+	}
 }

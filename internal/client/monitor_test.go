@@ -1,0 +1,73 @@
+package client
+
+import (
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/stats"
+)
+
+// TestMonitorLatencyTables pins the monitor's percentile-table export: the
+// tables must agree with the raw sample accessors through the shared
+// dist.TableFromSamples code path, so fitting and reporting cannot drift
+// apart.
+func TestMonitorLatencyTables(t *testing.T) {
+	m := NewMonitor()
+	for i := 0; i < 500; i++ {
+		key := "k"
+		coord := float64(i%97) + 0.25
+		client := coord + 1.5
+		if i%3 == 0 {
+			m.RecordWrite(key, uint64(i+1), client, coord)
+		} else {
+			m.RecordRead(key, uint64(i), uint64(i), client, coord)
+		}
+	}
+
+	tables := m.LatencyTables()
+	readCoord, writeCoord := m.CoordLatencies()
+	for _, tc := range []struct {
+		name    string
+		table   dist.PercentileTable
+		samples []float64
+	}{
+		{"read-coord", tables.ReadCoord, readCoord},
+		{"write-coord", tables.WriteCoord, writeCoord},
+	} {
+		if got, want := tc.table, dist.TableFromSamples(tc.name, tc.samples, nil); len(got.Points) != len(want.Points) {
+			t.Fatalf("%s: %d points, want %d", tc.name, len(got.Points), len(want.Points))
+		} else {
+			for i := range got.Points {
+				if got.Points[i] != want.Points[i] {
+					t.Errorf("%s point %d: %+v, want %+v", tc.name, i, got.Points[i], want.Points[i])
+				}
+			}
+			if got.Mean != want.Mean {
+				t.Errorf("%s mean %.4f, want %.4f", tc.name, got.Mean, want.Mean)
+			}
+		}
+	}
+
+	// The grid is the shared fitting grid, and the client-side tables see
+	// the client-hop offset.
+	if got := len(tables.ReadClient.Points); got != len(dist.FitPercentiles()) {
+		t.Fatalf("read-client table has %d points", got)
+	}
+	if tables.ReadClient.Mean <= tables.ReadCoord.Mean {
+		t.Errorf("client-measured mean %.3f not above coordinator-measured %.3f",
+			tables.ReadClient.Mean, tables.ReadCoord.Mean)
+	}
+
+	// Snapshot quantiles and table percentiles flow through the same
+	// stats.Quantiles convention.
+	snap := m.Snapshot([]float64{0.5})
+	if want := stats.Quantiles(readCoord, []float64{0.5})[0]; snap.ReadCoordMs[0] != want {
+		t.Errorf("snapshot median %.4f, want %.4f", snap.ReadCoordMs[0], want)
+	}
+
+	// An empty monitor exports empty tables rather than panicking.
+	empty := NewMonitor().LatencyTables()
+	if len(empty.ReadCoord.Points) != 0 || empty.WriteClient.Mean != 0 {
+		t.Errorf("empty monitor exported %+v", empty)
+	}
+}

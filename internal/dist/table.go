@@ -1,0 +1,42 @@
+package dist
+
+// Measured-sample summarization: the bridge from live measurement to the
+// fitting pipeline. The staleness monitor (internal/client) and the WARS
+// leg sampler (internal/server) export their latency samples through
+// TableFromSamples, so online fitting (internal/fit, the tuner) and
+// human-facing reporting consume the same percentile summaries the paper
+// publishes for production systems (Tables 1 and 2).
+
+import "pbs/internal/stats"
+
+// FitPercentiles is the default percentile grid for summarizing measured
+// latency samples: dense in the body, with the p99/p99.9 tail points the
+// paper's Table 1/2 summaries report.
+func FitPercentiles() []float64 {
+	return []float64{1, 5, 10, 25, 50, 75, 90, 95, 99, 99.9}
+}
+
+// TableFromSamples summarizes latency samples (milliseconds, any order) as
+// a percentile table at the given percentile grid (nil means
+// FitPercentiles). The table's Mean is the sample mean. Empty samples
+// yield an empty table.
+func TableFromSamples(name string, samples []float64, percentiles []float64) PercentileTable {
+	t := PercentileTable{Name: name}
+	if len(samples) == 0 {
+		return t
+	}
+	if percentiles == nil {
+		percentiles = FitPercentiles()
+	}
+	qs := make([]float64, len(percentiles))
+	for i, p := range percentiles {
+		qs[i] = p / 100
+	}
+	ls := stats.Quantiles(samples, qs)
+	t.Points = make([]PercentilePoint, len(percentiles))
+	for i := range percentiles {
+		t.Points[i] = PercentilePoint{Percentile: percentiles[i], LatencyMs: ls[i]}
+	}
+	t.Mean = stats.Mean(samples)
+	return t
+}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"pbs/internal/rng"
+	"pbs/internal/stats"
+)
+
+func TestTableFromSamplesEmpty(t *testing.T) {
+	tbl := TableFromSamples("empty", nil, nil)
+	if tbl.Name != "empty" || len(tbl.Points) != 0 || tbl.Mean != 0 {
+		t.Fatalf("empty samples produced %+v", tbl)
+	}
+}
+
+func TestTableFromSamplesMatchesStatsQuantiles(t *testing.T) {
+	r := rng.New(7)
+	e := NewExponential(0.1)
+	samples := make([]float64, 5000)
+	for i := range samples {
+		samples[i] = e.Sample(r)
+	}
+	tbl := TableFromSamples("exp", samples, nil)
+	if len(tbl.Points) != len(FitPercentiles()) {
+		t.Fatalf("%d points, want %d", len(tbl.Points), len(FitPercentiles()))
+	}
+	for i, p := range FitPercentiles() {
+		want := stats.Quantiles(samples, []float64{p / 100})[0]
+		if got := tbl.Points[i].LatencyMs; got != want {
+			t.Errorf("p%g: table %.6f, stats.Quantiles %.6f", p, got, want)
+		}
+		if tbl.Points[i].Percentile != p {
+			t.Errorf("point %d percentile %g, want %g", i, tbl.Points[i].Percentile, p)
+		}
+		if i > 0 && tbl.Points[i].LatencyMs < tbl.Points[i-1].LatencyMs {
+			t.Errorf("percentile points not monotone at %g", p)
+		}
+	}
+	if got, want := tbl.Mean, stats.Mean(samples); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean %.6f, want %.6f", got, want)
+	}
+}
+
+func TestTableFromSamplesCustomGrid(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tbl := TableFromSamples("decade", samples, []float64{50, 100})
+	if len(tbl.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(tbl.Points))
+	}
+	if tbl.Points[0].LatencyMs != 5.5 {
+		t.Errorf("median %.3f, want 5.5", tbl.Points[0].LatencyMs)
+	}
+	if tbl.Points[1].LatencyMs != 10 {
+		t.Errorf("max %.3f, want 10", tbl.Points[1].LatencyMs)
+	}
+	if tbl.Mean != 5.5 {
+		t.Errorf("mean %.3f, want 5.5", tbl.Mean)
+	}
+}
+
+// TestTableFromSamplesFittable closes the loop the tuner relies on: a
+// table summarized from samples of a known distribution must be a viable
+// input to the fitting pipeline (strictly increasing spread, positive
+// latencies).
+func TestTableFromSamplesFittable(t *testing.T) {
+	r := rng.New(3)
+	m := LNKDDISK()
+	samples := make([]float64, 8000)
+	for i := range samples {
+		samples[i] = m.W.Sample(r)
+	}
+	tbl := TableFromSamples("lnkd-disk-w", samples, nil)
+	if tbl.Points[0].LatencyMs <= 0 {
+		t.Fatalf("non-positive p1 latency %.4f", tbl.Points[0].LatencyMs)
+	}
+	last := tbl.Points[len(tbl.Points)-1]
+	if last.LatencyMs <= tbl.Points[0].LatencyMs {
+		t.Fatalf("degenerate spread: p1=%.4f p99.9=%.4f", tbl.Points[0].LatencyMs, last.LatencyMs)
+	}
+}

@@ -93,6 +93,15 @@ func (s *Store) Summary() map[string]uint64 {
 	return out
 }
 
+// Range calls f for every stored version, in map order — an allocation-free
+// scan for callers (anti-entropy bucket serving) that would otherwise copy
+// the whole store per request.
+func (s *Store) Range(f func(Version)) {
+	for _, v := range s.data {
+		f(v)
+	}
+}
+
 // Versions returns a copy of the full state (for anti-entropy exchange and
 // test assertions).
 func (s *Store) Versions() []Version {

@@ -9,6 +9,7 @@ package merkle
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"sort"
 )
@@ -31,6 +32,25 @@ func (t *Tree) Leaves() int { return t.leaves }
 
 // RootHash returns the root summary hash.
 func (t *Tree) RootHash() uint64 { return t.nodes[0] }
+
+// Nodes returns a copy of the full node array in heap layout — the wire
+// representation replicas exchange during anti-entropy.
+func (t *Tree) Nodes() []uint64 {
+	return append([]uint64(nil), t.nodes...)
+}
+
+// FromNodes reconstructs a tree from a heap-layout node array previously
+// produced by Nodes. The array length must be exactly 2^(depth+1)-1.
+func FromNodes(depth int, nodes []uint64) (*Tree, error) {
+	if depth < 1 || depth > 24 {
+		return nil, fmt.Errorf("merkle: depth %d outside [1, 24]", depth)
+	}
+	leaves := 1 << uint(depth)
+	if len(nodes) != 2*leaves-1 {
+		return nil, fmt.Errorf("merkle: %d nodes, want %d for depth %d", len(nodes), 2*leaves-1, depth)
+	}
+	return &Tree{depth: depth, leaves: leaves, nodes: append([]uint64(nil), nodes...)}, nil
+}
 
 // Bucket returns the leaf bucket index for a key at the given depth.
 func Bucket(key string, depth int) int {

@@ -1,0 +1,138 @@
+package merkle
+
+// Property test: against random map pairs, Diff must return exactly the
+// buckets whose contents differ — computed here by a brute-force oracle
+// that partitions the union of keys by bucket and compares versions
+// directly. (FNV-64 leaf-hash collisions could in principle hide a
+// divergence; at these map sizes the probability is ~2^-64 per pair and
+// the seeds are fixed, so the property is deterministic in practice.)
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pbs/internal/rng"
+)
+
+// randomItems draws a random key→version map.
+func randomItems(r *rng.RNG, maxKeys int) map[string]uint64 {
+	n := r.Intn(maxKeys + 1)
+	items := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		items[fmt.Sprintf("key-%d", r.Intn(4*maxKeys+1))] = uint64(r.Intn(50))
+	}
+	return items
+}
+
+// mutate derives b from a with random edits, removals, and additions, so
+// the pair shares structure (the realistic anti-entropy case) instead of
+// being independent.
+func mutate(r *rng.RNG, a map[string]uint64, maxKeys int) map[string]uint64 {
+	b := make(map[string]uint64, len(a))
+	for k, v := range a {
+		switch r.Intn(10) {
+		case 0: // drop the key
+		case 1: // bump the version
+			b[k] = v + 1 + uint64(r.Intn(5))
+		default:
+			b[k] = v
+		}
+	}
+	for i := r.Intn(5); i > 0; i-- {
+		b[fmt.Sprintf("extra-%d", r.Intn(maxKeys+1))] = uint64(r.Intn(50))
+	}
+	return b
+}
+
+// oracleBuckets brute-forces the divergent buckets: every bucket holding a
+// key whose version differs between the maps (missing counts as
+// differing).
+func oracleBuckets(a, b map[string]uint64, depth int) []int {
+	set := make(map[int]bool)
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || vb != va {
+			set[Bucket(k, depth)] = true
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			set[Bucket(k, depth)] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for bkt := range set {
+		out = append(out, bkt)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestDiffMatchesBruteForceOracle(t *testing.T) {
+	r := rng.New(1234)
+	for trial := 0; trial < 400; trial++ {
+		depth := 1 + r.Intn(8)
+		maxKeys := 1 + r.Intn(120)
+		a := randomItems(r, maxKeys)
+		var b map[string]uint64
+		if r.Intn(4) == 0 {
+			b = randomItems(r, maxKeys) // unrelated maps
+		} else {
+			b = mutate(r, a, maxKeys) // realistic divergence
+		}
+
+		ta, tb := Build(a, depth), Build(b, depth)
+		got, comparisons := Diff(ta, tb)
+		want := oracleBuckets(a, b, depth)
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (depth %d, |a|=%d, |b|=%d): Diff=%v oracle=%v",
+				trial, depth, len(a), len(b), got, want)
+		}
+		if comparisons < 1 || comparisons > 2*(1<<uint(depth+1)) {
+			t.Fatalf("trial %d: %d comparisons outside sane range", trial, comparisons)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("trial %d: buckets not ascending: %v", trial, got)
+		}
+
+		// Diff(t, t) is always empty, for both maps.
+		for _, tree := range []*Tree{ta, tb} {
+			if self, _ := Diff(tree, tree); len(self) != 0 {
+				t.Fatalf("trial %d: Diff(t, t) = %v, want empty", trial, self)
+			}
+		}
+	}
+}
+
+// TestNodesFromNodesRoundTrip pins the wire form anti-entropy exchanges:
+// a tree rebuilt from its Nodes() array is Diff-identical to the
+// original.
+func TestNodesFromNodesRoundTrip(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		depth := 1 + r.Intn(10)
+		items := randomItems(r, 80)
+		orig := Build(items, depth)
+		clone, err := FromNodes(depth, orig.Nodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clone.RootHash() != orig.RootHash() || clone.Depth() != depth || clone.Leaves() != orig.Leaves() {
+			t.Fatalf("trial %d: clone summary mismatch", trial)
+		}
+		if buckets, _ := Diff(orig, clone); len(buckets) != 0 {
+			t.Fatalf("trial %d: clone diverges from original: %v", trial, buckets)
+		}
+	}
+
+	if _, err := FromNodes(0, nil); err == nil {
+		t.Error("FromNodes accepted depth 0")
+	}
+	if _, err := FromNodes(3, make([]uint64, 7)); err == nil {
+		t.Error("FromNodes accepted wrong node count")
+	}
+}

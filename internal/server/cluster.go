@@ -6,11 +6,18 @@ package server
 // OS-assigned ports. This is the harness behind cmd/pbs-serve and the
 // end-to-end conformance suite; a production deployment would run one Node
 // per machine with the same wiring.
+//
+// Every cluster carries a shared fault controller (faults.go): all
+// coordinator fan-out is threaded through fault-wrapped Peers, so crashes,
+// pauses, drops and delays can be injected at runtime — and the recovery
+// subsystems (hinted handoff, Merkle anti-entropy) exercised — without
+// touching the transport.
 
 import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"pbs/internal/kvstore"
@@ -25,6 +32,9 @@ type Cluster struct {
 	// HTTPAddrs are the public base URLs ("http://127.0.0.1:port"), indexed
 	// by node id.
 	HTTPAddrs []string
+
+	faults    *Faults
+	closeOnce sync.Once
 }
 
 // StartLocal boots a cluster of `nodes` replicas on loopback and returns
@@ -62,7 +72,8 @@ func StartLocal(nodes int, p Params) (*Cluster, error) {
 
 	rg := ring.New(nodes, p.Vnodes)
 	seeds := rng.New(p.Seed)
-	c := &Cluster{Params: p, HTTPAddrs: httpAddrs}
+	faults := NewFaults(seeds.Uint64())
+	c := &Cluster{Params: p, HTTPAddrs: httpAddrs, faults: faults}
 	for i := 0; i < nodes; i++ {
 		n := &Node{
 			id:     i,
@@ -72,22 +83,62 @@ func StartLocal(nodes int, p Params) (*Cluster, error) {
 			inj:    newInjector(p.Model, p.Scale, seeds.Uint64()),
 			epoch:  time.Now(),
 			store:  kvstore.New(),
-			peers:  make([]*peer, nodes),
+			peers:  make([]Peer, nodes),
+			faults: faults,
+			stop:   make(chan struct{}),
 			proxyClient: &http.Client{
 				Transport: &http.Transport{MaxIdleConnsPerHost: 64},
 				Timeout:   30 * time.Second,
 			},
 		}
+		n.rq.Store(int32(p.R))
+		n.wq.Store(int32(p.W))
+		if p.Handoff {
+			n.handoff = newHandoff()
+		}
+		if p.WARSSampling {
+			n.legs = newLegSampler(seeds.Uint64())
+		}
 		for j := 0; j < nodes; j++ {
-			n.peers[j] = newPeer(internalAddrs[j])
+			n.peers[j] = &faultPeer{f: faults, from: i, to: j, next: newPeer(internalAddrs[j])}
 		}
 		n.internalLn = internalLns[i]
 		n.httpSrv = &http.Server{Handler: n.handler()}
 		go n.serveInternal(internalLns[i])
 		go n.httpSrv.Serve(httpLns[i])
+		if p.Handoff {
+			go n.runHandoff(p.HandoffInterval)
+		}
+		if p.AntiEntropy {
+			go n.runAntiEntropy(p.AntiEntropyInterval, p.MerkleDepth)
+		}
 		c.Nodes = append(c.Nodes, n)
 	}
 	return c, nil
+}
+
+// Faults returns the cluster's shared fault controller.
+func (c *Cluster) Faults() *Faults { return c.faults }
+
+// SetQuorums retunes the live read/write quorum sizes on every node —
+// the apply half of Section 6's dynamic configuration. Operations already
+// in flight finish under the quorums they loaded at admission.
+func (c *Cluster) SetQuorums(r, w int) error {
+	n := c.Params.N
+	if r < 1 || r > n || w < 1 || w > n {
+		return fmt.Errorf("server: quorums R=%d W=%d outside [1, N=%d]", r, w, n)
+	}
+	for _, nd := range c.Nodes {
+		nd.rq.Store(int32(r))
+		nd.wq.Store(int32(w))
+	}
+	return nil
+}
+
+// Quorums returns the current live read/write quorum sizes.
+func (c *Cluster) Quorums() (r, w int) {
+	n := c.Nodes[0]
+	return int(n.rq.Load()), int(n.wq.Load())
 }
 
 // InjectVersion applies a version directly to one replica's local store,
@@ -104,16 +155,64 @@ func (c *Cluster) ReplicaSeq(node int, key string) uint64 {
 	return v.Seq
 }
 
-// Close tears the cluster down: HTTP servers, internal listeners, and
-// every pooled peer connection.
-func (c *Cluster) Close() {
+// HintsPending returns the number of undelivered hinted-handoff writes
+// buffered across all coordinators.
+func (c *Cluster) HintsPending() int {
+	total := 0
 	for _, n := range c.Nodes {
-		n.httpSrv.Close()
-		n.internalLn.Close()
-	}
-	for _, n := range c.Nodes {
-		for _, p := range n.peers {
-			p.close()
+		if n.handoff != nil {
+			pending, _, _, _ := n.handoff.stats()
+			total += pending
 		}
 	}
+	return total
+}
+
+// Stats aggregates every node's counters (Node.statsLocal) into one
+// cluster-wide view: counters sum; R/W report the live quorums.
+func (c *Cluster) Stats() StatsResponse {
+	var agg StatsResponse
+	agg.Node = -1
+	agg.R, agg.W = c.Quorums()
+	for _, n := range c.Nodes {
+		st := n.statsLocal()
+		agg.CoordReads += st.CoordReads
+		agg.CoordWrites += st.CoordWrites
+		agg.FailedOps += st.FailedOps
+		agg.ReadRepairs += st.ReadRepairs
+		agg.DetectorFlags += st.DetectorFlags
+		agg.Keys += st.Keys
+		agg.Applied += st.Applied
+		agg.Ignored += st.Ignored
+		agg.ClockTicks += st.ClockTicks
+		agg.HintsPending += st.HintsPending
+		agg.HintsStored += st.HintsStored
+		agg.HintsReplayed += st.HintsReplayed
+		agg.HintsDropped += st.HintsDropped
+		agg.AERounds += st.AERounds
+		agg.AEFailed += st.AEFailed
+		agg.AEBuckets += st.AEBuckets
+		agg.AEPulled += st.AEPulled
+		agg.AEPushed += st.AEPushed
+	}
+	return agg
+}
+
+// Close tears the cluster down: background services, HTTP servers,
+// internal listeners, and every pooled peer connection. Idempotent.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		for _, n := range c.Nodes {
+			close(n.stop)
+			n.httpSrv.Close()
+			n.internalLn.Close()
+		}
+		for _, n := range c.Nodes {
+			for _, p := range n.peers {
+				if fp, ok := p.(*faultPeer); ok {
+					fp.next.(*peer).close()
+				}
+			}
+		}
+	})
 }

@@ -1,0 +1,156 @@
+package server
+
+// Hinted handoff (Dynamo Section 4.6, paper Section 2.1's "anti-entropy"
+// companion): when a coordinator's write fan-out to a replica fails, the
+// coordinator buffers the version as a hint and a background replayer
+// redelivers it once the replica is reachable again. Hints are keyed by
+// (target replica, key) and keep only the newest version per key — the
+// store's apply rule is idempotent and last-writer-wins, so replaying the
+// newest version subsumes every older missed write for that key.
+
+import (
+	"sync"
+	"time"
+
+	"pbs/internal/kvstore"
+)
+
+const (
+	// defaultHandoffInterval paces replay attempts.
+	defaultHandoffInterval = 250 * time.Millisecond
+	// maxHintsPerNode bounds one coordinator's hint memory across all
+	// targets; new hints beyond the cap are dropped (and counted).
+	maxHintsPerNode = 1 << 16
+)
+
+// handoff is one coordinator's hint buffer plus replay bookkeeping.
+type handoff struct {
+	mu      sync.Mutex
+	hints   map[int]map[string]kvstore.Version // target -> key -> newest missed version
+	pending int
+
+	stored, replayed, dropped int64
+}
+
+func newHandoff() *handoff {
+	return &handoff{hints: make(map[int]map[string]kvstore.Version)}
+}
+
+// store buffers a missed write for later redelivery to target.
+func (h *handoff) store(target int, v kvstore.Version) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	kh := h.hints[target]
+	if kh == nil {
+		kh = make(map[string]kvstore.Version)
+		h.hints[target] = kh
+	}
+	cur, ok := kh[v.Key]
+	if ok && !v.Newer(cur) {
+		return // an equal-or-newer hint is already buffered
+	}
+	if !ok {
+		if h.pending >= maxHintsPerNode {
+			h.dropped++
+			return
+		}
+		h.pending++
+		// stored counts distinct buffered (target, key) hints — a newer
+		// version superseding a buffered hint is not new work to deliver,
+		// and counting it would break the delivery invariant
+		// replayed + anti-entropy pulls >= stored.
+		h.stored++
+	}
+	kh[v.Key] = v
+}
+
+// snapshot returns the targets with pending hints and a copy of each
+// target's hint set.
+func (h *handoff) snapshot() map[int]map[string]kvstore.Version {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[int]map[string]kvstore.Version, len(h.hints))
+	for target, kh := range h.hints {
+		if len(kh) == 0 {
+			continue
+		}
+		cp := make(map[string]kvstore.Version, len(kh))
+		for k, v := range kh {
+			cp[k] = v
+		}
+		out[target] = cp
+	}
+	return out
+}
+
+// clear removes a delivered hint, unless a newer hint for the key arrived
+// while the replay was in flight.
+func (h *handoff) clear(target int, v kvstore.Version) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	kh := h.hints[target]
+	cur, ok := kh[v.Key]
+	if !ok || cur.Newer(v) {
+		return
+	}
+	delete(kh, v.Key)
+	h.pending--
+	h.replayed++
+}
+
+// stats returns the handoff counters.
+func (h *handoff) stats() (pending int, stored, replayed, dropped int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pending, h.stored, h.replayed, h.dropped
+}
+
+// runHandoff is the background replayer: every interval it attempts to
+// redeliver each target's pending hints, stopping a target's round at the
+// first failure (the replica is likely still unreachable). Targets replay
+// concurrently, at most one replay in flight per target — an RPC stalled
+// on one target (e.g. a paused replica) must not head-of-line block
+// delivery to the others.
+func (n *Node) runHandoff(interval time.Duration) {
+	if interval <= 0 {
+		interval = defaultHandoffInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var mu sync.Mutex
+	inFlight := make(map[int]bool)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		if n.faults.Down(n.id) {
+			continue // a crashed coordinator replays nothing
+		}
+		for target, kh := range n.handoff.snapshot() {
+			mu.Lock()
+			busy := inFlight[target]
+			if !busy {
+				inFlight[target] = true
+			}
+			mu.Unlock()
+			if busy {
+				continue // previous replay to this target still running
+			}
+			go func(target int, kh map[string]kvstore.Version) {
+				defer func() {
+					mu.Lock()
+					delete(inFlight, target)
+					mu.Unlock()
+				}()
+				for _, v := range kh {
+					if _, err := n.peers[target].Apply(v); err != nil {
+						return // target still unreachable; retry next round
+					}
+					n.handoff.clear(target, v)
+				}
+			}(target, kh)
+		}
+	}
+}

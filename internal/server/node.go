@@ -39,12 +39,30 @@ import (
 
 // Params configures every node of a cluster.
 type Params struct {
-	// N, R, W are the replication factor and read/write quorum sizes.
+	// N, R, W are the replication factor and read/write quorum sizes. R and
+	// W are the initial quorums; Cluster.SetQuorums can retune them live.
 	N, R, W int
 	// ReadRepair pushes the newest observed version to stale replicas after
 	// each read. Leave off for WARS conformance measurement (the paper's
 	// validation methodology, Section 5.2).
 	ReadRepair bool
+	// Handoff enables hinted handoff: coordinators buffer writes for
+	// unreachable replicas and replay them on recovery (handoff.go).
+	Handoff bool
+	// HandoffInterval paces hint replay (zero means 250ms).
+	HandoffInterval time.Duration
+	// AntiEntropy enables the background Merkle anti-entropy service
+	// (antientropy.go).
+	AntiEntropy bool
+	// AntiEntropyInterval paces exchange rounds (zero means 1s).
+	AntiEntropyInterval time.Duration
+	// MerkleDepth is the anti-entropy summary-tree depth (zero means 10).
+	MerkleDepth int
+	// WARSSampling records per-replica WARS leg latencies into bounded
+	// reservoirs served at GET /wars — the measurement feed for the
+	// dynamic-configuration tuner. Off by default: sampling costs two
+	// clock reads and a mutex per fan-out leg on the hot path.
+	WARSSampling bool
 	// Model injects per-replica WARS delays drawn from this latency model
 	// into every coordinated operation. Nil injects nothing.
 	Model *dist.LatencyModel
@@ -76,6 +94,9 @@ func (p Params) validate(nodes int) error {
 	}
 	if p.R < 1 || p.R > p.N || p.W < 1 || p.W > p.N {
 		return fmt.Errorf("server: quorums R=%d W=%d outside [1, N=%d]", p.R, p.W, p.N)
+	}
+	if p.MerkleDepth < 0 || p.MerkleDepth > maxMerkleDepth {
+		return fmt.Errorf("server: merkle depth %d outside [1, %d] (0 selects the default)", p.MerkleDepth, maxMerkleDepth)
 	}
 	return nil
 }
@@ -119,6 +140,8 @@ type GetResponse struct {
 // StatsResponse is the payload of GET /stats.
 type StatsResponse struct {
 	Node          int    `json:"node"`
+	R             int    `json:"r"` // current read quorum (live-tunable)
+	W             int    `json:"w"` // current write quorum (live-tunable)
 	CoordReads    int64  `json:"coord_reads"`
 	CoordWrites   int64  `json:"coord_writes"`
 	FailedOps     int64  `json:"failed_ops"`
@@ -128,6 +151,19 @@ type StatsResponse struct {
 	Applied       int64  `json:"applied"`
 	Ignored       int64  `json:"ignored"`
 	ClockTicks    uint64 `json:"clock_ticks"`
+
+	// Hinted-handoff counters (zero unless Params.Handoff).
+	HintsPending  int   `json:"hints_pending"`
+	HintsStored   int64 `json:"hints_stored"`
+	HintsReplayed int64 `json:"hints_replayed"`
+	HintsDropped  int64 `json:"hints_dropped"`
+
+	// Anti-entropy counters (zero unless Params.AntiEntropy).
+	AERounds  int64 `json:"ae_rounds"`
+	AEFailed  int64 `json:"ae_failed"`
+	AEBuckets int64 `json:"ae_buckets"`
+	AEPulled  int64 `json:"ae_pulled"`
+	AEPushed  int64 `json:"ae_pushed"`
 }
 
 // keyEntry serializes version-number assignment for one key at its
@@ -146,12 +182,25 @@ type Node struct {
 	inj    *injector
 	epoch  time.Time
 
+	// rq and wq are the live read/write quorum sizes. They start at
+	// Params.R/W and can be retuned at runtime (Cluster.SetQuorums, the
+	// monitor-fed tuner); coordinators load them once per operation.
+	rq, wq atomic.Int32
+
 	storeMu sync.Mutex
 	store   *kvstore.Store
 
 	keys sync.Map // string -> *keyEntry
 
-	peers []*peer
+	// peers are the fault-wrapped internal RPC clients for every replica
+	// (self included); all coordinator fan-out goes through them.
+	peers []Peer
+
+	faults  *Faults
+	handoff *handoff // nil unless Params.Handoff
+	ae      aeStats
+	legs    *legSampler
+	stop    chan struct{} // closed on Cluster.Close; stops background loops
 
 	clockTicks atomic.Uint64 // vector-clock component for coordinated writes
 
@@ -213,10 +262,20 @@ func (n *Node) handler() http.Handler {
 	mux.HandleFunc("GET /kv/{key}", n.handleGet)
 	mux.HandleFunc("GET /config", n.handleConfig)
 	mux.HandleFunc("GET /stats", n.handleStats)
+	mux.HandleFunc("GET /wars", n.handleWARS)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok"))
 	})
-	return mux
+	// A crashed replica's entire public surface answers 503 — health
+	// checks and stats scrapes must see the process as dead, not just the
+	// data path.
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if n.faults.Down(n.id) {
+			http.Error(w, ErrReplicaDown.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, req)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -254,6 +313,7 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	n.coordWrites.Add(1)
+	quorumW := int(n.wq.Load())
 
 	seq := n.nextSeq(key)
 	ver := kvstore.Version{
@@ -273,20 +333,31 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 	for i, nodeID := range prefs {
 		go func(i, nodeID int) {
 			sleepMs(wd[i])
-			_, err := n.peers[nodeID].apply(ver)
+			var sent time.Time
+			if n.legs != nil {
+				sent = time.Now()
+			}
+			_, err := n.peers[nodeID].Apply(ver)
+			if err == nil && n.legs != nil {
+				rpcMs := float64(time.Since(sent)) / float64(time.Millisecond)
+				n.legs.observeWrite(wd[i]+rpcMs, ad[i])
+			}
 			sleepMs(ad[i])
+			if err != nil && n.handoff != nil {
+				n.handoff.store(nodeID, ver)
+			}
 			acks <- err == nil
 		}(i, nodeID)
 	}
 
 	got, done := 0, 0
-	for done < nReps && got < n.params.W {
+	for done < nReps && got < quorumW {
 		if <-acks {
 			got++
 		}
 		done++
 	}
-	if got < n.params.W {
+	if got < quorumW {
 		n.failedOps.Add(1)
 		http.Error(w, "server: write quorum not reached", http.StatusServiceUnavailable)
 		return
@@ -336,6 +407,7 @@ type readResp struct {
 func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 	key := req.PathValue("key")
 	n.coordReads.Add(1)
+	quorumR := int(n.rq.Load())
 
 	prefs := n.ring.PreferenceList(key, n.params.N)
 	nReps := len(prefs)
@@ -348,7 +420,15 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 	for i, nodeID := range prefs {
 		go func(i, nodeID int) {
 			sleepMs(rd[i])
-			v, found, err := n.peers[nodeID].getVersion(key)
+			var sent time.Time
+			if n.legs != nil {
+				sent = time.Now()
+			}
+			v, found, err := n.peers[nodeID].GetVersion(key)
+			if err == nil && n.legs != nil {
+				rpcMs := float64(time.Since(sent)) / float64(time.Millisecond)
+				n.legs.observeRead(rd[i]+rpcMs, sd[i])
+			}
 			sleepMs(sd[i])
 			ch <- readResp{node: nodeID, v: v, found: found, err: err}
 		}(i, nodeID)
@@ -358,7 +438,7 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 	bestFound := false
 	succ, done := 0, 0
 	early := make([]readResp, 0, nReps)
-	for done < nReps && succ < n.params.R {
+	for done < nReps && succ < quorumR {
 		x := <-ch
 		done++
 		early = append(early, x)
@@ -371,7 +451,7 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 			bestFound = true
 		}
 	}
-	if succ < n.params.R {
+	if succ < quorumR {
 		n.failedOps.Add(1)
 		http.Error(w, "server: read quorum not reached", http.StatusServiceUnavailable)
 		return
@@ -410,7 +490,7 @@ func (n *Node) finishRead(key string, returned kvstore.Version, early []readResp
 	}
 	for _, x := range all {
 		if x.err == nil && x.v.Seq < newest.Seq {
-			if _, err := n.peers[x.node].apply(newest); err == nil {
+			if _, err := n.peers[x.node].Apply(newest); err == nil {
 				n.readRepairs.Add(1)
 			}
 		}
@@ -421,20 +501,24 @@ func (n *Node) handleConfig(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, ConfigResponse{
 		Nodes:  len(n.addrs),
 		N:      n.params.N,
-		R:      n.params.R,
-		W:      n.params.W,
+		R:      int(n.rq.Load()),
+		W:      int(n.wq.Load()),
 		Vnodes: n.params.Vnodes,
 		Addrs:  n.addrs,
 	})
 }
 
-func (n *Node) handleStats(w http.ResponseWriter, _ *http.Request) {
+// statsLocal assembles this node's full counter snapshot — the single
+// source for both the /stats endpoint and Cluster.Stats aggregation.
+func (n *Node) statsLocal() StatsResponse {
 	n.storeMu.Lock()
 	keys := n.store.Len()
 	applied, ignored := n.store.Stats()
 	n.storeMu.Unlock()
-	writeJSON(w, StatsResponse{
+	st := StatsResponse{
 		Node:          n.id,
+		R:             int(n.rq.Load()),
+		W:             int(n.wq.Load()),
 		CoordReads:    n.coordReads.Load(),
 		CoordWrites:   n.coordWrites.Load(),
 		FailedOps:     n.failedOps.Load(),
@@ -444,5 +528,18 @@ func (n *Node) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Applied:       applied,
 		Ignored:       ignored,
 		ClockTicks:    n.clockTicks.Load(),
-	})
+	}
+	if n.handoff != nil {
+		st.HintsPending, st.HintsStored, st.HintsReplayed, st.HintsDropped = n.handoff.stats()
+	}
+	st.AERounds, st.AEFailed, st.AEBuckets, st.AEPulled, st.AEPushed = n.ae.snapshot()
+	return st
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, n.statsLocal())
+}
+
+func (n *Node) handleWARS(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, n.legs.snapshot(n.id))
 }

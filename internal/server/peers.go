@@ -1,0 +1,65 @@
+package server
+
+// The Peer seam between coordinator logic (node.go) and the wire transport
+// (transport.go). Coordinators never talk to a *peer (the TCP RPC client)
+// directly: every internal RPC — write fan-out, replica reads, read repair,
+// hinted-handoff replay, anti-entropy exchange — goes through a Peer, and
+// StartLocal interposes a fault layer (faults.go) between the coordinator
+// and the transport. The fault-free path adds one interface dispatch and a
+// nil check per RPC, preserving the WARS measurement semantics the
+// conformance suite pins.
+
+import "pbs/internal/kvstore"
+
+// Peer is one replica's internal RPC surface as seen from a coordinator.
+type Peer interface {
+	// Apply replicates v to the peer, reporting whether the peer's state
+	// changed.
+	Apply(v kvstore.Version) (applied bool, err error)
+	// GetVersion reads the peer's current version for key.
+	GetVersion(key string) (v kvstore.Version, found bool, err error)
+	// MerkleNodes returns the peer's Merkle content summary at the given
+	// depth, in heap layout (merkle.Tree.Nodes).
+	MerkleNodes(depth int) ([]uint64, error)
+	// BucketVersions returns the versions the peer stores whose keys fall
+	// in any of the given Merkle buckets at the given depth (one batched
+	// scan on the peer; responses are size-capped, see
+	// maxVersionsPerExchange).
+	BucketVersions(depth int, buckets []int) ([]kvstore.Version, error)
+}
+
+// faultPeer interposes a cluster-wide fault controller on the path from one
+// coordinator (from) to one replica (to). A nil *Faults injects nothing.
+type faultPeer struct {
+	f        *Faults
+	from, to int
+	next     Peer
+}
+
+func (fp *faultPeer) Apply(v kvstore.Version) (bool, error) {
+	if err := fp.f.allow(fp.from, fp.to); err != nil {
+		return false, err
+	}
+	return fp.next.Apply(v)
+}
+
+func (fp *faultPeer) GetVersion(key string) (kvstore.Version, bool, error) {
+	if err := fp.f.allow(fp.from, fp.to); err != nil {
+		return kvstore.Version{}, false, err
+	}
+	return fp.next.GetVersion(key)
+}
+
+func (fp *faultPeer) MerkleNodes(depth int) ([]uint64, error) {
+	if err := fp.f.allow(fp.from, fp.to); err != nil {
+		return nil, err
+	}
+	return fp.next.MerkleNodes(depth)
+}
+
+func (fp *faultPeer) BucketVersions(depth int, buckets []int) ([]kvstore.Version, error) {
+	if err := fp.f.allow(fp.from, fp.to); err != nil {
+		return nil, err
+	}
+	return fp.next.BucketVersions(depth, buckets)
+}

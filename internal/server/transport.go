@@ -33,8 +33,10 @@ import (
 )
 
 const (
-	opApply byte = 1
-	opGet   byte = 2
+	opApply  byte = 1
+	opGet    byte = 2
+	opTree   byte = 3
+	opBucket byte = 4
 
 	statusOK  byte = 0
 	statusErr byte = 1
@@ -217,7 +219,13 @@ func (n *Node) serveConn(conn net.Conn) {
 }
 
 // handleRPC dispatches one internal request against local replica state.
+// Crashed replicas refuse every request: fault injection interposes on the
+// sender side (peers.go), and this server-side check keeps the crash
+// airtight for callers that reach the TCP endpoint directly.
 func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
+	if n.faults.Down(n.id) {
+		return statusErr, []byte(ErrReplicaDown.Error())
+	}
 	d := &decoder{b: payload}
 	switch op {
 	case opApply:
@@ -241,6 +249,49 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 			out[0] = 1
 		}
 		return statusOK, encodeVersion(out, v)
+	case opTree:
+		depth := int(d.u8())
+		if d.err != nil {
+			return statusErr, []byte(d.err.Error())
+		}
+		if depth < 1 || depth > maxMerkleDepth {
+			return statusErr, []byte(fmt.Sprintf("server: merkle depth %d outside [1, %d]", depth, maxMerkleDepth))
+		}
+		nodes := n.localTree(depth).Nodes()
+		out := binary.BigEndian.AppendUint32(nil, uint32(len(nodes)))
+		for _, h := range nodes {
+			out = binary.BigEndian.AppendUint64(out, h)
+		}
+		return statusOK, out
+	case opBucket:
+		depth := int(d.u8())
+		count := int(d.u16())
+		if d.err != nil {
+			return statusErr, []byte(d.err.Error())
+		}
+		if depth < 1 || depth > maxMerkleDepth {
+			return statusErr, []byte(fmt.Sprintf("server: merkle depth %d outside [1, %d]", depth, maxMerkleDepth))
+		}
+		if count < 1 || count > 1<<uint(depth) {
+			return statusErr, []byte(fmt.Sprintf("server: %d buckets outside depth-%d tree", count, depth))
+		}
+		buckets := make([]int, count)
+		for i := range buckets {
+			b := int(d.u32())
+			if b < 0 || b >= 1<<uint(depth) {
+				return statusErr, []byte(fmt.Sprintf("server: bucket %d outside depth-%d tree", b, depth))
+			}
+			buckets[i] = b
+		}
+		if d.err != nil {
+			return statusErr, []byte(d.err.Error())
+		}
+		vs := n.localBucketVersions(depth, buckets)
+		out := binary.BigEndian.AppendUint32(nil, uint32(len(vs)))
+		for _, v := range vs {
+			out = encodeVersion(out, v)
+		}
+		return statusOK, out
 	default:
 		return statusErr, []byte(fmt.Sprintf("server: unknown op %d", op))
 	}
@@ -335,9 +386,9 @@ func (p *peer) rpc(op byte, payload []byte) ([]byte, error) {
 	return resp, nil
 }
 
-// apply replicates v to the peer, reporting whether the peer's state
+// Apply replicates v to the peer, reporting whether the peer's state
 // changed.
-func (p *peer) apply(v kvstore.Version) (applied bool, err error) {
+func (p *peer) Apply(v kvstore.Version) (applied bool, err error) {
 	resp, err := p.rpc(opApply, encodeVersion(nil, v))
 	if err != nil {
 		return false, err
@@ -345,8 +396,8 @@ func (p *peer) apply(v kvstore.Version) (applied bool, err error) {
 	return len(resp) == 1 && resp[0] == 1, nil
 }
 
-// getVersion reads the peer's current version for key.
-func (p *peer) getVersion(key string) (v kvstore.Version, found bool, err error) {
+// GetVersion reads the peer's current version for key.
+func (p *peer) GetVersion(key string) (v kvstore.Version, found bool, err error) {
 	resp, err := p.rpc(opGet, appendString16(nil, key))
 	if err != nil {
 		return kvstore.Version{}, false, err
@@ -358,6 +409,58 @@ func (p *peer) getVersion(key string) (v kvstore.Version, found bool, err error)
 		return kvstore.Version{}, false, d.err
 	}
 	return v, found, nil
+}
+
+// MerkleNodes fetches the peer's Merkle content summary at the given
+// depth.
+func (p *peer) MerkleNodes(depth int) ([]uint64, error) {
+	resp, err := p.rpc(opTree, []byte{byte(depth)})
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: resp}
+	count := int(d.u32())
+	if d.err != nil || count > len(resp)/8 {
+		return nil, errors.New("server: malformed merkle response")
+	}
+	nodes := make([]uint64, count)
+	for i := range nodes {
+		nodes[i] = d.u64()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return nodes, nil
+}
+
+// BucketVersions fetches the versions the peer stores across the given
+// Merkle buckets in one batched round trip.
+func (p *peer) BucketVersions(depth int, buckets []int) ([]kvstore.Version, error) {
+	req := binary.BigEndian.AppendUint16([]byte{byte(depth)}, uint16(len(buckets)))
+	for _, b := range buckets {
+		req = binary.BigEndian.AppendUint32(req, uint32(b))
+	}
+	resp, err := p.rpc(opBucket, req)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: resp}
+	count := int(d.u32())
+	// A version encodes to at least 16 bytes (two length prefixes, seq,
+	// clock count), so a count beyond len/16 is corrupt — reject before
+	// preallocating.
+	if d.err != nil || count > len(resp)/16 {
+		return nil, errors.New("server: malformed bucket response")
+	}
+	vs := make([]kvstore.Version, 0, count)
+	for i := 0; i < count; i++ {
+		v := d.version()
+		if d.err != nil {
+			return nil, d.err
+		}
+		vs = append(vs, v)
+	}
+	return vs, nil
 }
 
 // close tears down every live connection.

@@ -82,6 +82,25 @@ func smokeCases() []smokeCase {
 			want: []string{"live PBS cluster on loopback", "operation latency: measured",
 				"t-visibility: measured vs predicted", "t-visibility agreement"}},
 
+		// cmd/pbs-serve: scripted crash + recovery with the repair
+		// subsystems on.
+		{name: "pbs-serve-faults", pkg: "pbs/cmd/pbs-serve",
+			args: []string{"-duration", "3s", "-rate", "300", "-clients", "4", "-epochs", "0",
+				"-trials", "10000", "-model", "validation", "-r", "1", "-w", "2",
+				"-fail", "500ms crash 2; 1500ms recover 2", "-handoff", "-anti-entropy"},
+			want: []string{"fault schedule", "hinted handoff: hints stored",
+				"anti-entropy: rounds", "fault events", "crash node 2", "recover node 2"}},
+
+		// cmd/pbs-serve: the dynamic-configuration tuner retunes a
+		// mis-deployed strict quorum under a loose SLA.
+		{name: "pbs-serve-tuner", pkg: "pbs/cmd/pbs-serve",
+			args: []string{"-duration", "6s", "-rate", "0", "-clients", "8", "-epochs", "0",
+				"-trials", "20000", "-model", "validation", "-r", "3", "-w", "3",
+				"-read-fraction", "0.5", "-tune-sla", "t=100,p=0.9",
+				"-tune-interval", "1500ms", "-tune-apply"},
+			want: []string{"[tuner] recommended N=3", "applying R=", "tuner: final recommendation",
+				"live cluster quorums now"}},
+
 		// examples/: every program, as shipped.
 		{name: "example-quickstart", pkg: "pbs/examples/quickstart",
 			want: []string{"k-staleness", "t-visibility on LNKD-DISK"}},

@@ -1,0 +1,252 @@
+// Package tuner closes the paper's Section 6 loop ("With PBS, we can
+// automatically configure replication parameters by optimizing operation
+// latency given constraints on staleness") against the live store: it
+// takes the cluster's measured WARS leg samples (internal/server's leg
+// sampler, pooled by internal/client), summarizes them with
+// dist.TableFromSamples, fits each leg online with internal/fit's mixture
+// pipeline, runs the WARS batch predictor over every (R, W) at the
+// deployed replication factor via sla.Optimize, and recommends — or, when
+// wired to Cluster.SetQuorums, applies — the cheapest quorum configuration
+// meeting the target staleness/latency SLA.
+package tuner
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pbs/internal/dist"
+	"pbs/internal/fit"
+	"pbs/internal/rng"
+	"pbs/internal/sla"
+)
+
+// Samples are pooled per-replica WARS leg measurements (milliseconds).
+type Samples struct {
+	W, A, R, S []float64
+}
+
+// minLen returns the smallest leg sample count.
+func (s Samples) minLen() int {
+	m := len(s.W)
+	for _, n := range []int{len(s.A), len(s.R), len(s.S)} {
+		if n < m {
+			m = n
+		}
+	}
+	return m
+}
+
+// Config parameterizes one tuning round.
+type Config struct {
+	// N is the deployed replication factor; the optimizer sweeps every
+	// (R, W) in [1, N]².
+	N int
+	// Target is the staleness/latency SLA.
+	Target sla.Target
+	// Trials is the Monte Carlo budget per replication factor (default
+	// 40000).
+	Trials int
+	// MinSamples is the minimum per-leg sample count required before
+	// fitting (default 200).
+	MinSamples int
+	// Fit tunes the per-leg mixture search. Zero restarts defaults to 12
+	// (lighter than the offline Table 3 refits; the tuner runs live).
+	Fit fit.Options
+	// Seed makes fitting and simulation deterministic (default 1).
+	Seed uint64
+	// Workers bounds simulation parallelism (<= 0 selects all cores).
+	Workers int
+}
+
+func (c *Config) setDefaults() error {
+	if c.N < 1 {
+		return errors.New("tuner: replication factor N must be at least 1")
+	}
+	if c.Trials == 0 {
+		c.Trials = 40000
+	}
+	if c.Trials < 1 {
+		return errors.New("tuner: trials must be positive")
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Fit.Restarts == 0 {
+		c.Fit.Restarts = 12
+	}
+	if c.Fit.StepsPerRestart == 0 {
+		c.Fit.StepsPerRestart = 250
+	}
+	if c.Fit.Seed == 0 {
+		c.Fit.Seed = c.Seed
+	}
+	// Mirror sla.Target's own defaults so Recommendation.Target reports the
+	// effective objective, not zeros.
+	if c.Target.LatencyQuantile == 0 {
+		c.Target.LatencyQuantile = 0.999
+	}
+	if c.Target.ReadWeight == 0 {
+		c.Target.ReadWeight = 0.5
+	}
+	return nil
+}
+
+// LegFit reports how one WARS leg was modeled.
+type LegFit struct {
+	Leg     string // "W", "A", "R", "S"
+	Samples int
+	// Mixture holds the fitted Pareto+exponential parameters when the
+	// mixture search succeeded; Exponential is the fallback.
+	Mixture     *fit.Params
+	Exponential bool
+	// NRMSE is the quantile-fit quality against the measured table.
+	NRMSE float64
+}
+
+func (lf LegFit) String() string {
+	if lf.Exponential {
+		return fmt.Sprintf("%s: exponential fallback (n=%d, NRMSE %.3f)", lf.Leg, lf.Samples, lf.NRMSE)
+	}
+	return fmt.Sprintf("%s: %v (n=%d, NRMSE %.3f)", lf.Leg, *lf.Mixture, lf.Samples, lf.NRMSE)
+}
+
+// Recommendation is the outcome of one tuning round.
+type Recommendation struct {
+	// Choice is the recommended configuration (sla.Result.Best).
+	Choice sla.Choice
+	// Result is the full evaluated trade-off space.
+	Result *sla.Result
+	// Model is the latency model fitted from the measured samples; running
+	// sla.Optimize on it with the same Target/Trials/Seed reproduces
+	// Choice exactly.
+	Model dist.LatencyModel
+	// Target is the effective SLA the optimizer ran with (durability floor
+	// pinned to the deployed N).
+	Target sla.Target
+	// Fits documents the per-leg model fits.
+	Fits [4]LegFit
+}
+
+// fitLeg summarizes one leg's samples and fits the paper's mixture family,
+// falling back to a moment-matched exponential when the search fails.
+func fitLeg(name string, samples []float64, opts fit.Options) (dist.Dist, LegFit, error) {
+	table := dist.TableFromSamples(name, samples, nil)
+	lf := LegFit{Leg: name, Samples: len(samples)}
+	res, err := fit.FitMixture(table, opts)
+	if err == nil {
+		lf.Mixture = &res.Params
+		lf.NRMSE = res.NRMSE
+		return res.Params.Dist(), lf, nil
+	}
+	e, nrmse, err := fit.FitExponential(table)
+	if err != nil {
+		return nil, lf, fmt.Errorf("tuner: leg %s unfittable: %w", name, err)
+	}
+	lf.Exponential = true
+	lf.NRMSE = nrmse
+	return e, lf, nil
+}
+
+// Recommend runs one tuning round over the measured samples: fit all four
+// legs, sweep every (R, W) at the deployed N with the WARS batch
+// predictor, and pick the cheapest configuration meeting the SLA. The
+// round is deterministic in (samples, Config).
+func Recommend(s Samples, cfg Config) (*Recommendation, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	if n := s.minLen(); n < cfg.MinSamples {
+		return nil, fmt.Errorf("tuner: only %d samples on the sparsest leg, want >= %d", n, cfg.MinSamples)
+	}
+
+	rec := &Recommendation{Model: dist.LatencyModel{Name: "measured-fit"}}
+	legs := []struct {
+		name    string
+		samples []float64
+		dst     *dist.Dist
+	}{
+		{"W", s.W, &rec.Model.W},
+		{"A", s.A, &rec.Model.A},
+		{"R", s.R, &rec.Model.R},
+		{"S", s.S, &rec.Model.S},
+	}
+	for i, leg := range legs {
+		// Distinct deterministic seeds per leg: identical W/A/R/S samples
+		// must not alias to correlated searches.
+		opts := cfg.Fit
+		opts.Seed = cfg.Fit.Seed + uint64(i)
+		d, lf, err := fitLeg(leg.name, leg.samples, opts)
+		if err != nil {
+			return nil, err
+		}
+		*leg.dst = d
+		rec.Fits[i] = lf
+	}
+
+	target := cfg.Target
+	target.MinN = cfg.N // fixed deployment: sweep (R, W) only
+	rec.Target = target
+	res, err := sla.OptimizeWorkers(rec.Model, cfg.N, target, cfg.Trials, rng.New(cfg.Seed), cfg.Workers)
+	rec.Result = res
+	if err != nil {
+		return rec, fmt.Errorf("tuner: %w", err)
+	}
+	rec.Choice = res.Best
+	return rec, nil
+}
+
+// Tuner periodically re-runs Recommend against fresh samples — the live
+// feedback loop of Section 6's dynamic configuration.
+type Tuner struct {
+	// Source returns the current pooled leg samples (e.g.
+	// client.WARSSamples).
+	Source func() (Samples, error)
+	// Config parameterizes each round.
+	Config Config
+	// Apply, when non-nil, receives each feasible recommendation's (R, W)
+	// (e.g. server.Cluster.SetQuorums).
+	Apply func(r, w int) error
+	// OnRound, when non-nil, observes every round's outcome (rec may be
+	// nil on sampling errors).
+	OnRound func(rec *Recommendation, err error)
+}
+
+// Run executes a tuning round every interval until stop closes. The first
+// round runs after one interval, giving the cluster time to accumulate
+// samples.
+func (t *Tuner) Run(interval time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		t.RunOnce()
+	}
+}
+
+// RunOnce executes a single tuning round.
+func (t *Tuner) RunOnce() (*Recommendation, error) {
+	s, err := t.Source()
+	if err == nil {
+		var rec *Recommendation
+		rec, err = Recommend(s, t.Config)
+		if err == nil && t.Apply != nil {
+			err = t.Apply(rec.Choice.R, rec.Choice.W)
+		}
+		if t.OnRound != nil {
+			t.OnRound(rec, err)
+		}
+		return rec, err
+	}
+	if t.OnRound != nil {
+		t.OnRound(nil, err)
+	}
+	return nil, err
+}

@@ -1,0 +1,180 @@
+package tuner
+
+import (
+	"errors"
+	"testing"
+
+	"pbs/internal/dist"
+	"pbs/internal/rng"
+	"pbs/internal/sla"
+)
+
+// synthSamples draws per-leg samples from a known model, standing in for
+// the live cluster's leg sampler.
+func synthSamples(m dist.LatencyModel, n int, seed uint64) Samples {
+	r := rng.New(seed)
+	draw := func(d dist.Dist) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = d.Sample(r)
+		}
+		return out
+	}
+	return Samples{W: draw(m.W), A: draw(m.A), R: draw(m.R), S: draw(m.S)}
+}
+
+func validationModel() dist.LatencyModel {
+	return dist.LatencyModel{
+		Name: "validation",
+		W:    dist.NewExponential(1.0 / 20),
+		A:    dist.NewExponential(1.0 / 10),
+		R:    dist.NewExponential(1.0 / 10),
+		S:    dist.NewExponential(1.0 / 10),
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		N: 3,
+		Target: sla.Target{
+			TWindow:        100,
+			MinPConsistent: 0.9,
+		},
+		Trials: 20000,
+		Seed:   42,
+	}
+}
+
+func TestRecommendMatchesSLAOptimize(t *testing.T) {
+	s := synthSamples(validationModel(), 4000, 9)
+	cfg := testConfig()
+	rec, err := Recommend(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance contract: the recommendation is exactly sla.Optimize
+	// on the fitted model under the effective target.
+	check, err := sla.OptimizeWorkers(rec.Model, cfg.N, rec.Target, cfg.Trials, rng.New(cfg.Seed), cfg.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Choice != check.Best {
+		t.Fatalf("tuner chose %v, sla.Optimize on the fitted model chose %v", rec.Choice, check.Best)
+	}
+	// exp(W mean 20ms) at a 100 ms window with p >= 0.9 is loose enough
+	// that the cheapest partial quorum wins.
+	if rec.Choice.N != 3 || rec.Choice.R != 1 || rec.Choice.W != 1 {
+		t.Errorf("permissive SLA chose %v, want N=3 R=1 W=1", rec.Choice)
+	}
+	if !rec.Choice.Feasible {
+		t.Error("recommended choice not feasible")
+	}
+	if got := len(rec.Result.All); got != 9 {
+		t.Errorf("swept %d configurations, want 9 (N fixed at 3)", got)
+	}
+}
+
+func TestRecommendDeterministic(t *testing.T) {
+	s := synthSamples(validationModel(), 2000, 5)
+	cfg := testConfig()
+	a, err := Recommend(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Recommend(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Choice != b.Choice {
+		t.Fatalf("same samples, different choices: %v vs %v", a.Choice, b.Choice)
+	}
+	for i := range a.Fits {
+		if a.Fits[i].NRMSE != b.Fits[i].NRMSE {
+			t.Fatalf("leg %s fit not deterministic", a.Fits[i].Leg)
+		}
+	}
+}
+
+func TestRecommendTightSLAPrefersStrongerQuorum(t *testing.T) {
+	s := synthSamples(validationModel(), 4000, 9)
+	cfg := testConfig()
+	// Demand consistency immediately after commit: R=W=1 cannot deliver
+	// p >= 0.999 at t=0 under 20 ms mean propagation, so the optimizer
+	// must pick a stronger quorum.
+	cfg.Target = sla.Target{TWindow: 0, MinPConsistent: 0.999}
+	rec, err := Recommend(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Choice.R+rec.Choice.W <= 2 {
+		t.Errorf("tight SLA still chose %v", rec.Choice)
+	}
+}
+
+func TestRecommendInsufficientSamples(t *testing.T) {
+	s := synthSamples(validationModel(), 50, 1)
+	if _, err := Recommend(s, testConfig()); err == nil {
+		t.Fatal("50 samples per leg accepted with MinSamples=200")
+	}
+}
+
+func TestRecommendFitQuality(t *testing.T) {
+	s := synthSamples(validationModel(), 6000, 11)
+	rec, err := Recommend(s, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lf := range rec.Fits {
+		if lf.NRMSE > 0.15 {
+			t.Errorf("leg %s fit NRMSE %.3f exceeds 0.15", lf.Leg, lf.NRMSE)
+		}
+	}
+	// The fitted model must predict latencies in the right regime: the
+	// true exp(10) A/R/S legs have a 10 ms mean.
+	for _, leg := range []struct {
+		name string
+		d    dist.Dist
+		mean float64
+	}{{"A", rec.Model.A, 10}, {"R", rec.Model.R, 10}, {"S", rec.Model.S, 10}, {"W", rec.Model.W, 20}} {
+		m := leg.d.Mean()
+		if m < leg.mean*0.6 || m > leg.mean*1.6 {
+			t.Errorf("fitted %s mean %.2f ms, true %.0f ms", leg.name, m, leg.mean)
+		}
+	}
+}
+
+func TestTunerRunOnceAppliesRecommendation(t *testing.T) {
+	s := synthSamples(validationModel(), 2000, 5)
+	var applied [2]int
+	tn := &Tuner{
+		Source: func() (Samples, error) { return s, nil },
+		Config: testConfig(),
+		Apply: func(r, w int) error {
+			applied = [2]int{r, w}
+			return nil
+		},
+	}
+	rec, err := tn.RunOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != [2]int{rec.Choice.R, rec.Choice.W} {
+		t.Fatalf("applied %v, recommended %v", applied, rec.Choice)
+	}
+}
+
+func TestTunerRunOnceSourceError(t *testing.T) {
+	wantErr := errors.New("no cluster")
+	var sawErr error
+	tn := &Tuner{
+		Source:  func() (Samples, error) { return Samples{}, wantErr },
+		Config:  testConfig(),
+		OnRound: func(_ *Recommendation, err error) { sawErr = err },
+	}
+	if _, err := tn.RunOnce(); !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+	if !errors.Is(sawErr, wantErr) {
+		t.Fatalf("OnRound saw %v, want %v", sawErr, wantErr)
+	}
+}
