@@ -116,6 +116,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	failSpec := flag.String("fail", "", `scripted fault schedule, e.g. "2s crash 1; 5s recover 1; 0s drop 2 0.3"`)
 	handoff := flag.Bool("handoff", false, "enable hinted handoff (buffer writes for unreachable replicas, replay on recovery)")
+	sloppy := flag.Bool("sloppy", false, "enable sloppy quorums (coordinator failover past a down primary, hinted spare-replica writes counting toward W; implies -handoff)")
+	hintDir := flag.String("hint-dir", "", "directory for durable per-node hint logs (replayed on start; empty = in-memory hints)")
 	antiEntropy := flag.Bool("anti-entropy", false, "enable background Merkle anti-entropy between replicas")
 	tuneSLA := flag.String("tune-sla", "", `run the dynamic-configuration tuner against this SLA, e.g. "t=100,p=0.99"`)
 	tuneInterval := flag.Duration("tune-interval", 3*time.Second, "tuner round interval")
@@ -153,6 +155,7 @@ func main() {
 		N: *n, R: *r, W: *w,
 		ReadRepair: *readRepair,
 		Handoff:    *handoff, AntiEntropy: *antiEntropy,
+		SloppyQuorum: *sloppy, HintDir: *hintDir,
 		WARSSampling: true, // /wars is part of the CLI surface; the tuner feeds on it
 		Model:        &model, Scale: *scale,
 		Seed: *seed,
@@ -163,8 +166,11 @@ func main() {
 	defer cluster.Close()
 
 	fmt.Printf("pbs-serve: live PBS cluster on loopback\n")
-	fmt.Printf("  replicas=%d N=%d R=%d W=%d model=%s scale=%g read-repair=%v handoff=%v anti-entropy=%v\n",
-		*replicas, *n, *r, *w, model.Name, *scale, *readRepair, *handoff, *antiEntropy)
+	fmt.Printf("  replicas=%d N=%d R=%d W=%d model=%s scale=%g read-repair=%v handoff=%v anti-entropy=%v sloppy=%v\n",
+		*replicas, *n, *r, *w, model.Name, *scale, *readRepair, *handoff || *sloppy, *antiEntropy, *sloppy)
+	if *hintDir != "" {
+		fmt.Printf("  durable hints: %s\n", *hintDir)
+	}
 	for i, addr := range cluster.HTTPAddrs {
 		fmt.Printf("  node %d: %s\n", i, addr)
 	}
@@ -329,13 +335,20 @@ live:
 	st.AddRow("read repairs", fmt.Sprintf("%d", agg.ReadRepairs), "-")
 	fmt.Println(st.String())
 
-	if *failSpec != "" || *handoff || *antiEntropy {
+	if *failSpec != "" || *handoff || *antiEntropy || *sloppy {
 		ft := tabular.New("fault tolerance", "metric", "count")
 		ft.AddRow("injected rpc faults", fmt.Sprintf("%d", cluster.Faults().Injected()))
 		ft.AddRow("failed operations", fmt.Sprintf("%d", agg.FailedOps))
+		if *sloppy {
+			ft.AddRow("sloppy quorum: failover writes", fmt.Sprintf("%d", agg.FailoverWrites))
+			ft.AddRow("sloppy quorum: spare writes", fmt.Sprintf("%d", agg.SpareWrites))
+		}
 		ft.AddRow("hinted handoff: hints stored", fmt.Sprintf("%d", agg.HintsStored))
 		ft.AddRow("hinted handoff: hints replayed", fmt.Sprintf("%d", agg.HintsReplayed))
 		ft.AddRow("hinted handoff: hints pending", fmt.Sprintf("%d", agg.HintsPending))
+		if *hintDir != "" {
+			ft.AddRow("hinted handoff: hints restored from log", fmt.Sprintf("%d", agg.HintsRestored))
+		}
 		ft.AddRow("anti-entropy: rounds", fmt.Sprintf("%d", agg.AERounds))
 		ft.AddRow("anti-entropy: versions pulled", fmt.Sprintf("%d", agg.AEPulled))
 		ft.AddRow("anti-entropy: versions pushed", fmt.Sprintf("%d", agg.AEPushed))

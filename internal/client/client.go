@@ -9,6 +9,7 @@ package client
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -115,34 +116,81 @@ func (c *Client) kvURL(node int, key string) string {
 	return c.addrs[node] + "/kv/" + url.PathEscape(key)
 }
 
-// Put writes value to key through the key's primary coordinator.
+// Put writes value to key through the key's primary coordinator. When a
+// node is unreachable or answers a routing-level 502/503 (crashed node,
+// dead forward hop), the write falls through the rest of the key's ring
+// order — paired with the server's sloppy quorums this makes a single
+// node crash invisible to writers. A coordinator's own "write quorum not
+// reached" is returned immediately: it is the cluster's verdict, and
+// re-coordinating it at every other node would only repeat the failure.
 func (c *Client) Put(key, value string) (PutResult, error) {
-	node := c.ring.Coordinator(key)
 	start := time.Now()
-	req, err := http.NewRequest(http.MethodPut, c.kvURL(node, key), strings.NewReader(value))
-	if err != nil {
-		return PutResult{}, err
+	var lastErr error
+	for _, node := range c.ring.PreferenceList(key, len(c.addrs)) {
+		req, err := http.NewRequest(http.MethodPut, c.kvURL(node, key), strings.NewReader(value))
+		if err != nil {
+			return PutResult{}, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var pr server.PutResponse
+		if err := decodeResponse(resp, &pr); err != nil {
+			if isRetryable(err) {
+				lastErr = err
+				continue
+			}
+			return PutResult{}, err
+		}
+		return PutResult{
+			Seq:         pr.Seq,
+			CommittedAt: time.Unix(0, pr.CommittedUnixNano),
+			CoordMs:     pr.CoordMs,
+			ClientMs:    float64(time.Since(start)) / float64(time.Millisecond),
+		}, nil
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return PutResult{}, err
-	}
-	var pr server.PutResponse
-	if err := decodeResponse(resp, &pr); err != nil {
-		return PutResult{}, err
-	}
-	return PutResult{
-		Seq:         pr.Seq,
-		CommittedAt: time.Unix(0, pr.CommittedUnixNano),
-		CoordMs:     pr.CoordMs,
-		ClientMs:    float64(time.Since(start)) / float64(time.Millisecond),
-	}, nil
+	return PutResult{}, fmt.Errorf("client: put %q failed on every node: %w", key, lastErr)
 }
 
-// Get reads key through a round-robin coordinator.
+// Get reads key through a round-robin coordinator. A coordinator that is
+// unreachable or answers 502/503 is skipped for the next in rotation, so a
+// crashed node degrades read spread, not read availability.
 func (c *Client) Get(key string) (GetResult, error) {
-	node := int(c.readRR.Add(1)) % len(c.addrs)
-	return c.GetVia(node, key)
+	var lastErr error
+	// One draw from the shared round-robin counter, then a deterministic
+	// walk from it: concurrent Gets bumping the counter must not be able
+	// to alias every retry of this Get onto the same (crashed) node.
+	base := c.readRR.Add(1)
+	for attempt := 0; attempt < len(c.addrs); attempt++ {
+		node := int((base + uint64(attempt)) % uint64(len(c.addrs)))
+		res, err := c.GetVia(node, key)
+		if err != nil {
+			if isRetryable(err) {
+				lastErr = err
+				continue
+			}
+			return GetResult{}, err
+		}
+		return res, nil
+	}
+	return GetResult{}, fmt.Errorf("client: get %q failed on every node: %w", key, lastErr)
+}
+
+// retryableError marks a response worth retrying at another coordinator.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func isRetryable(err error) bool {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return true
+	}
+	var ue *url.Error
+	return errors.As(err, &ue) // transport-level failure (conn refused, reset)
 }
 
 // GetVia reads key through a specific coordinator node (sticky sessions,
@@ -201,6 +249,31 @@ func (c *Client) WARSSamples() (w, a, r, s []float64, err error) {
 	return w, a, r, s, nil
 }
 
+// ClusterStats sums the counters of every reachable node (crashed
+// replicas answer 503 and are skipped) — the client-side view of
+// Cluster.Stats, including the sloppy-quorum surface (failover writes,
+// spare writes, pending/restored hints). An error is returned only when no
+// node answers.
+func (c *Client) ClusterStats() (server.StatsResponse, error) {
+	var agg server.StatsResponse
+	agg.Node = -1
+	var lastErr error
+	answered := 0
+	for node := range c.addrs {
+		st, err := c.Stats(node)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		answered++
+		agg.Accumulate(st)
+	}
+	if answered == 0 {
+		return agg, fmt.Errorf("client: no node served /stats: %w", lastErr)
+	}
+	return agg, nil
+}
+
 // Stats fetches one node's counters.
 func (c *Client) Stats(node int) (server.StatsResponse, error) {
 	var st server.StatsResponse
@@ -219,7 +292,18 @@ func decodeResponse(resp *http.Response, v any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		err := fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		// 502/503 mark a node worth routing around (crashed node, dead
+		// forward hop) — EXCEPT a coordinator's own "quorum not reached":
+		// that is the cluster's verdict on the operation, every other
+		// coordinator fans out to the same replicas, and retrying it
+		// elsewhere would just re-run (and re-count) the same failure at
+		// each node in turn.
+		if (resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable) &&
+			!strings.Contains(string(msg), "quorum not reached") {
+			return &retryableError{err: err}
+		}
+		return err
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"pbs/internal/dist"
+	"pbs/internal/server"
 	"pbs/internal/stats"
 )
 
@@ -81,7 +82,15 @@ func (m *Monitor) RecordRead(key string, seq, baseline uint64, clientMs, coordMs
 	m.reads++
 	var k int64
 	if seq < baseline {
-		k = int64(baseline - seq)
+		// Versions behind = counter distance, not raw seq distance: seqs
+		// carry a failover epoch in their high bits (server.SeqEpoch), and
+		// counters keep counting across epoch claims. A stale read whose
+		// counter does not trail the baseline's (a write shadowed by a
+		// concurrent failover epoch) still counts as one version behind.
+		k = int64(server.SeqCounter(baseline)) - int64(server.SeqCounter(seq))
+		if k < 1 {
+			k = 1
+		}
 		m.staleReads++
 	}
 	m.kBehindSum += k

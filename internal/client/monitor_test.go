@@ -71,3 +71,42 @@ func TestMonitorLatencyTables(t *testing.T) {
 		t.Errorf("empty monitor exported %+v", empty)
 	}
 }
+
+// TestMonitorKStalenessAcrossEpochs pins the k-staleness arithmetic when a
+// sloppy-quorum failover bumps the seq epoch: "versions behind" must come
+// from the counter bits, not the raw seq distance (which would be ~2^48).
+func TestMonitorKStalenessAcrossEpochs(t *testing.T) {
+	m := NewMonitor()
+	const epoch1 = uint64(1) << 48
+	// Committed history: counters 1..5 in epoch 0, then a failover writes
+	// counters 6..7 in epoch 1.
+	for c := uint64(1); c <= 5; c++ {
+		m.RecordWrite("k", c, 1, 1)
+	}
+	for c := uint64(6); c <= 7; c++ {
+		m.RecordWrite("k", epoch1|c, 1, 1)
+	}
+	baseline := m.Committed("k")
+	if baseline != epoch1|7 {
+		t.Fatalf("baseline %#x, want %#x", baseline, epoch1|7)
+	}
+
+	// A read surfacing the pre-failover counter 5 is 2 versions behind.
+	m.RecordRead("k", 5, baseline, 1, 1)
+	// A shadowed write (old epoch, counter not trailing) is >= 1 behind.
+	m.RecordRead("k", 7, baseline, 1, 1)
+	// A fresh read is 0 behind.
+	m.RecordRead("k", epoch1|7, baseline, 1, 1)
+
+	s := m.Snapshot([]float64{0.5})
+	if s.StaleReads != 2 {
+		t.Fatalf("%d stale reads, want 2", s.StaleReads)
+	}
+	if s.MaxKBehind != 2 {
+		t.Fatalf("max k-behind %d, want 2 (epoch bits leaked into the count?)", s.MaxKBehind)
+	}
+	wantMean := (2.0 + 1.0 + 0.0) / 3
+	if s.MeanKBehind != wantMean {
+		t.Fatalf("mean k-behind %g, want %g", s.MeanKBehind, wantMean)
+	}
+}

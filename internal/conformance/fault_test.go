@@ -79,7 +79,7 @@ func writeAll(t *testing.T, c *client.Client, keys []string) {
 	}
 	wg.Wait()
 	if f := failures.Load(); f > 0 {
-		t.Fatalf("%d of %d survivor-primaried writes failed during the fault", f, len(keys))
+		t.Fatalf("%d of %d writes failed during the fault", f, len(keys))
 	}
 }
 

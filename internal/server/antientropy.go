@@ -148,7 +148,7 @@ func (n *Node) exchangeWith(partner, depth int) error {
 		if !ok || v.Seq <= remoteSeq[k] {
 			continue
 		}
-		if _, err := n.peers[partner].Apply(v); err != nil {
+		if _, _, err := n.peers[partner].Apply(v); err != nil {
 			return err
 		}
 		n.ae.mu.Lock()

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -43,6 +45,11 @@ func StartLocal(nodes int, p Params) (*Cluster, error) {
 	p.setDefaults()
 	if err := p.validate(nodes); err != nil {
 		return nil, err
+	}
+	if p.Handoff && p.HintDir != "" {
+		if err := os.MkdirAll(p.HintDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: hint dir: %w", err)
+		}
 	}
 
 	httpLns := make([]net.Listener, nodes)
@@ -93,8 +100,18 @@ func StartLocal(nodes int, p Params) (*Cluster, error) {
 		}
 		n.rq.Store(int32(p.R))
 		n.wq.Store(int32(p.W))
+		n.live = newLiveness(nodes)
 		if p.Handoff {
-			n.handoff = newHandoff()
+			if p.HintDir != "" {
+				var err error
+				if n.handoff, err = newDurableHandoff(filepath.Join(p.HintDir, fmt.Sprintf("hints-%d.log", i))); err != nil {
+					c.Close()
+					closeAll()
+					return nil, err
+				}
+			} else {
+				n.handoff = newHandoff()
+			}
 		}
 		if p.WARSSampling {
 			n.legs = newLegSampler(seeds.Uint64())
@@ -173,28 +190,10 @@ func (c *Cluster) HintsPending() int {
 func (c *Cluster) Stats() StatsResponse {
 	var agg StatsResponse
 	agg.Node = -1
-	agg.R, agg.W = c.Quorums()
 	for _, n := range c.Nodes {
-		st := n.statsLocal()
-		agg.CoordReads += st.CoordReads
-		agg.CoordWrites += st.CoordWrites
-		agg.FailedOps += st.FailedOps
-		agg.ReadRepairs += st.ReadRepairs
-		agg.DetectorFlags += st.DetectorFlags
-		agg.Keys += st.Keys
-		agg.Applied += st.Applied
-		agg.Ignored += st.Ignored
-		agg.ClockTicks += st.ClockTicks
-		agg.HintsPending += st.HintsPending
-		agg.HintsStored += st.HintsStored
-		agg.HintsReplayed += st.HintsReplayed
-		agg.HintsDropped += st.HintsDropped
-		agg.AERounds += st.AERounds
-		agg.AEFailed += st.AEFailed
-		agg.AEBuckets += st.AEBuckets
-		agg.AEPulled += st.AEPulled
-		agg.AEPushed += st.AEPushed
+		agg.Accumulate(n.statsLocal())
 	}
+	agg.R, agg.W = c.Quorums()
 	return agg
 }
 
@@ -206,6 +205,9 @@ func (c *Cluster) Close() {
 			close(n.stop)
 			n.httpSrv.Close()
 			n.internalLn.Close()
+			if n.handoff != nil {
+				n.handoff.closeLog()
+			}
 		}
 		for _, n := range c.Nodes {
 			for _, p := range n.peers {

@@ -214,6 +214,25 @@ func (f *Faults) Log() []string {
 	return append([]string(nil), f.log...)
 }
 
+// crashGate gates a liveness probe from `from` to `to`: it fails only when
+// either endpoint is crashed, ignoring pause/drop/delay (a paused or lossy
+// replica is degraded, not dead). Nil-safe, and not counted as injection —
+// probes are control-plane traffic.
+func (f *Faults) crashGate(from, to int) error {
+	if f == nil || !f.armed.Load() {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if nf := f.nodes[from]; nf != nil && nf.down {
+		return fmt.Errorf("%w: sender %d crashed", ErrReplicaDown, from)
+	}
+	if nf := f.nodes[to]; nf != nil && nf.down {
+		return fmt.Errorf("%w: node %d", ErrReplicaDown, to)
+	}
+	return nil
+}
+
 // allow gates one internal RPC from coordinator `from` to replica `to`.
 // Nil-safe: a nil or never-armed controller allows everything without
 // taking the lock.

@@ -39,6 +39,8 @@ func FuzzFrameDecoder(f *testing.F) {
 	f.Add(frame(opTree, []byte{8}))
 	bucketReq := []byte{6, 0, 2, 0, 0, 0, 1, 0, 0, 0, 5}
 	f.Add(frame(opBucket, bucketReq))
+	f.Add(frame(opPing, nil))
+	f.Add(frame(opApplyHint, encodeHintRecord(1, ver)))
 	// Malformed: truncated header, truncated payload, oversized length
 	// prefix, zero-length frame, unknown opcode, garbage version fields.
 	f.Add([]byte{opApply, 0, 0})
@@ -50,6 +52,8 @@ func FuzzFrameDecoder(f *testing.F) {
 	f.Add(frame(opTree, []byte{255}))
 	f.Add(frame(opBucket, []byte{24, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}))
 	f.Add(frame(opBucket, []byte{4, 0xff, 0xff}))
+	f.Add(frame(opApplyHint, []byte{0xff, 0xff}))                           // truncated target
+	f.Add(frame(opApplyHint, []byte{0xff, 0xff, 0xff, 0xff, 0, 1, 'k'}))    // target outside cluster
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// The stream decoder must either produce a bounded payload or fail;

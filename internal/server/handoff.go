@@ -23,17 +23,38 @@ const (
 	maxHintsPerNode = 1 << 16
 )
 
-// handoff is one coordinator's hint buffer plus replay bookkeeping.
+// handoff is one coordinator's hint buffer plus replay bookkeeping. When
+// a hint log is attached (Params.HintDir), every buffer mutation is also
+// appended to the log, and the buffer is preloaded from the log on start.
 type handoff struct {
 	mu      sync.Mutex
 	hints   map[int]map[string]kvstore.Version // target -> key -> newest missed version
 	pending int
+	log     *hintLog // nil: in-memory only
 
 	stored, replayed, dropped int64
+	restored                  int64 // hints reloaded from the log at start
 }
 
 func newHandoff() *handoff {
 	return &handoff{hints: make(map[int]map[string]kvstore.Version)}
+}
+
+// newDurableHandoff opens (replaying and compacting) the hint log at path
+// and returns a handoff buffer preloaded with every hint that was pending
+// when the previous process stopped.
+func newDurableHandoff(path string) (*handoff, error) {
+	log, pending, err := openHintLog(path)
+	if err != nil {
+		return nil, err
+	}
+	h := &handoff{hints: pending, log: log}
+	for _, kh := range pending {
+		h.pending += len(kh)
+	}
+	h.restored = int64(h.pending)
+	h.stored = h.restored
+	return h, nil
 }
 
 // store buffers a missed write for later redelivery to target.
@@ -62,6 +83,7 @@ func (h *handoff) store(target int, v kvstore.Version) {
 		h.stored++
 	}
 	kh[v.Key] = v
+	h.log.append(hintRecStore, target, v)
 }
 
 // snapshot returns the targets with pending hints and a copy of each
@@ -96,6 +118,7 @@ func (h *handoff) clear(target int, v kvstore.Version) {
 	delete(kh, v.Key)
 	h.pending--
 	h.replayed++
+	h.log.append(hintRecClear, target, v)
 }
 
 // stats returns the handoff counters.
@@ -103,6 +126,18 @@ func (h *handoff) stats() (pending int, stored, replayed, dropped int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.pending, h.stored, h.replayed, h.dropped
+}
+
+// restoredCount returns how many hints were reloaded from the log at start.
+func (h *handoff) restoredCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.restored
+}
+
+// closeLog flushes and closes the hint log, if one is attached.
+func (h *handoff) closeLog() {
+	h.log.close()
 }
 
 // runHandoff is the background replayer: every interval it attempts to
@@ -145,7 +180,16 @@ func (n *Node) runHandoff(interval time.Duration) {
 					mu.Unlock()
 				}()
 				for _, v := range kh {
-					if _, err := n.peers[target].Apply(v); err != nil {
+					// Re-check the crash state per hint, not just per round:
+					// a replay goroutine launched while this coordinator was
+					// healthy must fall silent the instant the fault
+					// controller crashes it, matching the HTTP and RPC
+					// paths — otherwise an in-flight round keeps leaking
+					// deliveries out of a supposedly dead node.
+					if n.faults.Down(n.id) {
+						return
+					}
+					if _, _, err := n.peers[target].Apply(v); err != nil {
 						return // target still unreachable; retry next round
 					}
 					n.handoff.clear(target, v)

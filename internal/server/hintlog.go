@@ -1,0 +1,171 @@
+package server
+
+// Durable hints: an append-only per-node log backing the in-memory handoff
+// buffer, so a coordinator (or spare) restart loses no pending hints — the
+// convergence guarantee behind the WARS model ("every write eventually
+// reaches all N replicas") survives process restarts, not just crashes the
+// fault controller simulates.
+//
+// Records reuse the transport frame codec (tag, u32 length, payload):
+//
+//	store: tag=hintRecStore | u32 target | version  (hint buffered)
+//	clear: tag=hintRecClear | u32 target | version  (hint delivered)
+//
+// Replay folds the records in order — a store keeps the newest version per
+// (target, key), a clear removes the buffered hint unless a newer one was
+// stored after it — reconstructing exactly the pending set at the moment of
+// the last append. Each append is flushed to the OS before the buffer
+// mutation returns, so a process crash loses at most a torn final record
+// (skipped on replay); surviving a power failure would additionally need
+// fsync, which this testbed deliberately trades away for write latency.
+// On open the log is compacted: the pending set is rewritten as plain
+// store records so clears never accumulate across restarts.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"pbs/internal/kvstore"
+)
+
+const (
+	hintRecStore byte = 1
+	hintRecClear byte = 2
+)
+
+// encodeHintRecord builds one record payload: intended target + version.
+func encodeHintRecord(target int, v kvstore.Version) []byte {
+	return encodeVersion(binary.BigEndian.AppendUint32(nil, uint32(target)), v)
+}
+
+// decodeHintRecord parses one record payload.
+func decodeHintRecord(payload []byte) (target int, v kvstore.Version, err error) {
+	d := &decoder{b: payload}
+	target = int(int32(d.u32()))
+	v = d.version()
+	if d.err != nil {
+		return 0, kvstore.Version{}, d.err
+	}
+	return target, v, nil
+}
+
+// replayHints folds a hint-log byte stream into the pending hint set.
+// Decoding stops cleanly at the first malformed or torn record: everything
+// before it was flushed by a completed append and is authoritative.
+func replayHints(r io.Reader) map[int]map[string]kvstore.Version {
+	pending := make(map[int]map[string]kvstore.Version)
+	br := bufio.NewReader(r)
+	for {
+		tag, payload, err := readFrame(br)
+		if err != nil {
+			return pending
+		}
+		target, v, err := decodeHintRecord(payload)
+		if err != nil {
+			return pending
+		}
+		kh := pending[target]
+		switch tag {
+		case hintRecStore:
+			if cur, ok := kh[v.Key]; ok && !v.Newer(cur) {
+				continue
+			}
+			if kh == nil {
+				kh = make(map[string]kvstore.Version)
+				pending[target] = kh
+			}
+			kh[v.Key] = v
+		case hintRecClear:
+			if cur, ok := kh[v.Key]; ok && !cur.Newer(v) {
+				delete(kh, v.Key)
+			}
+		default:
+			// Unknown record type: written by a future version, stop here.
+			return pending
+		}
+	}
+}
+
+// hintLog is the append handle for one node's hint log.
+type hintLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	bw   *bufio.Writer
+	errs int64 // appends that failed (the in-memory buffer stays correct)
+}
+
+// openHintLog replays path (a missing file is an empty log), compacts it,
+// and opens it for appending. It returns the replayed pending hint set.
+func openHintLog(path string) (*hintLog, map[int]map[string]kvstore.Version, error) {
+	var pending map[int]map[string]kvstore.Version
+	if f, err := os.Open(path); err == nil {
+		pending = replayHints(f)
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("server: hint log: %w", err)
+	} else {
+		pending = make(map[int]map[string]kvstore.Version)
+	}
+
+	// Compact: rewrite only the still-pending hints, then swap atomically.
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: hint log: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	for target, kh := range pending {
+		for _, v := range kh {
+			if err := writeFrame(bw, hintRecStore, encodeHintRecord(target, v)); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("server: hint log compaction: %w", err)
+			}
+		}
+	}
+	if err := f.Close(); err != nil {
+		return nil, nil, fmt.Errorf("server: hint log compaction: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, nil, fmt.Errorf("server: hint log: %w", err)
+	}
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: hint log: %w", err)
+	}
+	return &hintLog{f: f, bw: bufio.NewWriter(f)}, pending, nil
+}
+
+// append writes one record and flushes it to the OS. Append failures are
+// counted but do not fail the hint-buffer mutation: a broken log degrades
+// durability, not availability.
+func (l *hintLog) append(tag byte, target int, v kvstore.Version) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return
+	}
+	if err := writeFrame(l.bw, tag, encodeHintRecord(target, v)); err != nil {
+		l.errs++
+	}
+}
+
+// close flushes and closes the log file.
+func (l *hintLog) close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		l.bw.Flush()
+		l.f.Close()
+		l.f = nil
+	}
+}

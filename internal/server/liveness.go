@@ -1,0 +1,75 @@
+package server
+
+// Peer liveness tracking for sloppy quorums. Coordinator failover and
+// spare-replica selection both need a cheap answer to "is replica X
+// reachable right now?": the fault controller answers instantly for
+// simulated crashes, and a short-TTL cache over the transport's ping RPC
+// covers real process restarts — so the common case (everything healthy)
+// costs one mutex hit per check, not one network round trip per write leg.
+
+import (
+	"sync"
+	"time"
+)
+
+// livenessTTL bounds how stale a cached verdict may be. It also bounds how
+// long writes keep failing over after a primary recovers: the first probe
+// after the TTL notices the recovery and routing snaps back.
+const livenessTTL = 100 * time.Millisecond
+
+type livEntry struct {
+	alive   bool
+	checked time.Time
+}
+
+// liveness is one node's cached view of its peers' reachability.
+type liveness struct {
+	mu      sync.Mutex
+	entries []livEntry
+}
+
+func newLiveness(nodes int) *liveness {
+	return &liveness{entries: make([]livEntry, nodes)}
+}
+
+// cached returns the cached verdict for id, or ok=false when the entry is
+// missing or older than the TTL.
+func (l *liveness) cached(id int) (alive, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entries[id]
+	if e.checked.IsZero() || time.Since(e.checked) > livenessTTL {
+		return false, false
+	}
+	return e.alive, true
+}
+
+func (l *liveness) mark(id int, alive bool) {
+	l.mu.Lock()
+	l.entries[id].alive = alive
+	l.entries[id].checked = time.Now()
+	l.mu.Unlock()
+}
+
+// markDead folds a failed RPC into the cache, so routing stops offering the
+// replica work immediately instead of waiting for the next probe.
+func (l *liveness) markDead(id int) { l.mark(id, false) }
+
+// alive reports whether replica id looks reachable from this node: the
+// fault controller is consulted first (authoritative and free for simulated
+// crashes), then the liveness cache, then a ping over the transport.
+func (n *Node) alive(id int) bool {
+	if n.faults.Down(id) {
+		n.live.markDead(id)
+		return false
+	}
+	if id == n.id {
+		return true
+	}
+	if alive, ok := n.live.cached(id); ok {
+		return alive
+	}
+	alive := n.peers[id].Ping() == nil
+	n.live.mark(id, alive)
+	return alive
+}

@@ -22,6 +22,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -49,6 +50,20 @@ type Params struct {
 	// Handoff enables hinted handoff: coordinators buffer writes for
 	// unreachable replicas and replay them on recovery (handoff.go).
 	Handoff bool
+	// SloppyQuorum enables sloppy quorums (Dynamo Section 4.6): a write
+	// whose primary coordinator is down fails over to the first live node
+	// on the key's preference list, and fan-out legs to unreachable
+	// preference replicas land on the next live node beyond the list as
+	// spare writes carrying hints — the spare counts toward the W quorum,
+	// so a replica crash causes zero write unavailability as long as W
+	// live nodes remain anywhere on the ring. Implies Handoff (the spares'
+	// hints need the replay machinery).
+	SloppyQuorum bool
+	// HintDir makes hint buffers durable: each node appends its hints to
+	// an append-only log in this directory (hints-<id>.log) and replays it
+	// on start, so a coordinator restart loses no pending hints. Empty
+	// means in-memory hints only.
+	HintDir string
 	// HandoffInterval paces hint replay (zero means 250ms).
 	HandoffInterval time.Duration
 	// AntiEntropy enables the background Merkle anti-entropy service
@@ -82,6 +97,9 @@ func (p *Params) setDefaults() {
 	}
 	if p.Vnodes == 0 {
 		p.Vnodes = 64
+	}
+	if p.SloppyQuorum {
+		p.Handoff = true
 	}
 }
 
@@ -157,6 +175,16 @@ type StatsResponse struct {
 	HintsStored   int64 `json:"hints_stored"`
 	HintsReplayed int64 `json:"hints_replayed"`
 	HintsDropped  int64 `json:"hints_dropped"`
+	// HintsRestored counts hints reloaded from the durable hint log at
+	// node start (zero unless Params.HintDir).
+	HintsRestored int64 `json:"hints_restored"`
+
+	// Sloppy-quorum counters (zero unless Params.SloppyQuorum).
+	// FailoverWrites counts writes this node coordinated in place of a
+	// down primary; SpareWrites counts write legs that landed on a spare
+	// node beyond the preference list, carrying a hint.
+	FailoverWrites int64 `json:"failover_writes"`
+	SpareWrites    int64 `json:"spare_writes"`
 
 	// Anti-entropy counters (zero unless Params.AntiEntropy).
 	AERounds  int64 `json:"ae_rounds"`
@@ -164,6 +192,57 @@ type StatsResponse struct {
 	AEBuckets int64 `json:"ae_buckets"`
 	AEPulled  int64 `json:"ae_pulled"`
 	AEPushed  int64 `json:"ae_pushed"`
+}
+
+// Sequence numbers carry a per-key epoch in their high bits: a failover
+// coordinator (sloppy quorums) claims a fresh epoch above everything stored
+// locally, so the seqs it assigns can never tie with ones the unreachable
+// primary may still assign from memory after recovery — ties are what fork
+// a key's history (two distinct versions with equal seq converge to
+// different replicas under the store's ignore-duplicates rule). Within an
+// epoch, seqs remain densely increasing counters.
+const (
+	seqEpochShift = 48
+	seqCounterMax = uint64(1)<<seqEpochShift - 1
+)
+
+// SeqEpoch and SeqCounter split a version number into its failover epoch
+// (high bits) and per-epoch counter (low bits). Counters continue across
+// epoch claims — a takeover bumps the epoch but keeps counting — so the
+// counter difference between two versions of one key counts the versions
+// between them even across a failover; consumers measuring k-staleness
+// must compare counters, not raw seqs.
+func SeqEpoch(seq uint64) uint64   { return seq >> seqEpochShift }
+func SeqCounter(seq uint64) uint64 { return seq & seqCounterMax }
+
+// Accumulate adds every counter of o into s; R and W (live quorum sizes,
+// not counters) adopt o's values and Node is left alone. It is the single
+// aggregation path shared by Cluster.Stats and the client-side
+// ClusterStats, so a counter added to StatsResponse cannot be summed in
+// one aggregator and silently missed in the other.
+func (s *StatsResponse) Accumulate(o StatsResponse) {
+	s.R, s.W = o.R, o.W
+	s.CoordReads += o.CoordReads
+	s.CoordWrites += o.CoordWrites
+	s.FailedOps += o.FailedOps
+	s.ReadRepairs += o.ReadRepairs
+	s.DetectorFlags += o.DetectorFlags
+	s.Keys += o.Keys
+	s.Applied += o.Applied
+	s.Ignored += o.Ignored
+	s.ClockTicks += o.ClockTicks
+	s.HintsPending += o.HintsPending
+	s.HintsStored += o.HintsStored
+	s.HintsReplayed += o.HintsReplayed
+	s.HintsDropped += o.HintsDropped
+	s.HintsRestored += o.HintsRestored
+	s.FailoverWrites += o.FailoverWrites
+	s.SpareWrites += o.SpareWrites
+	s.AERounds += o.AERounds
+	s.AEFailed += o.AEFailed
+	s.AEBuckets += o.AEBuckets
+	s.AEPulled += o.AEPulled
+	s.AEPushed += o.AEPushed
 }
 
 // keyEntry serializes version-number assignment for one key at its
@@ -197,18 +276,21 @@ type Node struct {
 	peers []Peer
 
 	faults  *Faults
-	handoff *handoff // nil unless Params.Handoff
+	live    *liveness // peer reachability cache (sloppy-quorum routing)
+	handoff *handoff  // nil unless Params.Handoff
 	ae      aeStats
 	legs    *legSampler
 	stop    chan struct{} // closed on Cluster.Close; stops background loops
 
 	clockTicks atomic.Uint64 // vector-clock component for coordinated writes
 
-	coordReads    atomic.Int64
-	coordWrites   atomic.Int64
-	failedOps     atomic.Int64
-	readRepairs   atomic.Int64
-	detectorFlags atomic.Int64
+	coordReads     atomic.Int64
+	coordWrites    atomic.Int64
+	failedOps      atomic.Int64
+	readRepairs    atomic.Int64
+	detectorFlags  atomic.Int64
+	failoverWrites atomic.Int64
+	spareWrites    atomic.Int64
 
 	httpSrv     *http.Server
 	internalLn  net.Listener
@@ -239,7 +321,34 @@ func (n *Node) getLocal(key string) (kvstore.Version, bool) {
 // routed to its primary coordinator (ring.Coordinator), which serializes
 // assignment per key; the store's own sequence is folded in so a node that
 // newly becomes coordinator continues the existing version history.
-func (n *Node) nextSeq(key string) uint64 {
+//
+// takeover marks failover coordination (sloppy quorums: the primary is
+// down and this node is the first live preference replica).
+//
+// Epoch ownership is structural: epoch 0 belongs to the key's ring
+// primary, and every other epoch e belongs to node e mod clusterSize —
+// a coordinator that finds itself assigning in an epoch it does not own
+// (a takeover leaving the primary's epoch 0, a recovered primary taking
+// back a key whose history a failover coordinator advanced, a second
+// failover coordinator succeeding a first) claims the next epoch above
+// it carrying its own residue. Two distinct nodes can therefore never
+// assign in the same epoch, so cross-coordinator seq ties — the thing
+// that forks a key's history, since two distinct versions with equal seq
+// converge to different replicas under the store's ignore-duplicates
+// rule — are impossible by construction; within an epoch, assignment is
+// serialized by the owner's keyEntry.
+//
+// The stale-coordinator race remains and is caught at delivery time, not
+// here: a coordinator whose store missed a higher epoch assigns beneath
+// it, replicas answer each apply with their current seq, a leg ignored
+// in favor of a higher-epoch version does not count toward W (ackable),
+// and the observed seq is folded back (foldSeq) so the retry assigns
+// above the usurping epoch. The one remaining window — no reachable
+// replica has the higher epoch to report, e.g. a coordinator restarted
+// mid-epoch after acking writes no surviving replica stored — would need
+// consensus to close; Dynamo closes it with vector-clock siblings
+// instead, which this seq-ordered testbed forgoes.
+func (n *Node) nextSeq(key string, takeover bool) uint64 {
 	ei, _ := n.keys.LoadOrStore(key, &keyEntry{})
 	e := ei.(*keyEntry)
 	e.mu.Lock()
@@ -249,6 +358,16 @@ func (n *Node) nextSeq(key string) uint64 {
 	n.storeMu.Unlock()
 	if stored > e.next {
 		e.next = stored
+	}
+	epoch := SeqEpoch(e.next)
+	owns := epoch == 0 && !takeover
+	if nodes := uint64(len(n.addrs)); !owns && nodes > 0 {
+		owns = epoch != 0 && epoch%nodes == uint64(n.id)
+		if !owns {
+			next := epoch + 1
+			next += (uint64(n.id) + nodes - next%nodes) % nodes
+			e.next = next<<seqEpochShift | SeqCounter(e.next)
+		}
 	}
 	e.next++
 	return e.next
@@ -290,32 +409,114 @@ const maxValueBytes = 1 << 20
 // forwarding loops if two nodes ever disagree about ring ownership.
 const forwardedHeader = "X-Pbs-Forwarded"
 
-// handlePut coordinates a write: assign the next version, fan it out to
-// all N preference replicas with injected W/A delays, respond at the W-th
-// acknowledgment. Version-number assignment is serialized at the key's
-// primary coordinator, so a PUT arriving at any other node is proxied
-// there first (Section 4.2's "proxying operations") — otherwise two
-// coordinators could assign the same sequence number and fork the key's
-// history.
+// handlePut routes a write: version-number assignment is serialized at the
+// key's coordinator, so a PUT arriving at any other node is proxied there
+// first (Section 4.2's "proxying operations") — otherwise two coordinators
+// could assign the same sequence number and fork the key's history. The
+// coordinator is normally the key's ring primary; with sloppy quorums it is
+// the first *live* node on the preference list, so a crashed primary costs
+// availability nothing (the failover coordinator claims a fresh seq epoch,
+// see nextSeq).
 func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 	key := req.PathValue("key")
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxValueBytes))
 	if err != nil {
-		http.Error(w, "server: value exceeds 1 MiB", http.StatusRequestEntityTooLarge)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "server: value exceeds 1 MiB", http.StatusRequestEntityTooLarge)
+		} else {
+			// Client disconnect, short body, chunk error: the request is
+			// malformed, not oversized.
+			http.Error(w, "server: read request body: "+err.Error(), http.StatusBadRequest)
+		}
 		return
 	}
-	if primary := n.ring.Coordinator(key); primary != n.id {
-		if req.Header.Get(forwardedHeader) != "" {
+	primary := n.ring.Coordinator(key)
+	forwarded := req.Header.Get(forwardedHeader) != ""
+	if primary == n.id {
+		n.coordinatePut(w, key, body, false)
+		return
+	}
+	if !n.params.SloppyQuorum {
+		if forwarded {
 			http.Error(w, "server: forwarding loop: not the primary coordinator", http.StatusInternalServerError)
 			return
 		}
 		n.forwardPut(w, primary, key, body)
 		return
 	}
+	if forwarded {
+		// The forwarder decided we are the first live preference replica.
+		// Accept the takeover if we really are on the preference list;
+		// re-forwarding here risks loops whenever liveness views disagree.
+		if !n.onPreferenceList(key) {
+			http.Error(w, "server: forwarded to a non-replica coordinator", http.StatusInternalServerError)
+			return
+		}
+		n.coordinatePut(w, key, body, true)
+		return
+	}
+	// Sloppy routing: hand the write to the first live preference replica,
+	// falling through the list as candidates fail — ourselves included.
+	sawQuorumFail := false
+	for _, cand := range n.ring.PreferenceList(key, n.params.N) {
+		if cand == n.id {
+			n.coordinatePut(w, key, body, true)
+			return
+		}
+		if !n.alive(cand) {
+			continue
+		}
+		switch n.tryForward(w, cand, key, body) {
+		case forwardRelayed:
+			return
+		case forwardUnreachable:
+			n.live.markDead(cand)
+		case forwardFailed:
+			// The candidate is alive — it coordinated (or proxied) and
+			// genuinely failed; it is not dead and already counted the
+			// failure. Still try the remaining candidates: a different
+			// coordinator may reach a quorum this one could not.
+			sawQuorumFail = true
+		}
+	}
+	if sawQuorumFail {
+		// A live coordinator owned the failure and counted it; relaying
+		// its verdict without another failedOps increment keeps one failed
+		// client write from counting 2-3 times across the routing chain.
+		http.Error(w, "server: write quorum not reached", http.StatusServiceUnavailable)
+		return
+	}
+	// No coordination happened here, so nothing is added to failedOps —
+	// that counter means failed coordinations, and a client walking the
+	// ring would otherwise count one dead key range once per live routing
+	// node it tried. Routing-level unavailability surfaces as the client's
+	// own error count.
+	http.Error(w, "server: no live coordinator for key", http.StatusServiceUnavailable)
+}
+
+// onPreferenceList reports whether this node replicates key.
+func (n *Node) onPreferenceList(key string) bool {
+	for _, id := range n.ring.PreferenceList(key, n.params.N) {
+		if id == n.id {
+			return true
+		}
+	}
+	return false
+}
+
+// coordinatePut coordinates a write at this node: assign the next version,
+// fan it out to all N preference replicas with injected W/A delays
+// (redirecting legs for unreachable replicas to hinted spares in sloppy
+// mode), respond at the W-th acknowledgment.
+func (n *Node) coordinatePut(w http.ResponseWriter, key string, body []byte, takeover bool) {
 	n.coordWrites.Add(1)
+	if takeover {
+		n.failoverWrites.Add(1)
+	}
 	quorumW := int(n.wq.Load())
 
-	seq := n.nextSeq(key)
+	seq := n.nextSeq(key, takeover)
 	ver := kvstore.Version{
 		Key:   key,
 		Seq:   seq,
@@ -328,6 +529,10 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 	ad := make([]float64, nReps)
 	n.inj.writeDelays(wd, ad)
 
+	var spares *sparePicker
+	if n.params.SloppyQuorum {
+		spares = n.sparePicker(key)
+	}
 	start := time.Now()
 	acks := make(chan bool, nReps) // buffered: stragglers never block (send-to-all)
 	for i, nodeID := range prefs {
@@ -337,16 +542,13 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 			if n.legs != nil {
 				sent = time.Now()
 			}
-			_, err := n.peers[nodeID].Apply(ver)
-			if err == nil && n.legs != nil {
+			ok := n.deliverWrite(nodeID, ver, spares)
+			if ok && n.legs != nil {
 				rpcMs := float64(time.Since(sent)) / float64(time.Millisecond)
 				n.legs.observeWrite(wd[i]+rpcMs, ad[i])
 			}
 			sleepMs(ad[i])
-			if err != nil && n.handoff != nil {
-				n.handoff.store(nodeID, ver)
-			}
-			acks <- err == nil
+			acks <- ok
 		}(i, nodeID)
 	}
 
@@ -371,8 +573,119 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 	})
 }
 
+// sparePicker hands out each spare node (ring order beyond the preference
+// list) at most once per write, so two substituted legs of one operation
+// never land on the same physical node — the W quorum must count distinct
+// nodes to mean anything for durability.
+type sparePicker struct {
+	mu    sync.Mutex
+	cands []int
+}
+
+func (n *Node) sparePicker(key string) *sparePicker {
+	full := n.ring.PreferenceList(key, len(n.addrs))
+	return &sparePicker{cands: full[n.params.N:]}
+}
+
+// next returns the next unclaimed spare, or -1 when the ring is exhausted.
+func (sp *sparePicker) next() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.cands) == 0 {
+		return -1
+	}
+	s := sp.cands[0]
+	sp.cands = sp.cands[1:]
+	return s
+}
+
+// ackable decides whether a delivered write leg counts toward W. A replica
+// that ignored the version because it already holds a same- or
+// lower-epoch seq is a benign duplicate race (two concurrent writes of one
+// coordinator reordered in flight) and still acks; a replica holding a
+// *higher-epoch* version reveals that this coordinator is assigning in a
+// superseded epoch — a recovered primary racing the hint drain — and the
+// leg must NOT ack: the write is already shadowed everywhere, and acking
+// would report durability for a value the cluster is about to discard.
+// The observed seq is folded into the key's assignment state so the
+// client's retry is assigned above the usurping epoch and commits cleanly.
+func (n *Node) ackable(ver kvstore.Version, applied bool, replicaSeq uint64) bool {
+	if applied || SeqEpoch(replicaSeq) <= SeqEpoch(ver.Seq) {
+		return true
+	}
+	n.foldSeq(ver.Key, replicaSeq)
+	return false
+}
+
+// deadError reports whether an RPC failure indicates the replica itself is
+// unreachable, as opposed to a single lost message. A dropped RPC
+// (link-level loss injection) must not poison the liveness cache: a lossy
+// replica is degraded, not dead, and routing writes away from it — spares,
+// takeover epochs — is the policy crashGate and Ping deliberately avoid.
+func deadError(err error) bool {
+	return !errors.Is(err, ErrRPCDropped)
+}
+
+// foldSeq folds a replica-observed seq into the key's assignment state, so
+// the next version assigned here claims above it.
+func (n *Node) foldSeq(key string, seq uint64) {
+	ei, _ := n.keys.LoadOrStore(key, &keyEntry{})
+	e := ei.(*keyEntry)
+	e.mu.Lock()
+	if seq > e.next {
+		e.next = seq
+	}
+	e.mu.Unlock()
+}
+
+// deliverWrite lands one write fan-out leg. In strict mode the leg goes to
+// its preference replica, buffering a coordinator-side hint on failure. In
+// sloppy mode (spares != nil) a leg whose replica is unreachable goes to
+// the next live spare beyond the preference list as a hinted write that
+// counts toward W; only when no spare can take it either does the
+// coordinator fall back to buffering the hint itself, unacked.
+func (n *Node) deliverWrite(target int, ver kvstore.Version, spares *sparePicker) bool {
+	if spares == nil {
+		applied, replicaSeq, err := n.peers[target].Apply(ver)
+		if err != nil && n.handoff != nil {
+			n.handoff.store(target, ver)
+		}
+		return err == nil && n.ackable(ver, applied, replicaSeq)
+	}
+	if n.alive(target) {
+		applied, replicaSeq, err := n.peers[target].Apply(ver)
+		if err == nil {
+			return n.ackable(ver, applied, replicaSeq)
+		}
+		if deadError(err) {
+			n.live.markDead(target)
+		}
+	}
+	for {
+		s := spares.next()
+		if s < 0 {
+			break
+		}
+		if !n.alive(s) {
+			continue
+		}
+		applied, replicaSeq, err := n.peers[s].ApplyHinted(ver, target)
+		if err == nil {
+			n.spareWrites.Add(1)
+			return n.ackable(ver, applied, replicaSeq)
+		}
+		if deadError(err) {
+			n.live.markDead(s)
+		}
+	}
+	if n.handoff != nil {
+		n.handoff.store(target, ver)
+	}
+	return false
+}
+
 // forwardPut proxies a write to the key's primary coordinator and relays
-// the response verbatim.
+// the response verbatim (strict-quorum routing).
 func (n *Node) forwardPut(w http.ResponseWriter, primary int, key string, body []byte) {
 	url := n.addrs[primary] + "/kv/" + neturl.PathEscape(key)
 	freq, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
@@ -390,6 +703,55 @@ func (n *Node) forwardPut(w http.ResponseWriter, primary int, key string, body [
 	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+}
+
+// forwardOutcome classifies one sloppy-routing forward attempt.
+type forwardOutcome int
+
+const (
+	// forwardRelayed: the candidate answered and its response was relayed.
+	forwardRelayed forwardOutcome = iota
+	// forwardUnreachable: connection error or a "replica down" 503 — the
+	// candidate is dead and should be marked so.
+	forwardUnreachable
+	// forwardFailed: the candidate is alive but answered 502/503 (its own
+	// quorum failed, or a proxy hop did) — not a death signal.
+	forwardFailed
+)
+
+// tryForward proxies a write to candidate coordinator cand (sloppy-quorum
+// routing). Failures (connection error, 502/503) are NOT relayed: the
+// caller moves to the next candidate instead of surfacing a failure the
+// cluster can absorb. The outcome distinguishes a dead candidate from a
+// live one that couldn't commit, so only the former is marked dead in the
+// liveness cache.
+func (n *Node) tryForward(w http.ResponseWriter, cand int, key string, body []byte) forwardOutcome {
+	url := n.addrs[cand] + "/kv/" + neturl.PathEscape(key)
+	freq, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return forwardRelayed
+	}
+	freq.Header.Set(forwardedHeader, "1")
+	resp, err := n.proxyClient.Do(freq)
+	if err != nil {
+		return forwardUnreachable
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+		// A crashed node's whole HTTP surface answers 503 "replica down";
+		// a live coordinator that failed its quorum answers 503 too. Only
+		// the former means the candidate should be considered dead.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		if bytes.Contains(msg, []byte(ErrReplicaDown.Error())) {
+			return forwardUnreachable
+		}
+		return forwardFailed
+	}
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return forwardRelayed
 }
 
 // readResp is one replica's answer during a coordinated read.
@@ -490,7 +852,7 @@ func (n *Node) finishRead(key string, returned kvstore.Version, early []readResp
 	}
 	for _, x := range all {
 		if x.err == nil && x.v.Seq < newest.Seq {
-			if _, err := n.peers[x.node].Apply(newest); err == nil {
+			if _, _, err := n.peers[x.node].Apply(newest); err == nil {
 				n.readRepairs.Add(1)
 			}
 		}
@@ -516,21 +878,24 @@ func (n *Node) statsLocal() StatsResponse {
 	applied, ignored := n.store.Stats()
 	n.storeMu.Unlock()
 	st := StatsResponse{
-		Node:          n.id,
-		R:             int(n.rq.Load()),
-		W:             int(n.wq.Load()),
-		CoordReads:    n.coordReads.Load(),
-		CoordWrites:   n.coordWrites.Load(),
-		FailedOps:     n.failedOps.Load(),
-		ReadRepairs:   n.readRepairs.Load(),
-		DetectorFlags: n.detectorFlags.Load(),
-		Keys:          keys,
-		Applied:       applied,
-		Ignored:       ignored,
-		ClockTicks:    n.clockTicks.Load(),
+		Node:           n.id,
+		R:              int(n.rq.Load()),
+		W:              int(n.wq.Load()),
+		CoordReads:     n.coordReads.Load(),
+		CoordWrites:    n.coordWrites.Load(),
+		FailedOps:      n.failedOps.Load(),
+		ReadRepairs:    n.readRepairs.Load(),
+		DetectorFlags:  n.detectorFlags.Load(),
+		FailoverWrites: n.failoverWrites.Load(),
+		SpareWrites:    n.spareWrites.Load(),
+		Keys:           keys,
+		Applied:        applied,
+		Ignored:        ignored,
+		ClockTicks:     n.clockTicks.Load(),
 	}
 	if n.handoff != nil {
 		st.HintsPending, st.HintsStored, st.HintsReplayed, st.HintsDropped = n.handoff.stats()
+		st.HintsRestored = n.handoff.restoredCount()
 	}
 	st.AERounds, st.AEFailed, st.AEBuckets, st.AEPulled, st.AEPushed = n.ae.snapshot()
 	return st

@@ -14,8 +14,18 @@ import "pbs/internal/kvstore"
 // Peer is one replica's internal RPC surface as seen from a coordinator.
 type Peer interface {
 	// Apply replicates v to the peer, reporting whether the peer's state
-	// changed.
-	Apply(v kvstore.Version) (applied bool, err error)
+	// changed and the peer's resulting seq for the key (>= v.Seq when the
+	// peer ignored v as a stale duplicate — coordinators use the seq's
+	// epoch to detect that they are assigning in a superseded epoch).
+	Apply(v kvstore.Version) (applied bool, replicaSeq uint64, err error)
+	// ApplyHinted replicates v to the peer as a sloppy-quorum spare write:
+	// the peer installs it locally and buffers a hint naming the
+	// preference-list replica (target) the write was intended for, to be
+	// replayed by the peer's own handoff loop once the target recovers.
+	// The return values mirror Apply.
+	ApplyHinted(v kvstore.Version, target int) (applied bool, replicaSeq uint64, err error)
+	// Ping is a lightweight liveness probe (one empty round trip).
+	Ping() error
 	// GetVersion reads the peer's current version for key.
 	GetVersion(key string) (v kvstore.Version, found bool, err error)
 	// MerkleNodes returns the peer's Merkle content summary at the given
@@ -36,11 +46,29 @@ type faultPeer struct {
 	next     Peer
 }
 
-func (fp *faultPeer) Apply(v kvstore.Version) (bool, error) {
+func (fp *faultPeer) Apply(v kvstore.Version) (bool, uint64, error) {
 	if err := fp.f.allow(fp.from, fp.to); err != nil {
-		return false, err
+		return false, 0, err
 	}
 	return fp.next.Apply(v)
+}
+
+func (fp *faultPeer) ApplyHinted(v kvstore.Version, target int) (bool, uint64, error) {
+	if err := fp.f.allow(fp.from, fp.to); err != nil {
+		return false, 0, err
+	}
+	return fp.next.ApplyHinted(v, target)
+}
+
+// Ping consults only the crash state: a paused replica is stalled, not
+// dead, and a lossy link does not make its endpoint crash — failover and
+// spare selection must keep treating both as live, so the probe bypasses
+// the pause/drop/delay gates that ordinary RPCs go through.
+func (fp *faultPeer) Ping() error {
+	if err := fp.f.crashGate(fp.from, fp.to); err != nil {
+		return err
+	}
+	return fp.next.Ping()
 }
 
 func (fp *faultPeer) GetVersion(key string) (kvstore.Version, bool, error) {

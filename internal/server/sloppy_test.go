@@ -1,0 +1,357 @@
+package server
+
+// Sloppy-quorum unit coverage: coordinator failover past a crashed
+// primary (with epoch-tagged seqs so the recovered primary cannot fork
+// history), spare-replica writes carrying hints that count toward W, and
+// the airtightness of a crashed coordinator's hint replayer.
+
+import (
+	"pbs/internal/kvstore"
+
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// httpPutStatus issues a PUT and returns the raw status code (for requests
+// expected to fail).
+func httpPutStatus(t *testing.T, base, key, value string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+"/kv/"+key, strings.NewReader(value))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestSloppyFailoverWhenPrimaryCrashed: with the primary down, any other
+// node accepts the write, coordinates it as a takeover in a fresh seq
+// epoch, and buffers hints for the primary; the recovered primary receives
+// the missed writes and continues the same history without forking.
+func TestSloppyFailoverWhenPrimaryCrashed(t *testing.T) {
+	c, err := StartLocal(3, Params{N: 3, R: 1, W: 2, Seed: 11, SloppyQuorum: true,
+		HandoffInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	keys := keysWithPrimary(t, c, 0, 8, "sloppy-")
+	// Control: strict-routing sanity before the fault.
+	pr := httpPut(t, c.HTTPAddrs[1], keys[0], "v0")
+	if pr.Seq != 1 || pr.Node != 0 {
+		t.Fatalf("pre-fault write coordinated as %+v, want primary 0 seq 1", pr)
+	}
+
+	c.Faults().Crash(0)
+	var seqs []uint64
+	for i, k := range keys {
+		// Writes land on a non-primary node directly: with the primary
+		// crashed they must still succeed (vs. a guaranteed 503 before).
+		pr := httpPut(t, c.HTTPAddrs[1+i%2], k, "v1")
+		if pr.Node == 0 {
+			t.Fatalf("crashed primary coordinated write for %q", k)
+		}
+		// Takeover epochs are nonzero and carry the coordinator's residue
+		// (epoch ownership is structural: epoch mod clusterSize == owner).
+		if e := SeqEpoch(pr.Seq); e == 0 || e%3 != uint64(pr.Node) {
+			t.Fatalf("takeover write for %q by node %d got epoch %d, want a fresh epoch owned by %d",
+				k, pr.Node, e, pr.Node)
+		}
+		seqs = append(seqs, pr.Seq)
+	}
+	st := c.Stats()
+	if st.FailoverWrites == 0 {
+		t.Fatal("no writes counted as failover coordination")
+	}
+	if st.HintsPending == 0 {
+		t.Fatal("no hints buffered for the crashed primary")
+	}
+
+	// Recovery: hints replay to the primary and it rejoins the history.
+	c.Faults().Recover(0)
+	for i, k := range keys {
+		waitReplicaSeqs(t, c, 0, []string{k}, seqs[i], 5*time.Second)
+	}
+	// After the liveness TTL expires, routing snaps back to the primary,
+	// which continues the takeover epoch instead of forking a stale one.
+	time.Sleep(2 * livenessTTL)
+	pr = httpPut(t, c.HTTPAddrs[0], keys[0], "v2")
+	if pr.Node != 0 {
+		t.Fatalf("recovered primary did not coordinate, node %d did", pr.Node)
+	}
+	if pr.Seq <= seqs[0] {
+		t.Fatalf("recovered primary assigned seq %#x <= failover seq %#x: history forked",
+			pr.Seq, seqs[0])
+	}
+}
+
+// TestSpareWritesCarryHints: with a non-primary preference replica down
+// and W = N, the write can only commit if the spare node beyond the
+// preference list takes the dead replica's leg — and the spare must then
+// deliver the hint to the replica once it recovers.
+func TestSpareWritesCarryHints(t *testing.T) {
+	c, err := StartLocal(4, Params{N: 3, R: 1, W: 3, Seed: 5, SloppyQuorum: true,
+		HandoffInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Any key works: in a 4-node cluster with N=3 the full ring order is
+	// always the 3 preference replicas plus exactly one spare.
+	key := "spare-0"
+	prefs := c.Nodes[0].ring.PreferenceList(key, 3)
+	full := c.Nodes[0].ring.PreferenceList(key, 4)
+	victim, spare := prefs[1], full[3]
+
+	c.Faults().Crash(victim)
+	pr := httpPut(t, c.HTTPAddrs[prefs[0]], key, "v")
+	if pr.Node != prefs[0] {
+		t.Fatalf("write coordinated by node %d, want primary %d", pr.Node, prefs[0])
+	}
+	st := c.Stats()
+	if st.SpareWrites == 0 {
+		t.Fatal("W=N write with a dead replica committed without a spare write")
+	}
+	// The spare holds the data and a hint naming the victim.
+	if got := c.ReplicaSeq(spare, key); got != pr.Seq {
+		t.Fatalf("spare %d stores seq %d, want %d", spare, got, pr.Seq)
+	}
+	pending, _, _, _ := c.Nodes[spare].handoff.stats()
+	if pending == 0 {
+		t.Fatalf("spare %d buffered no hint for the dead replica", spare)
+	}
+
+	// Recovery: the spare's replayer delivers the hint to the victim.
+	c.Faults().Recover(victim)
+	waitReplicaSeqs(t, c, victim, []string{key}, pr.Seq, 5*time.Second)
+	drainDeadline := time.Now().Add(5 * time.Second)
+	for c.HintsPending() > 0 {
+		if time.Now().After(drainDeadline) {
+			t.Fatalf("%d hints still pending after recovery", c.HintsPending())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNoLiveCoordinator503s: when every preference replica is down and no
+// quorum can be raised anywhere, the write must still fail cleanly.
+func TestNoLiveCoordinator503s(t *testing.T) {
+	c, err := StartLocal(3, Params{N: 2, R: 1, W: 2, Seed: 7, SloppyQuorum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var key string
+	var prefs []int
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("dead-%d", i)
+		prefs = c.Nodes[0].ring.PreferenceList(key, 2)
+		if prefs[0] != 2 && prefs[1] != 2 {
+			break // node 2 is off the preference list: it must route, not coordinate
+		}
+	}
+	c.Faults().Crash(prefs[0])
+	c.Faults().Crash(prefs[1])
+	if code := httpPutStatus(t, c.HTTPAddrs[2], key, "v"); code != http.StatusServiceUnavailable {
+		t.Fatalf("write with every preference replica down got %d, want 503", code)
+	}
+}
+
+// TestCrashedCoordinatorReplaysNothing is the regression test for the
+// handoff replay loop: once the fault controller crashes a coordinator,
+// no buffered hint may be delivered — including by replay goroutines
+// already in flight — until the coordinator recovers.
+func TestCrashedCoordinatorReplaysNothing(t *testing.T) {
+	c, err := StartLocal(3, Params{N: 3, R: 1, W: 2, Seed: 3, Handoff: true,
+		HandoffInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const victim = 2
+	keys := keysWithPrimary(t, c, 0, 24, "silent-")
+	c.Faults().Crash(victim)
+	for _, k := range keys {
+		httpPut(t, c.HTTPAddrs[0], k, "v")
+	}
+	pendingBefore, _, _, _ := c.Nodes[0].handoff.stats()
+	if pendingBefore != len(keys) {
+		t.Fatalf("%d hints pending, want %d", pendingBefore, len(keys))
+	}
+
+	// Crash the coordinator, then recover the original victim: the
+	// coordinator's replayer keeps ticking but must stay silent.
+	c.Faults().Crash(0)
+	c.Faults().Recover(victim)
+	time.Sleep(300 * time.Millisecond) // ~15 replay rounds
+	for _, k := range keys {
+		if got := c.ReplicaSeq(victim, k); got != 0 {
+			t.Fatalf("crashed coordinator delivered %q (seq %d) to the recovered replica", k, got)
+		}
+	}
+	if pending, _, _, _ := c.Nodes[0].handoff.stats(); pending != pendingBefore {
+		t.Fatalf("crashed coordinator drained hints: %d -> %d pending", pendingBefore, pending)
+	}
+
+	// Recovery unmutes the replayer and the hints drain.
+	c.Faults().Recover(0)
+	waitReplicaSeqs(t, c, victim, keys, 1, 5*time.Second)
+}
+
+// TestPutBodyErrorStatuses is the regression test for body-read error
+// handling: oversized values answer 413, while a client that disconnects
+// mid-body (or otherwise truncates it) answers 400 — previously every
+// read error was blamed on the 1 MiB cap.
+func TestPutBodyErrorStatuses(t *testing.T) {
+	c, err := StartLocal(1, Params{N: 1, R: 1, W: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Oversized body: 413 (pinned alongside TestPutRejectsOversizedValue).
+	big := strings.Repeat("x", maxValueBytes+1)
+	if code := httpPutStatus(t, c.HTTPAddrs[0], "big", big); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT got %d, want 413", code)
+	}
+
+	// Truncated body: declare 100 bytes, send 5, half-close. The server's
+	// body read fails with an unexpected EOF — a client problem, 400.
+	addr := strings.TrimPrefix(c.HTTPAddrs[0], "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "PUT /kv/trunc HTTP/1.1\r\nHost: pbs\r\nContent-Length: 100\r\n\r\nshort")
+	conn.(*net.TCPConn).CloseWrite()
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated PUT got %s, want 400", resp.Status)
+	}
+}
+
+// TestRecoveredPrimaryCannotShadowFailoverWrites is the regression test
+// for stale-epoch coordination: a primary that recovers before the
+// failover hints drain must not be able to ACK a write that the failover
+// epoch silently shadows. The stale-epoch attempt is refused (no W quorum
+// of applied legs), and the retry — assigned above the failover epoch via
+// the folded replica seq — commits cleanly.
+func TestRecoveredPrimaryCannotShadowFailoverWrites(t *testing.T) {
+	c, err := StartLocal(3, Params{N: 3, R: 1, W: 2, Seed: 17, SloppyQuorum: true,
+		HandoffInterval: 10 * time.Second}) // hints must NOT drain during the test
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	key := keysWithPrimary(t, c, 0, 1, "shadow-")[0]
+	c.Faults().Crash(0)
+	pr1 := httpPut(t, c.HTTPAddrs[1], key, "failover-value")
+	if SeqEpoch(pr1.Seq) == 0 {
+		t.Fatal("failover write stayed in the primary's epoch 0")
+	}
+
+	// Recover the primary and write through it immediately, before any
+	// hint replay: its first attempt runs in the stale pre-crash epoch and
+	// must be REFUSED, not acked-and-shadowed.
+	c.Faults().Recover(0)
+	if code := httpPutStatus(t, c.HTTPAddrs[0], key, "lost-value"); code != http.StatusServiceUnavailable {
+		t.Fatalf("stale-epoch write got %d, want 503 (an ack here would be silently shadowed)", code)
+	}
+	// The nack folded the failover seq back: the retry lands above it.
+	pr2 := httpPut(t, c.HTTPAddrs[0], key, "retry-value")
+	if pr2.Seq <= pr1.Seq {
+		t.Fatalf("retry assigned seq %#x <= failover seq %#x", pr2.Seq, pr1.Seq)
+	}
+	gr := httpGet(t, c.HTTPAddrs[1], key)
+	if gr.Value != "retry-value" || gr.Seq != pr2.Seq {
+		t.Fatalf("read %+v after retry, want retry-value at seq %#x", gr, pr2.Seq)
+	}
+}
+
+// TestQuorumFailureCountedOnce pins the failedOps accounting across the
+// sloppy routing chain: one unreachable write quorum is one failed
+// operation, not one per routing hop — and a live coordinator that failed
+// its quorum is not marked dead.
+func TestQuorumFailureCountedOnce(t *testing.T) {
+	c, err := StartLocal(4, Params{N: 3, R: 1, W: 3, Seed: 29, SloppyQuorum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A key whose preference list excludes one node: that node routes.
+	var key string
+	var prefs []int
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("count-%d", i)
+		prefs = c.Nodes[0].ring.PreferenceList(key, 3)
+		if prefs[0] != 3 && prefs[1] != 3 && prefs[2] != 3 {
+			break
+		}
+	}
+	// Two preference replicas down, one spare in the cluster: W=3 cannot
+	// be raised (primary + spare = 2 acks), so the primary fails the
+	// quorum once and the router must relay that verdict, not re-count it.
+	c.Faults().Crash(prefs[1])
+	c.Faults().Crash(prefs[2])
+	if code := httpPutStatus(t, c.HTTPAddrs[3], key, "v"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unreachable quorum got %d, want 503", code)
+	}
+	if got := c.Stats().FailedOps; got != 1 {
+		t.Fatalf("one failed write counted as %d failed ops across the routing chain", got)
+	}
+	// The primary answered 503 but is alive: the router must not have
+	// marked it dead — a write to a key it can commit must route to it.
+	if !c.Nodes[3].alive(prefs[0]) {
+		t.Fatal("live coordinator marked dead after a quorum failure")
+	}
+}
+
+// TestTakeoverEpochsNeverTie pins structural epoch ownership: two
+// different coordinators taking over the same key — diverged liveness
+// views, a failover chain — must claim different epochs, so their seqs
+// can never tie and fork the key's history.
+func TestTakeoverEpochsNeverTie(t *testing.T) {
+	c, err := StartLocal(3, Params{N: 3, R: 1, W: 2, Seed: 31, SloppyQuorum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	key := keysWithPrimary(t, c, 0, 1, "tie-")[0]
+	s1 := c.Nodes[1].nextSeq(key, true)
+	s2 := c.Nodes[2].nextSeq(key, true)
+	e1, e2 := SeqEpoch(s1), SeqEpoch(s2)
+	if e1 == e2 || s1 == s2 {
+		t.Fatalf("concurrent takeovers assigned epoch %d seq %#x and epoch %d seq %#x", e1, s1, e2, s2)
+	}
+	if e1%3 != 1 || e2%3 != 2 {
+		t.Fatalf("epochs %d, %d do not carry their owners' residues", e1, e2)
+	}
+	// The primary taking the key back claims yet another epoch (its own
+	// residue), above anything it has folded — never a shared one.
+	c.Nodes[0].applyLocal(kvstore.Version{Key: key, Seq: s2, Value: "v"})
+	s0 := c.Nodes[0].nextSeq(key, false)
+	if e0 := SeqEpoch(s0); e0 <= e2 || e0%3 != 0 {
+		t.Fatalf("primary failback assigned epoch %d after folding epoch %d", e0, e2)
+	}
+}

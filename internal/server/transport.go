@@ -33,10 +33,12 @@ import (
 )
 
 const (
-	opApply  byte = 1
-	opGet    byte = 2
-	opTree   byte = 3
-	opBucket byte = 4
+	opApply     byte = 1
+	opGet       byte = 2
+	opTree      byte = 3
+	opBucket    byte = 4
+	opPing      byte = 5
+	opApplyHint byte = 6
 
 	statusOK  byte = 0
 	statusErr byte = 1
@@ -189,6 +191,22 @@ func readFrame(r *bufio.Reader) (tag byte, payload []byte, err error) {
 	return hdr[0], payload, nil
 }
 
+// applyResponse installs a replicated version and encodes the apply
+// answer: whether local state changed, plus the replica's now-current seq
+// for the key. The seq lets a coordinator detect that its write was
+// ignored in favor of a *higher-epoch* version — the signature of a
+// recovered primary coordinating in a stale epoch — and refuse to count
+// the leg toward W (see deliverWrite).
+func (n *Node) applyResponse(v kvstore.Version) []byte {
+	applied := n.applyLocal(v)
+	cur, _ := n.getLocal(v.Key)
+	out := []byte{0}
+	if applied {
+		out[0] = 1
+	}
+	return binary.BigEndian.AppendUint64(out, cur.Seq)
+}
+
 // --- server side -------------------------------------------------------
 
 // serveInternal accepts internal connections until the listener closes.
@@ -233,11 +251,29 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 		if d.err != nil {
 			return statusErr, []byte(d.err.Error())
 		}
-		applied := n.applyLocal(v)
-		if applied {
-			return statusOK, []byte{1}
+		return statusOK, n.applyResponse(v)
+	case opPing:
+		// Liveness probe: reaching this point proves the replica is up
+		// (crashed replicas were already refused above).
+		return statusOK, []byte{1}
+	case opApplyHint:
+		// A sloppy-quorum spare write: install the version locally and
+		// remember which preference-list replica it was intended for, so
+		// this node's handoff replayer delivers it once the target
+		// recovers (Dynamo Section 4.6).
+		target := int(int32(d.u32()))
+		v := d.version()
+		if d.err != nil {
+			return statusErr, []byte(d.err.Error())
 		}
-		return statusOK, []byte{0}
+		if target < 0 || target >= len(n.addrs) {
+			return statusErr, []byte(fmt.Sprintf("server: hint target %d outside cluster of %d", target, len(n.addrs)))
+		}
+		resp := n.applyResponse(v)
+		if n.handoff != nil {
+			n.handoff.store(target, v)
+		}
+		return statusOK, resp
 	case opGet:
 		key := d.string16()
 		if d.err != nil {
@@ -324,12 +360,20 @@ func newPeer(addr string) *peer {
 	}
 }
 
-func (p *peer) get() (*peerConn, error) {
+// get returns a connection, preferring the free list; pooled reports
+// whether the connection idled there (and so may have died unnoticed).
+func (p *peer) get() (pc *peerConn, pooled bool, err error) {
 	select {
 	case pc := <-p.free:
-		return pc, nil
+		return pc, true, nil
 	default:
 	}
+	pc, err = p.dial()
+	return pc, false, err
+}
+
+// dial opens a fresh connection and registers it for Close.
+func (p *peer) dial() (*peerConn, error) {
 	c, err := net.DialTimeout("tcp", p.addr, rpcTimeout)
 	if err != nil {
 		return nil, err
@@ -363,37 +407,91 @@ func (p *peer) retire(pc *peerConn) {
 	p.mu.Unlock()
 }
 
-// rpc performs one round trip, retiring the connection on any error.
-func (p *peer) rpc(op byte, payload []byte) ([]byte, error) {
-	pc, err := p.get()
-	if err != nil {
-		return nil, err
-	}
+// roundTrip performs one request/response exchange on pc, retiring the
+// connection on any transport error and returning it to the pool otherwise.
+func (p *peer) roundTrip(pc *peerConn, op byte, payload []byte) (status byte, resp []byte, err error) {
 	pc.c.SetDeadline(time.Now().Add(rpcTimeout))
 	if err := writeFrame(pc.bw, op, payload); err != nil {
 		p.retire(pc)
-		return nil, err
+		return 0, nil, err
 	}
-	status, resp, err := readFrame(pc.br)
+	status, resp, err = readFrame(pc.br)
 	if err != nil {
 		p.retire(pc)
-		return nil, err
+		return 0, nil, err
 	}
 	p.put(pc)
+	return status, resp, nil
+}
+
+// rpc performs one round trip. A connection that went stale while idling in
+// the free list (the peer paused or restarted, an idle timeout fired) only
+// reveals itself at our write or first read — without a retry that surfaces
+// as a spurious replica failure right after the peer recovered, inflating
+// failedOps and triggering needless hints. Every RPC in the protocol is
+// idempotent, so one retry on a fresh connection is always safe; failures
+// on a freshly dialed connection are real and are not retried.
+func (p *peer) rpc(op byte, payload []byte) ([]byte, error) {
+	pc, pooled, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	status, resp, err := p.roundTrip(pc, op, payload)
+	if err != nil && pooled {
+		pc, derr := p.dial()
+		if derr != nil {
+			return nil, derr
+		}
+		status, resp, err = p.roundTrip(pc, op, payload)
+	}
+	if err != nil {
+		return nil, err
+	}
 	if status != statusOK {
 		return nil, fmt.Errorf("server: peer %s: %s", p.addr, resp)
 	}
 	return resp, nil
 }
 
+// decodeApply parses an apply answer: applied flag + the peer's current
+// seq for the key.
+func decodeApply(resp []byte) (applied bool, replicaSeq uint64, err error) {
+	d := &decoder{b: resp}
+	applied = d.u8() == 1
+	replicaSeq = d.u64()
+	if d.err != nil {
+		return false, 0, d.err
+	}
+	return applied, replicaSeq, nil
+}
+
 // Apply replicates v to the peer, reporting whether the peer's state
-// changed.
-func (p *peer) Apply(v kvstore.Version) (applied bool, err error) {
+// changed and the peer's resulting seq for the key.
+func (p *peer) Apply(v kvstore.Version) (applied bool, replicaSeq uint64, err error) {
 	resp, err := p.rpc(opApply, encodeVersion(nil, v))
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
-	return len(resp) == 1 && resp[0] == 1, nil
+	return decodeApply(resp)
+}
+
+// ApplyHinted replicates v to the peer as a sloppy-quorum spare write: the
+// peer installs it locally and buffers a hint naming the preference-list
+// replica (target) the write was intended for.
+func (p *peer) ApplyHinted(v kvstore.Version, target int) (applied bool, replicaSeq uint64, err error) {
+	// The wire payload is exactly a hint-log record: one format, one
+	// encoder (hintlog.go), decoded by handleRPC and replayHints alike.
+	resp, err := p.rpc(opApplyHint, encodeHintRecord(target, v))
+	if err != nil {
+		return false, 0, err
+	}
+	return decodeApply(resp)
+}
+
+// Ping probes the peer's liveness with an empty round trip.
+func (p *peer) Ping() error {
+	_, err := p.rpc(opPing, nil)
+	return err
 }
 
 // GetVersion reads the peer's current version for key.

@@ -2,6 +2,7 @@ package smoke
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -90,6 +91,18 @@ func smokeCases() []smokeCase {
 				"-fail", "500ms crash 2; 1500ms recover 2", "-handoff", "-anti-entropy"},
 			want: []string{"fault schedule", "hinted handoff: hints stored",
 				"anti-entropy: rounds", "fault events", "crash node 2", "recover node 2"}},
+
+		// cmd/pbs-serve: sloppy quorums with durable hints — a scripted
+		// primary crash while writes keep flowing through failover
+		// coordinators and hinted spares.
+		{name: "pbs-serve-sloppy", pkg: "pbs/cmd/pbs-serve",
+			args: []string{"-duration", "3s", "-rate", "300", "-clients", "4", "-epochs", "0",
+				"-trials", "10000", "-model", "validation", "-replicas", "4", "-n", "3",
+				"-r", "1", "-w", "2", "-fail", "500ms crash 0; 2s recover 0",
+				"-sloppy", "-hint-dir", filepath.Join(os.TempDir(), fmt.Sprintf("pbs-smoke-hints-%d", os.Getpid()))},
+			want: []string{"sloppy=true", "durable hints:",
+				"sloppy quorum: failover writes", "sloppy quorum: spare writes",
+				"hints restored from log", "fault events"}},
 
 		// cmd/pbs-serve: the dynamic-configuration tuner retunes a
 		// mis-deployed strict quorum under a loose SLA.
