@@ -27,10 +27,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"pbs/internal/client"
@@ -45,16 +48,31 @@ import (
 	"pbs/internal/workload"
 )
 
-// parseSLA parses a -tune-sla spec "t=<ms>,p=<prob>", e.g. "t=100,p=0.99":
-// reads issued t ms after commit must be consistent with probability p.
+// parseSLA parses a -tune-sla spec of comma-separated terms:
+//
+//	t=<ms>   staleness window (an optional "ms" suffix is accepted)
+//	p=<prob> required consistency probability; values above 1 are read as
+//	         percentages, so p=0.999 and p=99.9 mean the same thing
+//	k=<int>  optional k-staleness bound (Section 6.1's ⟨k, t⟩-staleness):
+//	         reads may be up to k versions stale and still meet the SLA
+//
+// e.g. "t=100,p=0.99" or "k=2,t=10ms,p=99.9".
 func parseSLA(spec string) (sla.Target, error) {
 	target := sla.Target{}
 	for _, part := range strings.Split(spec, ",") {
 		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
-			return target, fmt.Errorf("bad SLA term %q (want t=<ms>,p=<prob>)", part)
+			return target, fmt.Errorf("bad SLA term %q (want k=<int>,t=<ms>,p=<prob>)", part)
 		}
-		x, err := strconv.ParseFloat(v, 64)
+		if k == "k" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return target, fmt.Errorf("bad SLA value %q: k wants a positive integer", v)
+			}
+			target.K = n
+			continue
+		}
+		x, err := strconv.ParseFloat(strings.TrimSuffix(v, "ms"), 64)
 		if err != nil {
 			return target, fmt.Errorf("bad SLA value %q: %v", v, err)
 		}
@@ -62,13 +80,16 @@ func parseSLA(spec string) (sla.Target, error) {
 		case "t":
 			target.TWindow = x
 		case "p":
+			if x > 1 {
+				x /= 100 // "p=99.9" percent form
+			}
 			target.MinPConsistent = x
 		default:
-			return target, fmt.Errorf("unknown SLA term %q (want t, p)", k)
+			return target, fmt.Errorf("unknown SLA term %q (want k, t, p)", k)
 		}
 	}
 	if target.MinPConsistent <= 0 || target.MinPConsistent > 1 {
-		return target, fmt.Errorf("SLA needs p=<prob> in (0, 1]")
+		return target, fmt.Errorf("SLA needs p=<prob> in (0, 1] (or a percentage)")
 	}
 	if target.TWindow < 0 {
 		return target, fmt.Errorf("SLA needs t=<ms> >= 0")
@@ -96,6 +117,54 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
+// runSingleNode runs one node process — the multi-process deployment mode.
+// With -join it bootstraps into a running cluster (ID assignment, key-range
+// streaming, ring flip) before reporting ready; without it, it seeds a
+// fresh single-node cluster other processes can -join. The process serves
+// until SIGINT/SIGTERM.
+func runSingleNode(p server.Params, listen, internal, join string) {
+	p.SetDefaults() // resolve implied flags (-sloppy => handoff) before the hint-dir check
+	if p.Handoff && p.HintDir != "" {
+		if err := os.MkdirAll(p.HintDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	httpLn, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatalf("listen %s: %v", listen, err)
+	}
+	internalLn, err := net.Listen("tcp", internal)
+	if err != nil {
+		fatalf("listen %s: %v", internal, err)
+	}
+	mode := "seed"
+	if join != "" {
+		mode = "join " + join
+	}
+	fmt.Printf("pbs-serve: single node (%s) N=%d R=%d W=%d model=%s scale=%g sloppy=%v\n",
+		mode, p.N, p.R, p.W, p.Model.Name, p.Scale, p.SloppyQuorum)
+	nd, err := server.StartNode(server.NodeConfig{
+		Params:           p,
+		HTTPListener:     httpLn,
+		InternalListener: internalLn,
+		JoinAddr:         join,
+		Seed:             p.Seed,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer nd.Close()
+	m := nd.Membership()
+	fmt.Printf("node %d: http=%s internal=%s ring-epoch=%d members=%d\n",
+		nd.ID(), nd.HTTPAddr(), nd.InternalAddr(), m.Epoch(), m.Size())
+	fmt.Printf("ready\n")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("node %d: shutting down\n", nd.ID())
+}
+
 func main() {
 	replicas := flag.Int("replicas", 3, "cluster size")
 	n := flag.Int("n", 3, "replication factor N")
@@ -118,10 +187,16 @@ func main() {
 	handoff := flag.Bool("handoff", false, "enable hinted handoff (buffer writes for unreachable replicas, replay on recovery)")
 	sloppy := flag.Bool("sloppy", false, "enable sloppy quorums (coordinator failover past a down primary, hinted spare-replica writes counting toward W; implies -handoff)")
 	hintDir := flag.String("hint-dir", "", "directory for durable per-node hint logs (replayed on start; empty = in-memory hints)")
+	hintFsync := flag.String("hint-fsync", "always", "hint-log fsync policy: always, interval or never")
 	antiEntropy := flag.Bool("anti-entropy", false, "enable background Merkle anti-entropy between replicas")
-	tuneSLA := flag.String("tune-sla", "", `run the dynamic-configuration tuner against this SLA, e.g. "t=100,p=0.99"`)
+	tuneSLA := flag.String("tune-sla", "", `run the dynamic-configuration tuner against this SLA, e.g. "t=100,p=0.99" or "k=2,t=10ms,p=99.9"`)
 	tuneInterval := flag.Duration("tune-interval", 3*time.Second, "tuner round interval")
-	tuneApply := flag.Bool("tune-apply", false, "apply the tuner's recommended (R, W) to the live cluster")
+	tuneApply := flag.Bool("tune-apply", false, "apply the tuner's recommended configuration to the live cluster")
+	tuneMaxN := flag.Int("tune-max-n", 0, "let the tuner sweep the replication factor N up to this bound (0 = keep N fixed); with -tune-apply the cluster grows nodes as needed")
+	nodeMode := flag.Bool("node", false, "run a single node instead of a whole loopback cluster (implied by -join)")
+	listenAddr := flag.String("listen", "127.0.0.1:0", "single-node mode: public HTTP listen address")
+	internalAddr := flag.String("internal", "127.0.0.1:0", "single-node mode: internal replication-transport listen address")
+	joinAddr := flag.String("join", "", "single-node mode: internal address of any member of a running cluster to join")
 	flag.Parse()
 
 	model, ok := latencyModel(*modelName)
@@ -129,6 +204,19 @@ func main() {
 		fatalf("unknown model %q (want lnkd-ssd, lnkd-disk, ymmr or validation)", *modelName)
 	}
 	scaled := dist.ScaleModel(model, *scale)
+
+	if *nodeMode || *joinAddr != "" {
+		runSingleNode(server.Params{
+			N: *n, R: *r, W: *w,
+			ReadRepair: *readRepair,
+			Handoff:    *handoff, AntiEntropy: *antiEntropy,
+			SloppyQuorum: *sloppy, HintDir: *hintDir, HintFsync: *hintFsync,
+			WARSSampling: true,
+			Model:        &model, Scale: *scale,
+			Seed: *seed,
+		}, *listenAddr, *internalAddr, *joinAddr)
+		return
+	}
 
 	var schedule []server.FaultEvent
 	if *failSpec != "" {
@@ -155,7 +243,7 @@ func main() {
 		N: *n, R: *r, W: *w,
 		ReadRepair: *readRepair,
 		Handoff:    *handoff, AntiEntropy: *antiEntropy,
-		SloppyQuorum: *sloppy, HintDir: *hintDir,
+		SloppyQuorum: *sloppy, HintDir: *hintDir, HintFsync: *hintFsync,
 		WARSSampling: true, // /wars is part of the CLI surface; the tuner feeds on it
 		Model:        &model, Scale: *scale,
 		Seed: *seed,
@@ -258,7 +346,7 @@ func main() {
 				return tuner.Samples{W: w, A: a, R: r, S: s}, err
 			},
 			Config: tuner.Config{
-				N: *n, Target: slaTarget,
+				N: *n, MaxN: *tuneMaxN, Target: slaTarget,
 				Trials: *trials / 2, Seed: *seed,
 			},
 			OnRound: func(rec *tuner.Recommendation, err error) {
@@ -276,12 +364,22 @@ func main() {
 			},
 		}
 		if *tuneApply {
-			tn.Apply = func(r, w int) error {
-				if cr, cw := cluster.Quorums(); cr == r && cw == w {
+			tn.Apply = func(nn, r, w int) error {
+				cr, cw := cluster.Quorums()
+				if cluster.Replication() == nn && cr == r && cw == w {
 					return nil
 				}
-				fmt.Printf("[tuner] applying R=%d W=%d to the live cluster\n", r, w)
-				return cluster.SetQuorums(r, w)
+				// A recommendation above the current member count is a
+				// membership change: grow the ring through the live join
+				// protocol, then retune the replication configuration.
+				for cluster.Membership().Size() < nn {
+					fmt.Printf("[tuner] growing the ring: joining node %d\n", cluster.Membership().NextID())
+					if _, err := cluster.AddNode(); err != nil {
+						return err
+					}
+				}
+				fmt.Printf("[tuner] applying N=%d R=%d W=%d to the live cluster\n", nn, r, w)
+				return cluster.SetConfig(nn, r, w)
 			}
 		}
 		go tn.Run(*tuneInterval, done)

@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -28,48 +29,170 @@ import (
 // list, which serializes version assignment) and spreads reads across all
 // nodes round-robin — any node can coordinate a read. Safe for concurrent
 // use.
+//
+// The routing state is a versioned view of the cluster (ring epoch, member
+// set, consistent-hash ring) held behind an atomic pointer: every server
+// response carries the node's ring epoch, and when the cluster has moved
+// on (a node joined or left) the client refreshes its view from /config in
+// the background — no static node list, no restart.
 type Client struct {
-	addrs []string
-	n     int
-	ring  *ring.Ring
-	hc    *http.Client
+	hc *http.Client
 
-	readRR atomic.Uint64
+	view       atomic.Pointer[clientView]
+	refreshing atomic.Bool
+	readRR     atomic.Uint64
+}
+
+// clientView is one immutable snapshot of the cluster as seen by the
+// client. Members are kept in ID order; positional APIs (GetVia, Stats,
+// sticky sessions) index into that order.
+type clientView struct {
+	epoch  uint64
+	n      int
+	vnodes int
+	ids    []int          // member IDs, ascending
+	addrs  []string       // HTTP base URLs, same order as ids
+	byID   map[int]string // member ID -> HTTP base URL
+	ring   *ring.Ring
 }
 
 // Dial fetches the cluster configuration from any node's /config endpoint
 // and returns a routing client.
 func Dial(seedURL string) (*Client, error) {
 	hc := newHTTPClient()
-	resp, err := hc.Get(strings.TrimRight(seedURL, "/") + "/config")
+	cfg, err := fetchConfig(hc, strings.TrimRight(seedURL, "/"))
 	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("client: config fetch: %s", resp.Status)
-	}
-	var cfg server.ConfigResponse
-	if err := json.NewDecoder(resp.Body).Decode(&cfg); err != nil {
 		return nil, err
 	}
 	return New(cfg)
 }
 
+func fetchConfig(hc *http.Client, base string) (server.ConfigResponse, error) {
+	var cfg server.ConfigResponse
+	resp, err := hc.Get(base + "/config")
+	if err != nil {
+		return cfg, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cfg, fmt.Errorf("client: config fetch: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cfg)
+	return cfg, err
+}
+
 // New builds a client from an already known configuration.
 func New(cfg server.ConfigResponse) (*Client, error) {
+	v, err := buildView(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{hc: newHTTPClient()}
+	c.view.Store(v)
+	return c, nil
+}
+
+// buildView validates a config and compiles the routing view. Configs
+// without a Members list (older servers) synthesize contiguous IDs.
+func buildView(cfg server.ConfigResponse) (*clientView, error) {
 	if cfg.Nodes < 1 || len(cfg.Addrs) != cfg.Nodes {
 		return nil, fmt.Errorf("client: bad config: %d nodes, %d addrs", cfg.Nodes, len(cfg.Addrs))
 	}
 	if cfg.Vnodes < 1 {
 		return nil, fmt.Errorf("client: bad config: %d vnodes", cfg.Vnodes)
 	}
-	return &Client{
-		addrs: cfg.Addrs,
-		n:     cfg.N,
-		ring:  ring.New(cfg.Nodes, cfg.Vnodes),
-		hc:    newHTTPClient(),
-	}, nil
+	v := &clientView{
+		epoch:  cfg.RingEpoch,
+		n:      cfg.N,
+		vnodes: cfg.Vnodes,
+		byID:   make(map[int]string, cfg.Nodes),
+	}
+	if len(cfg.Members) > 0 {
+		if len(cfg.Members) != cfg.Nodes {
+			return nil, fmt.Errorf("client: bad config: %d nodes, %d members", cfg.Nodes, len(cfg.Members))
+		}
+		for _, m := range cfg.Members {
+			// Validate before ring construction: NewWithIDs panics on
+			// duplicate or negative IDs, and this data came off the network.
+			if m.ID < 0 {
+				return nil, fmt.Errorf("client: bad config: negative member id %d", m.ID)
+			}
+			if _, dup := v.byID[m.ID]; dup {
+				return nil, fmt.Errorf("client: bad config: duplicate member id %d", m.ID)
+			}
+			v.ids = append(v.ids, m.ID)
+			v.addrs = append(v.addrs, m.Addr)
+			v.byID[m.ID] = m.Addr
+		}
+	} else {
+		for i, addr := range cfg.Addrs {
+			v.ids = append(v.ids, i)
+			v.addrs = append(v.addrs, addr)
+			v.byID[i] = addr
+		}
+	}
+	v.ring = ring.NewWithIDs(v.ids, cfg.Vnodes)
+	return v, nil
+}
+
+// RingEpoch returns the epoch of the client's current cluster view.
+func (c *Client) RingEpoch() uint64 { return c.view.Load().epoch }
+
+// Refresh re-fetches the cluster configuration from the current members
+// and installs it if it is newer than the cached view. It returns an error
+// only when no member answered.
+func (c *Client) Refresh() error {
+	v := c.view.Load()
+	var lastErr error
+	for _, addr := range v.addrs {
+		cfg, err := fetchConfig(c.hc, addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		nv, err := buildView(cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.install(nv)
+		return nil
+	}
+	return fmt.Errorf("client: refresh failed on every member: %w", lastErr)
+}
+
+// install swaps in nv unless the cached view is already as new.
+func (c *Client) install(nv *clientView) {
+	for {
+		cur := c.view.Load()
+		if nv.epoch <= cur.epoch {
+			return
+		}
+		if c.view.CompareAndSwap(cur, nv) {
+			return
+		}
+	}
+}
+
+// noteEpoch inspects a response's ring-epoch header and, when the cluster
+// is ahead of the cached view, triggers one background refresh. Routing
+// keeps working off the stale view meanwhile — the servers proxy
+// mis-routed operations to the right owners.
+func (c *Client) noteEpoch(resp *http.Response) {
+	h := resp.Header.Get(server.RingEpochHeader)
+	if h == "" {
+		return
+	}
+	e, err := strconv.ParseUint(h, 10, 64)
+	if err != nil || e <= c.view.Load().epoch {
+		return
+	}
+	if c.refreshing.CompareAndSwap(false, true) {
+		go func() {
+			defer c.refreshing.Store(false)
+			c.Refresh()
+		}()
+	}
 }
 
 func newHTTPClient() *http.Client {
@@ -84,8 +207,8 @@ func newHTTPClient() *http.Client {
 	}
 }
 
-// Nodes returns the cluster size.
-func (c *Client) Nodes() int { return len(c.addrs) }
+// Nodes returns the cluster size under the current view.
+func (c *Client) Nodes() int { return len(c.view.Load().addrs) }
 
 // PutResult is the outcome of a write.
 type PutResult struct {
@@ -112,10 +235,6 @@ type GetResult struct {
 	ClientMs float64
 }
 
-func (c *Client) kvURL(node int, key string) string {
-	return c.addrs[node] + "/kv/" + url.PathEscape(key)
-}
-
 // Put writes value to key through the key's primary coordinator. When a
 // node is unreachable or answers a routing-level 502/503 (crashed node,
 // dead forward hop), the write falls through the rest of the key's ring
@@ -125,9 +244,10 @@ func (c *Client) kvURL(node int, key string) string {
 // re-coordinating it at every other node would only repeat the failure.
 func (c *Client) Put(key, value string) (PutResult, error) {
 	start := time.Now()
+	v := c.view.Load()
 	var lastErr error
-	for _, node := range c.ring.PreferenceList(key, len(c.addrs)) {
-		req, err := http.NewRequest(http.MethodPut, c.kvURL(node, key), strings.NewReader(value))
+	for _, id := range v.ring.PreferenceList(key, len(v.addrs)) {
+		req, err := http.NewRequest(http.MethodPut, v.byID[id]+"/kv/"+url.PathEscape(key), strings.NewReader(value))
 		if err != nil {
 			return PutResult{}, err
 		}
@@ -137,7 +257,7 @@ func (c *Client) Put(key, value string) (PutResult, error) {
 			continue
 		}
 		var pr server.PutResponse
-		if err := decodeResponse(resp, &pr); err != nil {
+		if err := c.decodeResponse(resp, &pr); err != nil {
 			if isRetryable(err) {
 				lastErr = err
 				continue
@@ -163,8 +283,9 @@ func (c *Client) Get(key string) (GetResult, error) {
 	// walk from it: concurrent Gets bumping the counter must not be able
 	// to alias every retry of this Get onto the same (crashed) node.
 	base := c.readRR.Add(1)
-	for attempt := 0; attempt < len(c.addrs); attempt++ {
-		node := int((base + uint64(attempt)) % uint64(len(c.addrs)))
+	nodes := c.Nodes()
+	for attempt := 0; attempt < nodes; attempt++ {
+		node := int((base + uint64(attempt)) % uint64(nodes))
 		res, err := c.GetVia(node, key)
 		if err != nil {
 			if isRetryable(err) {
@@ -193,19 +314,20 @@ func isRetryable(err error) bool {
 	return errors.As(err, &ue) // transport-level failure (conn refused, reset)
 }
 
-// GetVia reads key through a specific coordinator node (sticky sessions,
-// tests).
+// GetVia reads key through a specific coordinator (sticky sessions,
+// tests). node indexes the current member list positionally (ID order).
 func (c *Client) GetVia(node int, key string) (GetResult, error) {
-	if node < 0 || node >= len(c.addrs) {
-		return GetResult{}, fmt.Errorf("client: node %d outside cluster of %d", node, len(c.addrs))
+	v := c.view.Load()
+	if node < 0 || node >= len(v.addrs) {
+		return GetResult{}, fmt.Errorf("client: node %d outside cluster of %d", node, len(v.addrs))
 	}
 	start := time.Now()
-	resp, err := c.hc.Get(c.kvURL(node, key))
+	resp, err := c.hc.Get(v.addrs[node] + "/kv/" + url.PathEscape(key))
 	if err != nil {
 		return GetResult{}, err
 	}
 	var gr server.GetResponse
-	if err := decodeResponse(resp, &gr); err != nil {
+	if err := c.decodeResponse(resp, &gr); err != nil {
 		return GetResult{}, err
 	}
 	return GetResult{
@@ -226,14 +348,14 @@ func (c *Client) GetVia(node int, key string) (GetResult, error) {
 func (c *Client) WARSSamples() (w, a, r, s []float64, err error) {
 	var lastErr error
 	answered := 0
-	for node := range c.addrs {
-		resp, err := c.hc.Get(c.addrs[node] + "/wars")
+	for _, addr := range c.view.Load().addrs {
+		resp, err := c.hc.Get(addr + "/wars")
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		var wr server.WARSResponse
-		if err := decodeResponse(resp, &wr); err != nil {
+		if err := c.decodeResponse(resp, &wr); err != nil {
 			lastErr = err
 			continue
 		}
@@ -259,7 +381,7 @@ func (c *Client) ClusterStats() (server.StatsResponse, error) {
 	agg.Node = -1
 	var lastErr error
 	answered := 0
-	for node := range c.addrs {
+	for node := range c.view.Load().addrs {
 		st, err := c.Stats(node)
 		if err != nil {
 			lastErr = err
@@ -274,18 +396,27 @@ func (c *Client) ClusterStats() (server.StatsResponse, error) {
 	return agg, nil
 }
 
-// Stats fetches one node's counters.
+// Stats fetches one node's counters (node indexes the member list
+// positionally).
 func (c *Client) Stats(node int) (server.StatsResponse, error) {
 	var st server.StatsResponse
-	if node < 0 || node >= len(c.addrs) {
-		return st, fmt.Errorf("client: node %d outside cluster of %d", node, len(c.addrs))
+	v := c.view.Load()
+	if node < 0 || node >= len(v.addrs) {
+		return st, fmt.Errorf("client: node %d outside cluster of %d", node, len(v.addrs))
 	}
-	resp, err := c.hc.Get(c.addrs[node] + "/stats")
+	resp, err := c.hc.Get(v.addrs[node] + "/stats")
 	if err != nil {
 		return st, err
 	}
-	err = decodeResponse(resp, &st)
+	err = c.decodeResponse(resp, &st)
 	return st, err
+}
+
+// decodeResponse folds the ring-epoch header into the view-refresh logic,
+// then decodes the body.
+func (c *Client) decodeResponse(resp *http.Response, v any) error {
+	c.noteEpoch(resp)
+	return decodeResponse(resp, v)
 }
 
 func decodeResponse(resp *http.Response, v any) error {
@@ -328,7 +459,7 @@ type Session struct {
 func (c *Client) NewSession(sticky bool) *Session {
 	s := &Session{c: c, sticky: -1, lastSeen: make(map[string]uint64)}
 	if sticky {
-		s.sticky = int(c.readRR.Add(1)) % len(c.addrs)
+		s.sticky = int(c.readRR.Add(1)) % c.Nodes()
 	}
 	return s
 }

@@ -324,7 +324,7 @@ func TestTunerConformance(t *testing.T) {
 			return tuner.Samples{W: w, A: a, R: r, S: s}, err
 		},
 		Config: cfg,
-		Apply: func(r, w int) error {
+		Apply: func(n, r, w int) error {
 			applied <- [2]int{r, w}
 			return cl.SetQuorums(r, w)
 		},

@@ -1,0 +1,222 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testMembers(ids ...int) []Member {
+	ms := make([]Member, len(ids))
+	for i, id := range ids {
+		ms[i] = Member{
+			ID:           id,
+			HTTPAddr:     fmt.Sprintf("http://127.0.0.1:%d", 8000+id),
+			InternalAddr: fmt.Sprintf("127.0.0.1:%d", 9000+id),
+		}
+	}
+	return ms
+}
+
+func TestMembershipBasics(t *testing.T) {
+	m, err := NewMembership(testMembers(0, 1, 2), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 1 || m.Size() != 3 || m.NextID() != 3 {
+		t.Fatalf("epoch=%d size=%d nextID=%d", m.Epoch(), m.Size(), m.NextID())
+	}
+	m2, err := m.Join(testMembers(3)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Epoch() != 2 || m2.Size() != 4 || !m2.Contains(3) {
+		t.Fatalf("after join: %v", m2)
+	}
+	if m.Size() != 3 {
+		t.Fatal("Join mutated the original membership")
+	}
+	m3, err := m2.Leave(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Epoch() != 3 || m3.Contains(1) || !reflect.DeepEqual(m3.IDs(), []int{0, 2, 3}) {
+		t.Fatalf("after leave: %v ids=%v", m3, m3.IDs())
+	}
+	// IDs are never reused: NextID stays above every ID ever allocated.
+	if m3.NextID() != 4 {
+		t.Fatalf("NextID after leave = %d, want 4", m3.NextID())
+	}
+	if _, err := m2.Join(testMembers(2)[0]); err == nil {
+		t.Fatal("joining a duplicate ID must fail")
+	}
+	if _, err := m.Leave(9); err == nil {
+		t.Fatal("leaving a non-member must fail")
+	}
+	one, _ := NewMembership(testMembers(0), 8)
+	if _, err := one.Leave(0); err == nil {
+		t.Fatal("the last member must not be able to leave")
+	}
+}
+
+// subsequence reports whether xs appears in ys in order (not necessarily
+// contiguously).
+func subsequence(xs, ys []int) bool {
+	i := 0
+	for _, y := range ys {
+		if i < len(xs) && xs[i] == y {
+			i++
+		}
+	}
+	return i == len(xs)
+}
+
+func without(xs []int, id int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestMembershipMinimalDisruption is the rebalancing invariant behind live
+// join/leave: for ANY Join/Leave sequence, a key's preference list changes
+// only by the ranges the changed node takes over or gives up — a join may
+// insert the joiner (displacing the tail), a leave may remove the leaver
+// (admitting one new tail member); every other key's list is untouched, and
+// the surviving members never reorder.
+func TestMembershipMinimalDisruption(t *testing.T) {
+	const vnodes, nkeys, steps = 32, 400, 60
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	rnd := rand.New(rand.NewSource(7))
+	m, err := NewMembership(testMembers(0, 1, 2, 3), vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < steps; step++ {
+		join := m.Size() <= 2 || (m.Size() < 9 && rnd.Intn(2) == 0)
+		var next *Membership
+		var changed int
+		if join {
+			changed = m.NextID()
+			next, err = m.Join(testMembers(changed)[0])
+		} else {
+			ids := m.IDs()
+			changed = ids[rnd.Intn(len(ids))]
+			next, err = m.Leave(changed)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 3
+		if sz := min(m.Size(), next.Size()); n > sz {
+			n = sz
+		}
+		for _, key := range keys {
+			before := m.PreferenceList(key, n)
+			after := next.PreferenceList(key, n)
+			if join {
+				if reflect.DeepEqual(before, after) {
+					continue
+				}
+				// The list changed, so the joiner must be the cause: it
+				// appears in the new list, and the survivors are the old
+				// list's prefix in unchanged order.
+				if !subsequence(without(after, changed), before) {
+					t.Fatalf("step %d join %d key %q: %v -> %v moved an unrelated member",
+						step, changed, key, before, after)
+				}
+				found := false
+				for _, id := range after {
+					if id == changed {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("step %d join %d key %q: %v -> %v changed without the joiner",
+						step, changed, key, before, after)
+				}
+			} else {
+				if reflect.DeepEqual(before, after) {
+					continue
+				}
+				// Only lists that contained the leaver may change, and the
+				// survivors keep their order with one new tail member.
+				if !subsequence(without(before, changed), after) {
+					t.Fatalf("step %d leave %d key %q: %v -> %v reordered survivors",
+						step, changed, key, before, after)
+				}
+				had := false
+				for _, id := range before {
+					if id == changed {
+						had = true
+					}
+				}
+				if !had {
+					t.Fatalf("step %d leave %d key %q: %v -> %v changed without the leaver",
+						step, changed, key, before, after)
+				}
+			}
+		}
+		m = next
+	}
+}
+
+func TestMembershipCodecRoundTrip(t *testing.T) {
+	m, err := newMembership(42, testMembers(0, 2, 7), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeMembership(EncodeMembership(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(m) {
+		t.Fatalf("round trip changed membership: %v vs %v", dec, m)
+	}
+	if dec.Epoch() != 42 || dec.Vnodes() != 16 {
+		t.Fatalf("epoch/vnodes lost: %d/%d", dec.Epoch(), dec.Vnodes())
+	}
+	mem, ok := dec.Member(7)
+	if !ok || mem.HTTPAddr != "http://127.0.0.1:8007" || mem.InternalAddr != "127.0.0.1:9007" {
+		t.Fatalf("member 7 addresses lost: %+v", mem)
+	}
+	if _, err := DecodeMembership(append(EncodeMembership(m), 0)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+	if _, err := DecodeMembership(nil); err == nil {
+		t.Fatal("empty payload must be rejected")
+	}
+}
+
+// FuzzMembershipCodec pins the membership codec: arbitrary bytes never
+// panic the decoder, and any payload that decodes cleanly re-encodes to an
+// equivalent membership.
+func FuzzMembershipCodec(f *testing.F) {
+	m, _ := NewMembership(testMembers(0, 1, 2), 8)
+	f.Add(EncodeMembership(m))
+	m2, _ := m.Join(Member{ID: 5, HTTPAddr: "http://h", InternalAddr: "i"})
+	f.Add(EncodeMembership(m2))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 8, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMembership(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeMembership(EncodeMembership(m))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded membership failed: %v", err)
+		}
+		if !again.Equal(m) {
+			t.Fatalf("round trip changed membership: %v vs %v", again, m)
+		}
+	})
+}

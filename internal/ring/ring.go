@@ -18,27 +18,54 @@ type vnode struct {
 	node int
 }
 
-// Ring maps keys to preference lists over a fixed node set.
+// Ring maps keys to preference lists over a fixed node set. Node identity
+// is a stable integer ID: a vnode's circle position depends only on its
+// owner's ID, so adding or removing one node moves only the arcs adjacent
+// to that node's virtual points — the minimal-disruption property elastic
+// membership (Membership.Join/Leave) relies on.
 type Ring struct {
 	nodes  int
 	points []vnode
 }
 
-// New builds a ring over `nodes` physical nodes with vnodesPerNode virtual
-// points each. Panics on non-positive arguments.
+// New builds a ring over physical nodes 0..nodes-1 with vnodesPerNode
+// virtual points each. Panics on non-positive arguments.
 func New(nodes, vnodesPerNode int) *Ring {
 	if nodes < 1 {
+		panic("ring: need at least one node")
+	}
+	ids := make([]int, nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	return NewWithIDs(ids, vnodesPerNode)
+}
+
+// NewWithIDs builds a ring over an explicit node-ID set (IDs need not be
+// contiguous — an elastic cluster that has seen leaves keeps stable IDs
+// with holes). Panics on an empty or duplicated ID set, negative IDs, or a
+// non-positive vnode count.
+func NewWithIDs(ids []int, vnodesPerNode int) *Ring {
+	if len(ids) < 1 {
 		panic("ring: need at least one node")
 	}
 	if vnodesPerNode < 1 {
 		panic("ring: need at least one vnode per node")
 	}
-	r := &Ring{nodes: nodes}
-	r.points = make([]vnode, 0, nodes*vnodesPerNode)
-	for n := 0; n < nodes; n++ {
+	seen := make(map[int]bool, len(ids))
+	r := &Ring{nodes: len(ids)}
+	r.points = make([]vnode, 0, len(ids)*vnodesPerNode)
+	for _, id := range ids {
+		if id < 0 {
+			panic("ring: node ids must be non-negative")
+		}
+		if seen[id] {
+			panic(fmt.Sprintf("ring: duplicate node id %d", id))
+		}
+		seen[id] = true
 		for v := 0; v < vnodesPerNode; v++ {
-			h := hashString(fmt.Sprintf("node-%d#vnode-%d", n, v))
-			r.points = append(r.points, vnode{hash: h, node: n})
+			h := hashString(fmt.Sprintf("node-%d#vnode-%d", id, v))
+			r.points = append(r.points, vnode{hash: h, node: id})
 		}
 	}
 	sort.Slice(r.points, func(i, j int) bool {

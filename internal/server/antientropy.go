@@ -94,8 +94,8 @@ func (n *Node) localBucketVersions(depth int, buckets []int) []kvstore.Version {
 // most maxBucketsPerRound divergent buckets in both directions: one tree
 // fetch, one batched bucket fetch, then pushes for whatever the partner is
 // behind on.
-func (n *Node) exchangeWith(partner, depth int) error {
-	remoteNodes, err := n.peers[partner].MerkleNodes(depth)
+func (n *Node) exchangeWith(v *memView, partner, depth int) error {
+	remoteNodes, err := v.peers[partner].MerkleNodes(depth)
 	if err != nil {
 		return err
 	}
@@ -113,7 +113,7 @@ func (n *Node) exchangeWith(partner, depth int) error {
 		buckets = buckets[:maxBucketsPerRound]
 	}
 
-	remoteVers, err := n.peers[partner].BucketVersions(depth, buckets)
+	remoteVers, err := v.peers[partner].BucketVersions(depth, buckets)
 	if err != nil {
 		return err
 	}
@@ -144,11 +144,11 @@ func (n *Node) exchangeWith(partner, depth int) error {
 		if !wanted[merkle.Bucket(k, depth)] || seq <= remoteSeq[k] {
 			continue
 		}
-		v, ok := n.getLocal(k)
-		if !ok || v.Seq <= remoteSeq[k] {
+		lv, ok := n.getLocal(k)
+		if !ok || lv.Seq <= remoteSeq[k] {
 			continue
 		}
-		if _, _, err := n.peers[partner].Apply(v); err != nil {
+		if _, _, err := v.peers[partner].Apply(lv); err != nil {
 			return err
 		}
 		n.ae.mu.Lock()
@@ -158,8 +158,28 @@ func (n *Node) exchangeWith(partner, depth int) error {
 	return nil
 }
 
+// nextPartner picks the next anti-entropy partner in ID order after prev,
+// wrapping around the current member set and skipping self. Returns -1
+// when there is no other member.
+func nextPartner(v *memView, self, prev int) int {
+	ids := v.m.IDs()
+	if len(ids) < 2 {
+		return -1
+	}
+	// First ID strictly above prev, wrapping; skip self.
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range ids {
+			if id > prev && id != self {
+				return id
+			}
+		}
+		prev = -1 // wrap
+	}
+	return -1
+}
+
 // runAntiEntropy is the background exchange loop: every interval, one round
-// against the next partner in round-robin order.
+// against the next member in round-robin ID order under the current view.
 func (n *Node) runAntiEntropy(interval time.Duration, depth int) {
 	if interval <= 0 {
 		interval = defaultAntiEntropyInterval
@@ -176,17 +196,19 @@ func (n *Node) runAntiEntropy(interval time.Duration, depth int) {
 			return
 		case <-t.C:
 		}
-		if len(n.peers) < 2 || n.faults.Down(n.id) {
+		v := n.view()
+		if v == nil || n.faults.Down(n.id) {
 			continue
 		}
-		partner = (partner + 1) % len(n.peers)
-		if partner == n.id {
-			partner = (partner + 1) % len(n.peers)
+		partner = nextPartner(v, n.id, partner)
+		if partner < 0 {
+			partner = n.id
+			continue
 		}
 		n.ae.mu.Lock()
 		n.ae.rounds++
 		n.ae.mu.Unlock()
-		if err := n.exchangeWith(partner, depth); err != nil {
+		if err := n.exchangeWith(v, partner, depth); err != nil {
 			n.ae.mu.Lock()
 			n.ae.failed++
 			n.ae.mu.Unlock()

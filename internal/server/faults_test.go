@@ -26,7 +26,7 @@ func keysWithPrimary(t *testing.T, c *Cluster, primary, n int, prefix string) []
 			t.Fatalf("could not find %d keys with primary %d", n, primary)
 		}
 		k := fmt.Sprintf("%s%d", prefix, i)
-		if c.Nodes[0].ring.Coordinator(k) == primary {
+		if c.Nodes[0].Membership().Coordinator(k) == primary {
 			keys = append(keys, k)
 		}
 	}

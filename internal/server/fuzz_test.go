@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"pbs/internal/kvstore"
+	"pbs/internal/ring"
 	"pbs/internal/vclock"
 )
 
@@ -23,10 +24,19 @@ func frame(tag byte, payload []byte) []byte {
 	return append(out, payload...)
 }
 
-// fuzzNode builds a detached replica (storage only, no listeners) for
-// dispatching RPCs against.
+// fuzzNode builds a detached replica (storage and membership only, no
+// listeners) for dispatching RPCs against.
 func fuzzNode() *Node {
-	n := &Node{store: kvstore.New()}
+	n := &Node{store: kvstore.New(), pendingJoins: make(map[string]int)}
+	m, err := ring.NewMembership([]ring.Member{
+		{ID: 0, HTTPAddr: "http://a", InternalAddr: "a:1"},
+		{ID: 1, HTTPAddr: "http://b", InternalAddr: "b:1"},
+	}, 4)
+	if err != nil {
+		panic(err)
+	}
+	n.nrep.Store(2)
+	n.installMembership(m)
 	n.applyLocal(kvstore.Version{Key: "seeded", Seq: 3, Value: "v", Clock: vclock.VC{0: 1}})
 	return n
 }
@@ -41,6 +51,13 @@ func FuzzFrameDecoder(f *testing.F) {
 	f.Add(frame(opBucket, bucketReq))
 	f.Add(frame(opPing, nil))
 	f.Add(frame(opApplyHint, encodeHintRecord(1, ver)))
+	f.Add(frame(opJoin, appendString16(appendString16(nil, "http://c"), "c:1")))
+	f.Add(frame(opMembership, nil))
+	f.Add(frame(opMembership, ring.EncodeMembership(fuzzNode().Membership())))
+	f.Add(frame(opStreamRange, streamRangeRequest{
+		requester: ring.Member{ID: 2, HTTPAddr: "http://c", InternalAddr: "c:1"},
+		cursor:    "", max: 8,
+	}.encode()))
 	// Malformed: truncated header, truncated payload, oversized length
 	// prefix, zero-length frame, unknown opcode, garbage version fields.
 	f.Add([]byte{opApply, 0, 0})

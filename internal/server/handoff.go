@@ -41,10 +41,10 @@ func newHandoff() *handoff {
 }
 
 // newDurableHandoff opens (replaying and compacting) the hint log at path
-// and returns a handoff buffer preloaded with every hint that was pending
-// when the previous process stopped.
-func newDurableHandoff(path string) (*handoff, error) {
-	log, pending, err := openHintLog(path)
+// under the given fsync policy and returns a handoff buffer preloaded with
+// every hint that was pending when the previous process stopped.
+func newDurableHandoff(path, fsyncPolicy string) (*handoff, error) {
+	log, pending, err := openHintLog(path, fsyncPolicy)
 	if err != nil {
 		return nil, err
 	}
@@ -121,6 +121,24 @@ func (h *handoff) clear(target int, v kvstore.Version) {
 	h.log.append(hintRecClear, target, v)
 }
 
+// dropTarget discards every pending hint for a target that left the
+// cluster (its ranges were drained to the new owners), counting them as
+// dropped.
+func (h *handoff) dropTarget(target int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	kh := h.hints[target]
+	if len(kh) == 0 {
+		return
+	}
+	for _, v := range kh {
+		h.pending--
+		h.dropped++
+		h.log.append(hintRecClear, target, v)
+	}
+	delete(h.hints, target)
+}
+
 // stats returns the handoff counters.
 func (h *handoff) stats() (pending int, stored, replayed, dropped int64) {
 	h.mu.Lock()
@@ -163,7 +181,15 @@ func (n *Node) runHandoff(interval time.Duration) {
 		if n.faults.Down(n.id) {
 			continue // a crashed coordinator replays nothing
 		}
+		view := n.view()
 		for target, kh := range n.handoff.snapshot() {
+			peer, member := view.peers[target]
+			if !member {
+				// The target left the ring: its ranges were drained to new
+				// owners, so these hints have nowhere useful to go.
+				n.handoff.dropTarget(target)
+				continue
+			}
 			mu.Lock()
 			busy := inFlight[target]
 			if !busy {
@@ -173,7 +199,7 @@ func (n *Node) runHandoff(interval time.Duration) {
 			if busy {
 				continue // previous replay to this target still running
 			}
-			go func(target int, kh map[string]kvstore.Version) {
+			go func(target int, p Peer, kh map[string]kvstore.Version) {
 				defer func() {
 					mu.Lock()
 					delete(inFlight, target)
@@ -189,12 +215,12 @@ func (n *Node) runHandoff(interval time.Duration) {
 					if n.faults.Down(n.id) {
 						return
 					}
-					if _, _, err := n.peers[target].Apply(v); err != nil {
+					if _, _, err := p.Apply(v); err != nil {
 						return // target still unreachable; retry next round
 					}
 					n.handoff.clear(target, v)
 				}
-			}(target, kh)
+			}(target, peer, kh)
 		}
 	}
 }

@@ -16,10 +16,14 @@ package server
 // stored after it — reconstructing exactly the pending set at the moment of
 // the last append. Each append is flushed to the OS before the buffer
 // mutation returns, so a process crash loses at most a torn final record
-// (skipped on replay); surviving a power failure would additionally need
-// fsync, which this testbed deliberately trades away for write latency.
-// On open the log is compacted: the pending set is rewritten as plain
-// store records so clears never accumulate across restarts.
+// (skipped on replay). Surviving a power failure additionally needs fsync,
+// governed by the Params.HintFsync policy: "always" syncs after every
+// append (the default — full durability, one disk flush per hint),
+// "interval" syncs on a background ticker (bounded loss, near in-memory
+// append latency — the replay still recovers the clean prefix the last
+// sync made durable), "never" leaves syncing to the OS. On open the log is
+// compacted: the pending set is rewritten as plain store records so clears
+// never accumulate across restarts.
 
 import (
 	"bufio"
@@ -28,6 +32,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"pbs/internal/kvstore"
 )
@@ -35,6 +40,16 @@ import (
 const (
 	hintRecStore byte = 1
 	hintRecClear byte = 2
+)
+
+// Hint-log fsync policies (Params.HintFsync).
+const (
+	HintFsyncAlways   = "always"
+	HintFsyncInterval = "interval"
+	HintFsyncNever    = "never"
+
+	// hintSyncInterval paces background syncs under the interval policy.
+	hintSyncInterval = 100 * time.Millisecond
 )
 
 // encodeHintRecord builds one record payload: intended target + version.
@@ -92,15 +107,18 @@ func replayHints(r io.Reader) map[int]map[string]kvstore.Version {
 
 // hintLog is the append handle for one node's hint log.
 type hintLog struct {
-	mu   sync.Mutex
-	f    *os.File
-	bw   *bufio.Writer
-	errs int64 // appends that failed (the in-memory buffer stays correct)
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	policy string        // HintFsyncAlways/Interval/Never
+	stop   chan struct{} // stops the interval syncer; nil otherwise
+	errs   int64         // appends that failed (the in-memory buffer stays correct)
 }
 
 // openHintLog replays path (a missing file is an empty log), compacts it,
-// and opens it for appending. It returns the replayed pending hint set.
-func openHintLog(path string) (*hintLog, map[int]map[string]kvstore.Version, error) {
+// and opens it for appending under the given fsync policy. It returns the
+// replayed pending hint set.
+func openHintLog(path, policy string) (*hintLog, map[int]map[string]kvstore.Version, error) {
 	var pending map[int]map[string]kvstore.Version
 	if f, err := os.Open(path); err == nil {
 		pending = replayHints(f)
@@ -136,12 +154,21 @@ func openHintLog(path string) (*hintLog, map[int]map[string]kvstore.Version, err
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: hint log: %w", err)
 	}
-	return &hintLog{f: f, bw: bufio.NewWriter(f)}, pending, nil
+	if policy == "" {
+		policy = HintFsyncAlways
+	}
+	l := &hintLog{f: f, bw: bufio.NewWriter(f), policy: policy}
+	if policy == HintFsyncInterval {
+		l.stop = make(chan struct{})
+		go l.runIntervalSync(l.stop)
+	}
+	return l, pending, nil
 }
 
-// append writes one record and flushes it to the OS. Append failures are
-// counted but do not fail the hint-buffer mutation: a broken log degrades
-// durability, not availability.
+// append writes one record and flushes it to the OS — plus, under the
+// "always" policy, to stable storage. Append failures are counted but do
+// not fail the hint-buffer mutation: a broken log degrades durability, not
+// availability.
 func (l *hintLog) append(tag byte, target int, v kvstore.Version) {
 	if l == nil {
 		return
@@ -153,18 +180,53 @@ func (l *hintLog) append(tag byte, target int, v kvstore.Version) {
 	}
 	if err := writeFrame(l.bw, tag, encodeHintRecord(target, v)); err != nil {
 		l.errs++
+		return
+	}
+	if l.policy == HintFsyncAlways {
+		if err := l.f.Sync(); err != nil {
+			l.errs++
+		}
 	}
 }
 
-// close flushes and closes the log file.
+// runIntervalSync is the background fsync ticker for the "interval"
+// policy: everything appended before a tick is durable after it. The stop
+// channel is passed by value so close() can drop its reference without
+// racing this goroutine's select.
+func (l *hintLog) runIntervalSync(stop <-chan struct{}) {
+	t := time.NewTicker(hintSyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		l.mu.Lock()
+		if l.f != nil {
+			l.bw.Flush()
+			l.f.Sync()
+		}
+		l.mu.Unlock()
+	}
+}
+
+// close flushes, syncs and closes the log file.
 func (l *hintLog) close() {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.stop != nil {
+		close(l.stop)
+		l.stop = nil
+	}
 	if l.f != nil {
 		l.bw.Flush()
+		if l.policy != HintFsyncNever {
+			l.f.Sync()
+		}
 		l.f.Close()
 		l.f = nil
 	}

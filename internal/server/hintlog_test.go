@@ -39,7 +39,7 @@ func TestHintLogRestartRoundTrip(t *testing.T) {
 	for seed := uint64(1); seed <= 5; seed++ {
 		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "hints.log")
-			h, err := newDurableHandoff(path)
+			h, err := newDurableHandoff(path, HintFsyncAlways)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,7 +58,7 @@ func TestHintLogRestartRoundTrip(t *testing.T) {
 			wantPending, _, _, _ := h.stats()
 			h.closeLog()
 
-			h2, err := newDurableHandoff(path)
+			h2, err := newDurableHandoff(path, HintFsyncAlways)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,7 +82,7 @@ func TestHintLogRestartRoundTrip(t *testing.T) {
 // is skipped, everything before it replays.
 func TestHintLogTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "hints.log")
-	h, err := newDurableHandoff(path)
+	h, err := newDurableHandoff(path, HintFsyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestHintLogTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	h2, err := newDurableHandoff(path)
+	h2, err := newDurableHandoff(path, HintFsyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestHintLogTornTail(t *testing.T) {
 // accumulate in the file across restarts.
 func TestHintLogCompaction(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "hints.log")
-	h, err := newDurableHandoff(path)
+	h, err := newDurableHandoff(path, HintFsyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestHintLogCompaction(t *testing.T) {
 	h.closeLog()
 	before, _ := os.Stat(path)
 
-	h2, err := newDurableHandoff(path)
+	h2, err := newDurableHandoff(path, HintFsyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestHintLogCompaction(t *testing.T) {
 	if after.Size() >= before.Size() {
 		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
 	}
-	h3, err := newDurableHandoff(path)
+	h3, err := newDurableHandoff(path, HintFsyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,14 +22,16 @@ type livEntry struct {
 	checked time.Time
 }
 
-// liveness is one node's cached view of its peers' reachability.
+// liveness is one node's cached view of its peers' reachability, keyed by
+// member ID (the member set is elastic, so entries come and go with the
+// ring).
 type liveness struct {
 	mu      sync.Mutex
-	entries []livEntry
+	entries map[int]livEntry
 }
 
-func newLiveness(nodes int) *liveness {
-	return &liveness{entries: make([]livEntry, nodes)}
+func newLiveness() *liveness {
+	return &liveness{entries: make(map[int]livEntry)}
 }
 
 // cached returns the cached verdict for id, or ok=false when the entry is
@@ -37,8 +39,8 @@ func newLiveness(nodes int) *liveness {
 func (l *liveness) cached(id int) (alive, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	e := l.entries[id]
-	if e.checked.IsZero() || time.Since(e.checked) > livenessTTL {
+	e, present := l.entries[id]
+	if !present || time.Since(e.checked) > livenessTTL {
 		return false, false
 	}
 	return e.alive, true
@@ -46,8 +48,7 @@ func (l *liveness) cached(id int) (alive, ok bool) {
 
 func (l *liveness) mark(id int, alive bool) {
 	l.mu.Lock()
-	l.entries[id].alive = alive
-	l.entries[id].checked = time.Now()
+	l.entries[id] = livEntry{alive: alive, checked: time.Now()}
 	l.mu.Unlock()
 }
 
@@ -55,10 +56,11 @@ func (l *liveness) mark(id int, alive bool) {
 // replica work immediately instead of waiting for the next probe.
 func (l *liveness) markDead(id int) { l.mark(id, false) }
 
-// alive reports whether replica id looks reachable from this node: the
-// fault controller is consulted first (authoritative and free for simulated
-// crashes), then the liveness cache, then a ping over the transport.
-func (n *Node) alive(id int) bool {
+// alive reports whether replica id looks reachable from this node under
+// view v: the fault controller is consulted first (authoritative and free
+// for simulated crashes), then the liveness cache, then a ping over the
+// transport. Unknown members are dead by definition.
+func (n *Node) alive(v *memView, id int) bool {
 	if n.faults.Down(id) {
 		n.live.markDead(id)
 		return false
@@ -69,7 +71,11 @@ func (n *Node) alive(id int) bool {
 	if alive, ok := n.live.cached(id); ok {
 		return alive
 	}
-	alive := n.peers[id].Ping() == nil
+	p, ok := v.peers[id]
+	if !ok {
+		return false
+	}
+	alive := p.Ping() == nil
 	n.live.mark(id, alive)
 	return alive
 }

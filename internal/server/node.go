@@ -28,20 +28,23 @@ import (
 	"net"
 	"net/http"
 	neturl "net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pbs/internal/dist"
 	"pbs/internal/kvstore"
-	"pbs/internal/ring"
 	"pbs/internal/vclock"
 )
 
 // Params configures every node of a cluster.
 type Params struct {
-	// N, R, W are the replication factor and read/write quorum sizes. R and
-	// W are the initial quorums; Cluster.SetQuorums can retune them live.
+	// N, R, W are the replication factor and read/write quorum sizes. All
+	// three are initial values: Cluster.SetQuorums retunes (R, W) live and
+	// Cluster.SetConfig retunes N too. On an elastic cluster smaller than
+	// N, the effective replication factor (and with it R, W) is clamped to
+	// the member count until enough nodes join.
 	N, R, W int
 	// ReadRepair pushes the newest observed version to stale replicas after
 	// each read. Leave off for WARS conformance measurement (the paper's
@@ -64,6 +67,12 @@ type Params struct {
 	// on start, so a coordinator restart loses no pending hints. Empty
 	// means in-memory hints only.
 	HintDir string
+	// HintFsync is the hint-log durability policy: "always" fsyncs after
+	// every append (survives power loss, the default), "interval" fsyncs on
+	// a background ticker (bounded-loss, near in-memory append latency),
+	// "never" only flushes to the OS (survives process crashes, not power
+	// loss). Ignored without HintDir.
+	HintFsync string
 	// HandoffInterval paces hint replay (zero means 250ms).
 	HandoffInterval time.Duration
 	// AntiEntropy enables the background Merkle anti-entropy service
@@ -91,6 +100,12 @@ type Params struct {
 	Seed uint64
 }
 
+// SetDefaults resolves zero values and implied settings (SloppyQuorum
+// implies Handoff) in place — exported for callers that need the
+// effective configuration before handing Params to StartNode/StartLocal
+// (which apply it themselves; it is idempotent).
+func (p *Params) SetDefaults() { p.setDefaults() }
+
 func (p *Params) setDefaults() {
 	if p.Scale == 0 {
 		p.Scale = 1
@@ -101,14 +116,27 @@ func (p *Params) setDefaults() {
 	if p.SloppyQuorum {
 		p.Handoff = true
 	}
+	if p.HintFsync == "" {
+		p.HintFsync = HintFsyncAlways
+	}
 }
 
 func (p Params) validate(nodes int) error {
 	if nodes < 1 {
 		return fmt.Errorf("server: cluster needs at least one node")
 	}
-	if p.N < 1 || p.N > nodes {
+	if p.N > nodes {
 		return fmt.Errorf("server: replication factor N=%d outside [1, %d]", p.N, nodes)
+	}
+	return p.validateElastic()
+}
+
+// validateElastic checks everything except the N <= cluster-size bound: an
+// elastic node may start with a target N above the current member count
+// (the effective replication clamps until enough nodes join).
+func (p Params) validateElastic() error {
+	if p.N < 1 {
+		return fmt.Errorf("server: replication factor N=%d outside [1, ...]", p.N)
 	}
 	if p.R < 1 || p.R > p.N || p.W < 1 || p.W > p.N {
 		return fmt.Errorf("server: quorums R=%d W=%d outside [1, N=%d]", p.R, p.W, p.N)
@@ -116,11 +144,26 @@ func (p Params) validate(nodes int) error {
 	if p.MerkleDepth < 0 || p.MerkleDepth > maxMerkleDepth {
 		return fmt.Errorf("server: merkle depth %d outside [1, %d] (0 selects the default)", p.MerkleDepth, maxMerkleDepth)
 	}
+	switch p.HintFsync {
+	case HintFsyncAlways, HintFsyncInterval, HintFsyncNever:
+	default:
+		return fmt.Errorf("server: hint fsync policy %q (want %s, %s or %s)",
+			p.HintFsync, HintFsyncAlways, HintFsyncInterval, HintFsyncNever)
+	}
 	return nil
+}
+
+// MemberInfo is one cluster member as reported by GET /config.
+type MemberInfo struct {
+	ID       int    `json:"id"`
+	Addr     string `json:"addr"`     // public HTTP base URL
+	Internal string `json:"internal"` // replication-transport TCP address
 }
 
 // ConfigResponse is the payload of GET /config: everything a client needs
 // to route operations itself (Section 4.2's client-driven coordination).
+// Members carries the versioned ring view; Nodes/Addrs are kept as the
+// flattened form (members in ID order).
 type ConfigResponse struct {
 	Nodes  int      `json:"nodes"`
 	N      int      `json:"n"`
@@ -128,6 +171,10 @@ type ConfigResponse struct {
 	W      int      `json:"w"`
 	Vnodes int      `json:"vnodes"`
 	Addrs  []string `json:"addrs"`
+	// RingEpoch versions the member set; a client holding a lower epoch
+	// should refresh its view.
+	RingEpoch uint64       `json:"ring_epoch"`
+	Members   []MemberInfo `json:"members"`
 }
 
 // PutResponse is the payload of PUT /kv/{key}.
@@ -182,9 +229,16 @@ type StatsResponse struct {
 	// Sloppy-quorum counters (zero unless Params.SloppyQuorum).
 	// FailoverWrites counts writes this node coordinated in place of a
 	// down primary; SpareWrites counts write legs that landed on a spare
-	// node beyond the preference list, carrying a hint.
+	// node beyond the preference list, carrying a hint; SpareReads counts
+	// read legs answered by a spare standing in for a down replica.
 	FailoverWrites int64 `json:"failover_writes"`
 	SpareWrites    int64 `json:"spare_writes"`
+	SpareReads     int64 `json:"spare_reads"`
+
+	// Elastic-membership state: the node's current ring epoch and how many
+	// membership changes (joins/leaves) it has adopted since start.
+	RingEpoch uint64 `json:"ring_epoch"`
+	RingFlips int64  `json:"ring_flips"`
 
 	// Anti-entropy counters (zero unless Params.AntiEntropy).
 	AERounds  int64 `json:"ae_rounds"`
@@ -238,6 +292,11 @@ func (s *StatsResponse) Accumulate(o StatsResponse) {
 	s.HintsRestored += o.HintsRestored
 	s.FailoverWrites += o.FailoverWrites
 	s.SpareWrites += o.SpareWrites
+	s.SpareReads += o.SpareReads
+	if o.RingEpoch > s.RingEpoch {
+		s.RingEpoch = o.RingEpoch
+	}
+	s.RingFlips += o.RingFlips
 	s.AERounds += o.AERounds
 	s.AEFailed += o.AEFailed
 	s.AEBuckets += o.AEBuckets
@@ -256,31 +315,42 @@ type keyEntry struct {
 type Node struct {
 	id     int
 	params Params
-	ring   *ring.Ring
-	addrs  []string // public HTTP base URLs of all nodes
 	inj    *injector
 	epoch  time.Time
+	// selfHTTP and selfInternal are this node's own addresses — needed
+	// before the node appears in its own membership (a joiner mid-join).
+	selfHTTP, selfInternal string
 
-	// rq and wq are the live read/write quorum sizes. They start at
-	// Params.R/W and can be retuned at runtime (Cluster.SetQuorums, the
-	// monitor-fed tuner); coordinators load them once per operation.
-	rq, wq atomic.Int32
+	// mem is the node's atomic membership snapshot (versioned ring + RPC
+	// clients, see membership.go); memMu serializes installs. Every
+	// coordinated operation loads the snapshot once at admission.
+	mem   atomic.Pointer[memView]
+	memMu sync.Mutex
+	// pendingJoins maps a joining node's internal address to the ID this
+	// node assigned it (opJoin), until the join's ring flip lands; guarded
+	// by memMu. lastAssigned keeps back-to-back assignments distinct even
+	// before any flip.
+	pendingJoins map[string]int
+	lastAssigned int
+	ringFlips    atomic.Int64
+
+	// rq, wq and nrep are the live quorum sizes and replication factor.
+	// They start at Params.R/W/N and can be retuned at runtime
+	// (Cluster.SetQuorums/SetConfig, the monitor-fed tuner); coordinators
+	// load them once per operation.
+	rq, wq, nrep atomic.Int32
 
 	storeMu sync.Mutex
 	store   *kvstore.Store
 
 	keys sync.Map // string -> *keyEntry
 
-	// peers are the fault-wrapped internal RPC clients for every replica
-	// (self included); all coordinator fan-out goes through them.
-	peers []Peer
-
 	faults  *Faults
 	live    *liveness // peer reachability cache (sloppy-quorum routing)
 	handoff *handoff  // nil unless Params.Handoff
 	ae      aeStats
 	legs    *legSampler
-	stop    chan struct{} // closed on Cluster.Close; stops background loops
+	stop    chan struct{} // closed on Close; stops background loops
 
 	clockTicks atomic.Uint64 // vector-clock component for coordinated writes
 
@@ -291,10 +361,13 @@ type Node struct {
 	detectorFlags  atomic.Int64
 	failoverWrites atomic.Int64
 	spareWrites    atomic.Int64
+	spareReads     atomic.Int64
 
 	httpSrv     *http.Server
 	internalLn  net.Listener
 	proxyClient *http.Client
+	closeOnce   sync.Once
+	closed      atomic.Bool // set by Close; a closed node is not a live member
 }
 
 // nowMs is the node's store clock (milliseconds since node start), used to
@@ -348,6 +421,14 @@ func (n *Node) getLocal(key string) (kvstore.Version, bool) {
 // mid-epoch after acking writes no surviving replica stored — would need
 // consensus to close; Dynamo closes it with vector-clock siblings
 // instead, which this seq-ordered testbed forgoes.
+// Seq-epoch ownership is computed modulo the membership's ID-allocation
+// bound (ring.Membership.SeqModulus) rather than the member count: IDs are
+// never reused, so ownership of every already-claimed epoch stays with the
+// node that claimed it across joins. The modulus does grow when nodes
+// join, which can reinterpret an *old* epoch's residue — a coordinator that
+// finds itself in that position simply claims a fresh epoch above it
+// carrying its own residue under the current modulus, which is always safe
+// (claims are monotone).
 func (n *Node) nextSeq(key string, takeover bool) uint64 {
 	ei, _ := n.keys.LoadOrStore(key, &keyEntry{})
 	e := ei.(*keyEntry)
@@ -361,7 +442,11 @@ func (n *Node) nextSeq(key string, takeover bool) uint64 {
 	}
 	epoch := SeqEpoch(e.next)
 	owns := epoch == 0 && !takeover
-	if nodes := uint64(len(n.addrs)); !owns && nodes > 0 {
+	var nodes uint64
+	if v := n.view(); v != nil {
+		nodes = v.m.SeqModulus()
+	}
+	if !owns && nodes > 0 {
 		owns = epoch != 0 && epoch%nodes == uint64(n.id)
 		if !owns {
 			next := epoch + 1
@@ -387,8 +472,12 @@ func (n *Node) handler() http.Handler {
 	})
 	// A crashed replica's entire public surface answers 503 — health
 	// checks and stats scrapes must see the process as dead, not just the
-	// data path.
+	// data path. Every response carries the node's ring epoch so clients
+	// can notice a membership change and refresh their view.
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if v := n.view(); v != nil {
+			w.Header().Set(RingEpochHeader, strconv.FormatUint(v.m.Epoch(), 10))
+		}
 		if n.faults.Down(n.id) {
 			http.Error(w, ErrReplicaDown.Error(), http.StatusServiceUnavailable)
 			return
@@ -396,6 +485,11 @@ func (n *Node) handler() http.Handler {
 		mux.ServeHTTP(w, req)
 	})
 }
+
+// RingEpochHeader carries the responding node's ring epoch on every public
+// HTTP response; clients compare it with the epoch of their cached view and
+// refresh when the cluster has moved on.
+const RingEpochHeader = "X-Pbs-Ring-Epoch"
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -431,10 +525,15 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 		}
 		return
 	}
-	primary := n.ring.Coordinator(key)
+	v := n.view()
+	if v == nil {
+		http.Error(w, "server: node has no membership yet", http.StatusServiceUnavailable)
+		return
+	}
+	primary := v.m.Coordinator(key)
 	forwarded := req.Header.Get(forwardedHeader) != ""
 	if primary == n.id {
-		n.coordinatePut(w, key, body, false)
+		n.coordinatePut(w, v, key, body, false)
 		return
 	}
 	if !n.params.SloppyQuorum {
@@ -442,32 +541,32 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 			http.Error(w, "server: forwarding loop: not the primary coordinator", http.StatusInternalServerError)
 			return
 		}
-		n.forwardPut(w, primary, key, body)
+		n.forwardPut(w, v, primary, key, body)
 		return
 	}
 	if forwarded {
 		// The forwarder decided we are the first live preference replica.
 		// Accept the takeover if we really are on the preference list;
 		// re-forwarding here risks loops whenever liveness views disagree.
-		if !n.onPreferenceList(key) {
+		if !n.onPreferenceList(v, key) {
 			http.Error(w, "server: forwarded to a non-replica coordinator", http.StatusInternalServerError)
 			return
 		}
-		n.coordinatePut(w, key, body, true)
+		n.coordinatePut(w, v, key, body, true)
 		return
 	}
 	// Sloppy routing: hand the write to the first live preference replica,
 	// falling through the list as candidates fail — ourselves included.
 	sawQuorumFail := false
-	for _, cand := range n.ring.PreferenceList(key, n.params.N) {
+	for _, cand := range n.prefs(v, key) {
 		if cand == n.id {
-			n.coordinatePut(w, key, body, true)
+			n.coordinatePut(w, v, key, body, true)
 			return
 		}
-		if !n.alive(cand) {
+		if !n.alive(v, cand) {
 			continue
 		}
-		switch n.tryForward(w, cand, key, body) {
+		switch n.tryForward(w, v, cand, key, body) {
 		case forwardRelayed:
 			return
 		case forwardUnreachable:
@@ -495,9 +594,9 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 	http.Error(w, "server: no live coordinator for key", http.StatusServiceUnavailable)
 }
 
-// onPreferenceList reports whether this node replicates key.
-func (n *Node) onPreferenceList(key string) bool {
-	for _, id := range n.ring.PreferenceList(key, n.params.N) {
+// onPreferenceList reports whether this node replicates key under view v.
+func (n *Node) onPreferenceList(v *memView, key string) bool {
+	for _, id := range n.prefs(v, key) {
 		if id == n.id {
 			return true
 		}
@@ -508,13 +607,13 @@ func (n *Node) onPreferenceList(key string) bool {
 // coordinatePut coordinates a write at this node: assign the next version,
 // fan it out to all N preference replicas with injected W/A delays
 // (redirecting legs for unreachable replicas to hinted spares in sloppy
-// mode), respond at the W-th acknowledgment.
-func (n *Node) coordinatePut(w http.ResponseWriter, key string, body []byte, takeover bool) {
+// mode), respond at the W-th acknowledgment. The whole operation runs under
+// the membership view loaded at admission.
+func (n *Node) coordinatePut(w http.ResponseWriter, v *memView, key string, body []byte, takeover bool) {
 	n.coordWrites.Add(1)
 	if takeover {
 		n.failoverWrites.Add(1)
 	}
-	quorumW := int(n.wq.Load())
 
 	seq := n.nextSeq(key, takeover)
 	ver := kvstore.Version{
@@ -523,15 +622,21 @@ func (n *Node) coordinatePut(w http.ResponseWriter, key string, body []byte, tak
 		Value: string(body),
 		Clock: vclock.VC{n.id: n.clockTicks.Add(1)},
 	}
-	prefs := n.ring.PreferenceList(key, n.params.N)
+	prefs := n.prefs(v, key)
 	nReps := len(prefs)
+	// The quorum clamps to the replica count: an elastic cluster smaller
+	// than its target N keeps committing with the replicas it has.
+	quorumW := int(n.wq.Load())
+	if quorumW > nReps {
+		quorumW = nReps
+	}
 	wd := make([]float64, nReps)
 	ad := make([]float64, nReps)
 	n.inj.writeDelays(wd, ad)
 
 	var spares *sparePicker
 	if n.params.SloppyQuorum {
-		spares = n.sparePicker(key)
+		spares = n.sparePicker(v, key)
 	}
 	start := time.Now()
 	acks := make(chan bool, nReps) // buffered: stragglers never block (send-to-all)
@@ -542,7 +647,7 @@ func (n *Node) coordinatePut(w http.ResponseWriter, key string, body []byte, tak
 			if n.legs != nil {
 				sent = time.Now()
 			}
-			ok := n.deliverWrite(nodeID, ver, spares)
+			ok := n.deliverWrite(v, nodeID, ver, spares)
 			if ok && n.legs != nil {
 				rpcMs := float64(time.Since(sent)) / float64(time.Millisecond)
 				n.legs.observeWrite(wd[i]+rpcMs, ad[i])
@@ -582,9 +687,9 @@ type sparePicker struct {
 	cands []int
 }
 
-func (n *Node) sparePicker(key string) *sparePicker {
-	full := n.ring.PreferenceList(key, len(n.addrs))
-	return &sparePicker{cands: full[n.params.N:]}
+func (n *Node) sparePicker(v *memView, key string) *sparePicker {
+	full := v.m.PreferenceList(key, v.m.Size())
+	return &sparePicker{cands: full[n.replication(v):]}
 }
 
 // next returns the next unclaimed spare, or -1 when the ring is exhausted.
@@ -644,16 +749,16 @@ func (n *Node) foldSeq(key string, seq uint64) {
 // the next live spare beyond the preference list as a hinted write that
 // counts toward W; only when no spare can take it either does the
 // coordinator fall back to buffering the hint itself, unacked.
-func (n *Node) deliverWrite(target int, ver kvstore.Version, spares *sparePicker) bool {
+func (n *Node) deliverWrite(v *memView, target int, ver kvstore.Version, spares *sparePicker) bool {
 	if spares == nil {
-		applied, replicaSeq, err := n.peers[target].Apply(ver)
+		applied, replicaSeq, err := v.peers[target].Apply(ver)
 		if err != nil && n.handoff != nil {
 			n.handoff.store(target, ver)
 		}
 		return err == nil && n.ackable(ver, applied, replicaSeq)
 	}
-	if n.alive(target) {
-		applied, replicaSeq, err := n.peers[target].Apply(ver)
+	if n.alive(v, target) {
+		applied, replicaSeq, err := v.peers[target].Apply(ver)
 		if err == nil {
 			return n.ackable(ver, applied, replicaSeq)
 		}
@@ -666,10 +771,10 @@ func (n *Node) deliverWrite(target int, ver kvstore.Version, spares *sparePicker
 		if s < 0 {
 			break
 		}
-		if !n.alive(s) {
+		if !n.alive(v, s) {
 			continue
 		}
-		applied, replicaSeq, err := n.peers[s].ApplyHinted(ver, target)
+		applied, replicaSeq, err := v.peers[s].ApplyHinted(ver, target)
 		if err == nil {
 			n.spareWrites.Add(1)
 			return n.ackable(ver, applied, replicaSeq)
@@ -686,8 +791,8 @@ func (n *Node) deliverWrite(target int, ver kvstore.Version, spares *sparePicker
 
 // forwardPut proxies a write to the key's primary coordinator and relays
 // the response verbatim (strict-quorum routing).
-func (n *Node) forwardPut(w http.ResponseWriter, primary int, key string, body []byte) {
-	url := n.addrs[primary] + "/kv/" + neturl.PathEscape(key)
+func (n *Node) forwardPut(w http.ResponseWriter, v *memView, primary int, key string, body []byte) {
+	url := v.httpAddr(primary) + "/kv/" + neturl.PathEscape(key)
 	freq, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -725,8 +830,8 @@ const (
 // cluster can absorb. The outcome distinguishes a dead candidate from a
 // live one that couldn't commit, so only the former is marked dead in the
 // liveness cache.
-func (n *Node) tryForward(w http.ResponseWriter, cand int, key string, body []byte) forwardOutcome {
-	url := n.addrs[cand] + "/kv/" + neturl.PathEscape(key)
+func (n *Node) tryForward(w http.ResponseWriter, v *memView, cand int, key string, body []byte) forwardOutcome {
+	url := v.httpAddr(cand) + "/kv/" + neturl.PathEscape(key)
 	freq, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -762,21 +867,75 @@ type readResp struct {
 	err   error
 }
 
+// readReplica performs one read fan-out leg against target, falling back to
+// live spares (sloppy quorums, spares != nil) when the preference replica
+// is unreachable: a crashed replica's most recent writes live on the spare
+// holding its hints, so the spare's answer is the best available stand-in
+// and counts toward the R quorum.
+func (n *Node) readReplica(view *memView, target int, key string, spares *sparePicker) readResp {
+	if spares == nil {
+		v, found, err := view.peers[target].GetVersion(key)
+		return readResp{node: target, v: v, found: found, err: err}
+	}
+	if n.alive(view, target) {
+		v, found, err := view.peers[target].GetVersion(key)
+		if err == nil {
+			return readResp{node: target, v: v, found: found}
+		}
+		if deadError(err) {
+			n.live.markDead(target)
+		}
+	}
+	for {
+		s := spares.next()
+		if s < 0 {
+			break
+		}
+		if !n.alive(view, s) {
+			continue
+		}
+		v, found, err := view.peers[s].GetVersion(key)
+		if err == nil {
+			n.spareReads.Add(1)
+			return readResp{node: s, v: v, found: found}
+		}
+		if deadError(err) {
+			n.live.markDead(s)
+		}
+	}
+	return readResp{node: target, err: fmt.Errorf("%w: replica %d and all spares unreachable", ErrReplicaDown, target)}
+}
+
 // handleGet coordinates a read: fan out to all N preference replicas with
 // injected R/S delays, answer with the newest of the first R responses,
 // then keep collecting in the background for the staleness detector and
-// read repair.
+// read repair. With sloppy quorums, a leg whose preference replica is down
+// falls back to the next live spare beyond the preference list — the node
+// that absorbed the down replica's hinted writes — and the spare's response
+// counts toward R (the read-side mirror of the write-side spare behavior).
 func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 	key := req.PathValue("key")
 	n.coordReads.Add(1)
-	quorumR := int(n.rq.Load())
 
-	prefs := n.ring.PreferenceList(key, n.params.N)
+	v := n.view()
+	if v == nil {
+		http.Error(w, "server: node has no membership yet", http.StatusServiceUnavailable)
+		return
+	}
+	prefs := n.prefs(v, key)
 	nReps := len(prefs)
+	quorumR := int(n.rq.Load())
+	if quorumR > nReps {
+		quorumR = nReps
+	}
 	rd := make([]float64, nReps)
 	sd := make([]float64, nReps)
 	n.inj.readDelays(rd, sd)
 
+	var spares *sparePicker
+	if n.params.SloppyQuorum {
+		spares = n.sparePicker(v, key)
+	}
 	start := time.Now()
 	ch := make(chan readResp, nReps)
 	for i, nodeID := range prefs {
@@ -786,13 +945,13 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 			if n.legs != nil {
 				sent = time.Now()
 			}
-			v, found, err := n.peers[nodeID].GetVersion(key)
-			if err == nil && n.legs != nil {
+			rr := n.readReplica(v, nodeID, key, spares)
+			if rr.err == nil && n.legs != nil {
 				rpcMs := float64(time.Since(sent)) / float64(time.Millisecond)
 				n.legs.observeRead(rd[i]+rpcMs, sd[i])
 			}
 			sleepMs(sd[i])
-			ch <- readResp{node: nodeID, v: v, found: found, err: err}
+			ch <- rr
 		}(i, nodeID)
 	}
 
@@ -830,10 +989,10 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 	// Background: drain the N-R late responses; compare them with the
 	// returned version (the paper's asynchronous staleness detector) and
 	// push the newest version to lagging replicas when read repair is on.
-	go n.finishRead(key, best, early, ch, nReps-done)
+	go n.finishRead(v, key, best, early, ch, nReps-done)
 }
 
-func (n *Node) finishRead(key string, returned kvstore.Version, early []readResp, ch <-chan readResp, pending int) {
+func (n *Node) finishRead(view *memView, key string, returned kvstore.Version, early []readResp, ch <-chan readResp, pending int) {
 	all := early
 	for i := 0; i < pending; i++ {
 		all = append(all, <-ch)
@@ -852,7 +1011,7 @@ func (n *Node) finishRead(key string, returned kvstore.Version, early []readResp
 	}
 	for _, x := range all {
 		if x.err == nil && x.v.Seq < newest.Seq {
-			if _, _, err := n.peers[x.node].Apply(newest); err == nil {
+			if _, _, err := view.peers[x.node].Apply(newest); err == nil {
 				n.readRepairs.Add(1)
 			}
 		}
@@ -860,14 +1019,25 @@ func (n *Node) finishRead(key string, returned kvstore.Version, early []readResp
 }
 
 func (n *Node) handleConfig(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, ConfigResponse{
-		Nodes:  len(n.addrs),
-		N:      n.params.N,
-		R:      int(n.rq.Load()),
-		W:      int(n.wq.Load()),
-		Vnodes: n.params.Vnodes,
-		Addrs:  n.addrs,
-	})
+	v := n.view()
+	if v == nil {
+		http.Error(w, "server: node has no membership yet", http.StatusServiceUnavailable)
+		return
+	}
+	members := v.m.Members()
+	cfg := ConfigResponse{
+		Nodes:     len(members),
+		N:         int(n.nrep.Load()),
+		R:         int(n.rq.Load()),
+		W:         int(n.wq.Load()),
+		Vnodes:    v.m.Vnodes(),
+		RingEpoch: v.m.Epoch(),
+	}
+	for _, mem := range members {
+		cfg.Addrs = append(cfg.Addrs, mem.HTTPAddr)
+		cfg.Members = append(cfg.Members, MemberInfo{ID: mem.ID, Addr: mem.HTTPAddr, Internal: mem.InternalAddr})
+	}
+	writeJSON(w, cfg)
 }
 
 // statsLocal assembles this node's full counter snapshot — the single
@@ -888,10 +1058,15 @@ func (n *Node) statsLocal() StatsResponse {
 		DetectorFlags:  n.detectorFlags.Load(),
 		FailoverWrites: n.failoverWrites.Load(),
 		SpareWrites:    n.spareWrites.Load(),
+		SpareReads:     n.spareReads.Load(),
+		RingFlips:      n.ringFlips.Load(),
 		Keys:           keys,
 		Applied:        applied,
 		Ignored:        ignored,
 		ClockTicks:     n.clockTicks.Load(),
+	}
+	if v := n.view(); v != nil {
+		st.RingEpoch = v.m.Epoch()
 	}
 	if n.handoff != nil {
 		st.HintsPending, st.HintsStored, st.HintsReplayed, st.HintsDropped = n.handoff.stats()

@@ -36,6 +36,10 @@ type Peer interface {
 	// scan on the peer; responses are size-capped, see
 	// maxVersionsPerExchange).
 	BucketVersions(depth int, buckets []int) ([]kvstore.Version, error)
+	// ExchangeMembership pushes an encoded ring.Membership to the peer
+	// (nil payload = pull only) and returns the peer's current membership
+	// encoding — the gossip primitive behind ring flips.
+	ExchangeMembership(push []byte) ([]byte, error)
 }
 
 // faultPeer interposes a cluster-wide fault controller on the path from one
@@ -90,4 +94,14 @@ func (fp *faultPeer) BucketVersions(depth int, buckets []int) ([]kvstore.Version
 		return nil, err
 	}
 	return fp.next.BucketVersions(depth, buckets)
+}
+
+// ExchangeMembership is control-plane traffic like Ping: only a crash at
+// either endpoint blocks it — a paused or lossy replica must still be able
+// to learn about ring flips.
+func (fp *faultPeer) ExchangeMembership(push []byte) ([]byte, error) {
+	if err := fp.f.crashGate(fp.from, fp.to); err != nil {
+		return nil, err
+	}
+	return fp.next.ExchangeMembership(push)
 }

@@ -110,8 +110,8 @@ func TestSpareWritesCarryHints(t *testing.T) {
 	// Any key works: in a 4-node cluster with N=3 the full ring order is
 	// always the 3 preference replicas plus exactly one spare.
 	key := "spare-0"
-	prefs := c.Nodes[0].ring.PreferenceList(key, 3)
-	full := c.Nodes[0].ring.PreferenceList(key, 4)
+	prefs := c.Nodes[0].Membership().PreferenceList(key, 3)
+	full := c.Nodes[0].Membership().PreferenceList(key, 4)
 	victim, spare := prefs[1], full[3]
 
 	c.Faults().Crash(victim)
@@ -157,7 +157,7 @@ func TestNoLiveCoordinator503s(t *testing.T) {
 	var prefs []int
 	for i := 0; ; i++ {
 		key = fmt.Sprintf("dead-%d", i)
-		prefs = c.Nodes[0].ring.PreferenceList(key, 2)
+		prefs = c.Nodes[0].Membership().PreferenceList(key, 2)
 		if prefs[0] != 2 && prefs[1] != 2 {
 			break // node 2 is off the preference list: it must route, not coordinate
 		}
@@ -303,7 +303,7 @@ func TestQuorumFailureCountedOnce(t *testing.T) {
 	var prefs []int
 	for i := 0; ; i++ {
 		key = fmt.Sprintf("count-%d", i)
-		prefs = c.Nodes[0].ring.PreferenceList(key, 3)
+		prefs = c.Nodes[0].Membership().PreferenceList(key, 3)
 		if prefs[0] != 3 && prefs[1] != 3 && prefs[2] != 3 {
 			break
 		}
@@ -321,7 +321,7 @@ func TestQuorumFailureCountedOnce(t *testing.T) {
 	}
 	// The primary answered 503 but is alive: the router must not have
 	// marked it dead — a write to a key it can commit must route to it.
-	if !c.Nodes[3].alive(prefs[0]) {
+	if !c.Nodes[3].alive(c.Nodes[3].view(), prefs[0]) {
 		t.Fatal("live coordinator marked dead after a quorum failure")
 	}
 }

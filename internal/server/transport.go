@@ -39,6 +39,14 @@ const (
 	opBucket    byte = 4
 	opPing      byte = 5
 	opApplyHint byte = 6
+	// Elastic-membership control plane (bootstrap.go): opJoin asks a seed
+	// member for an ID assignment and the current membership; opMembership
+	// pushes/pulls the versioned membership (ring flips and gossip);
+	// opStreamRange streams the versions of the key ranges a joining (or
+	// catching-up) node owns under a prospective membership.
+	opJoin        byte = 7
+	opMembership  byte = 8
+	opStreamRange byte = 9
 
 	statusOK  byte = 0
 	statusErr byte = 1
@@ -266,8 +274,8 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 		if d.err != nil {
 			return statusErr, []byte(d.err.Error())
 		}
-		if target < 0 || target >= len(n.addrs) {
-			return statusErr, []byte(fmt.Sprintf("server: hint target %d outside cluster of %d", target, len(n.addrs)))
+		if mv := n.view(); mv == nil || !mv.m.Contains(target) {
+			return statusErr, []byte(fmt.Sprintf("server: hint target %d is not a cluster member", target))
 		}
 		resp := n.applyResponse(v)
 		if n.handoff != nil {
@@ -328,6 +336,33 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 			out = encodeVersion(out, v)
 		}
 		return statusOK, out
+	case opJoin:
+		httpAddr := d.string16()
+		internalAddr := d.string16()
+		if d.err != nil {
+			return statusErr, []byte(d.err.Error())
+		}
+		id, mem, err := n.handleJoinRequest(httpAddr, internalAddr)
+		if err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, append(binary.BigEndian.AppendUint32(nil, uint32(id)), mem...)
+	case opMembership:
+		resp, err := n.handleMembershipExchange(payload)
+		if err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, resp
+	case opStreamRange:
+		req, err := decodeStreamRangeRequest(d)
+		if err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		resp, err := n.handleStreamRange(req)
+		if err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, resp.encode()
 	default:
 		return statusErr, []byte(fmt.Sprintf("server: unknown op %d", op))
 	}
@@ -559,6 +594,39 @@ func (p *peer) BucketVersions(depth int, buckets []int) ([]kvstore.Version, erro
 		vs = append(vs, v)
 	}
 	return vs, nil
+}
+
+// Join asks the peer (any current cluster member) to admit a new node with
+// the given public addresses, returning the assigned member ID and the
+// peer's current encoded membership.
+func (p *peer) Join(httpAddr, internalAddr string) (id int, membership []byte, err error) {
+	req := appendString16(appendString16(nil, httpAddr), internalAddr)
+	resp, err := p.rpc(opJoin, req)
+	if err != nil {
+		return 0, nil, err
+	}
+	d := &decoder{b: resp}
+	id = int(int32(d.u32()))
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	return id, d.b, nil
+}
+
+// ExchangeMembership pushes an encoded membership (nil = pull only) and
+// returns the peer's current membership encoding.
+func (p *peer) ExchangeMembership(push []byte) ([]byte, error) {
+	return p.rpc(opMembership, push)
+}
+
+// StreamRange pulls one page of the peer's versions for the key ranges the
+// requester owns under a prospective membership (see handleStreamRange).
+func (p *peer) StreamRange(req streamRangeRequest) (streamRangeResponse, error) {
+	resp, err := p.rpc(opStreamRange, req.encode())
+	if err != nil {
+		return streamRangeResponse{}, err
+	}
+	return decodeStreamRangeResponse(resp)
 }
 
 // close tears down every live connection.

@@ -20,9 +20,14 @@ import (
 // Target states the service-level objective.
 type Target struct {
 	// TWindow and MinPConsistent bound staleness: reads issued TWindow
-	// after commit must be consistent with probability >= MinPConsistent.
+	// after commit must return a value within K versions of the latest
+	// with probability >= MinPConsistent — the paper's ⟨k, t⟩-staleness
+	// SLA (Section 6.1). K <= 1 is plain t-visibility.
 	TWindow        float64
 	MinPConsistent float64
+	// K is the k-staleness bound (how many versions stale a read may be
+	// and still satisfy the SLA). Zero means 1.
+	K int
 	// MinN and MinW set durability floors: at least MinN replicas, and
 	// writes must reach at least MinW replicas before commit.
 	MinN, MinW int
@@ -56,6 +61,12 @@ func (t *Target) setDefaults() error {
 	if t.MinN < 0 || t.MinW < 0 {
 		return errors.New("sla: durability floors must be non-negative")
 	}
+	if t.K == 0 {
+		t.K = 1
+	}
+	if t.K < 1 {
+		return errors.New("sla: K must be at least 1")
+	}
 	return nil
 }
 
@@ -65,6 +76,10 @@ type Choice struct {
 	// PConsistent is the estimated consistency probability at the target
 	// window.
 	PConsistent float64
+	// PKTConsistent is the estimated ⟨k, t⟩-consistency probability at the
+	// target window for the target's K (equal to PConsistent when K = 1);
+	// feasibility is judged against it.
+	PKTConsistent float64
 	// TVisibility is the estimated window for the target probability.
 	TVisibility float64
 	// ReadLatency and WriteLatency are at the target quantile.
@@ -148,13 +163,14 @@ func OptimizeScenarioWorkers(mkScenario func(n int) wars.Scenario, maxN int, tar
 		for i, run := range runs {
 			ch := Choice{
 				N: n, R: cfgs[i].R, W: cfgs[i].W,
-				PConsistent:  run.PConsistent(target.TWindow),
-				TVisibility:  run.TVisibility(target.MinPConsistent),
-				ReadLatency:  run.ReadLatency(target.LatencyQuantile),
-				WriteLatency: run.WriteLatency(target.LatencyQuantile),
+				PConsistent:   run.PConsistent(target.TWindow),
+				PKTConsistent: run.PKTConsistent(target.K, target.TWindow),
+				TVisibility:   run.TVisibility(target.MinPConsistent),
+				ReadLatency:   run.ReadLatency(target.LatencyQuantile),
+				WriteLatency:  run.WriteLatency(target.LatencyQuantile),
 			}
 			ch.Score = target.ReadWeight*ch.ReadLatency + (1-target.ReadWeight)*ch.WriteLatency
-			ch.Feasible = ch.PConsistent >= target.MinPConsistent && ch.W >= target.MinW
+			ch.Feasible = ch.PKTConsistent >= target.MinPConsistent && ch.W >= target.MinW
 			all = append(all, ch)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"pbs/internal/dist"
 	"pbs/internal/rng"
+	"pbs/internal/wars"
 )
 
 func TestTargetValidation(t *testing.T) {
@@ -171,5 +172,101 @@ func TestHigherNImprovesTailLatencyForFixedRW(t *testing.T) {
 	}
 	if n5 >= n2 {
 		t.Fatalf("N=5 tail read latency %v should beat N=2's %v", n5, n2)
+	}
+}
+
+// TestKTStalenessAgainstSimulateGroundTruth pins the ⟨k, t⟩-staleness
+// feasibility math to wars.Simulate: for the exact run the optimizer
+// evaluated, 1 - pst(t)^k computed from an independent simulation of the
+// chosen configuration must match the choice's PKTConsistent.
+func TestKTStalenessAgainstSimulateGroundTruth(t *testing.T) {
+	model := dist.LNKDDISK()
+	const trials = 20000
+	target := Target{TWindow: 2, MinPConsistent: 0.995, K: 3, MinN: 3}
+	res, err := Optimize(model, 3, target, trials, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range res.All {
+		// Reproduce this configuration's run independently and recompute
+		// the closed form from its raw pst.
+		run, err := wars.Simulate(wars.NewIID(3, model), wars.Config{R: ch.R, W: ch.W}, trials, rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Pow(run.PStale(target.TWindow), float64(target.K))
+		if got := run.PKTConsistent(target.K, target.TWindow); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("R=%d W=%d: PKTConsistent=%v, closed form %v", ch.R, ch.W, got, want)
+		}
+		// Monte Carlo noise between the two independent runs stays small
+		// at these trial counts; the optimizer's recorded value must agree.
+		if math.Abs(ch.PKTConsistent-run.PKTConsistent(target.K, target.TWindow)) > 0.02 {
+			t.Fatalf("R=%d W=%d: optimizer PKT %v vs ground truth %v", ch.R, ch.W, ch.PKTConsistent, run.PKTConsistent(target.K, target.TWindow))
+		}
+	}
+}
+
+// TestKTStalenessRelaxesFeasibility: allowing reads to be k versions stale
+// can only grow the feasible set (P⟨k,t⟩ >= P⟨1,t⟩), and with a tight
+// window there must exist a configuration feasible at k=3 but not at k=1.
+func TestKTStalenessRelaxesFeasibility(t *testing.T) {
+	model := dist.LNKDDISK()
+	base := Target{TWindow: 0.5, MinPConsistent: 0.999, MinN: 3}
+	strict, errStrict := Optimize(model, 3, base, 30000, rng.New(5))
+	relaxedTarget := base
+	relaxedTarget.K = 3
+	relaxed, err := Optimize(model, 3, relaxedTarget, 30000, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := func(res *Result) map[[3]int]bool {
+		out := make(map[[3]int]bool)
+		for _, ch := range res.All {
+			if ch.Feasible {
+				out[[3]int{ch.N, ch.R, ch.W}] = true
+			}
+		}
+		return out
+	}
+	fRelaxed := feasible(relaxed)
+	if errStrict == nil {
+		for cfg := range feasible(strict) {
+			if !fRelaxed[cfg] {
+				t.Fatalf("config %v feasible at k=1 but not k=3", cfg)
+			}
+		}
+	}
+	if len(fRelaxed) == 0 {
+		t.Fatal("k=3 relaxation admitted nothing")
+	}
+	for _, ch := range relaxed.All {
+		if ch.PKTConsistent < ch.PConsistent-1e-12 {
+			t.Fatalf("PKT %v below plain consistency %v for %+v", ch.PKTConsistent, ch.PConsistent, ch)
+		}
+	}
+}
+
+// TestSweepingNDominatesFixedN is the elastic-tuning acceptance property:
+// the best choice of a full (N, R, W) sweep scores at least as well as the
+// best choice at every fixed N it covers.
+func TestSweepingNDominatesFixedN(t *testing.T) {
+	model := dist.LNKDSSD()
+	target := Target{TWindow: 5, MinPConsistent: 0.999}
+	full, err := Optimize(model, 5, target, 30000, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		fixedTarget := target
+		fixedTarget.MinN = n
+		fixed, err := Optimize(model, n, fixedTarget, 30000, rng.New(11))
+		if err != nil {
+			continue // no feasible config at this fixed N
+		}
+		// The two optimizations consume different RNG streams, so equal
+		// configurations score within Monte Carlo noise, not bit-exactly.
+		if full.Best.Score > fixed.Best.Score*1.02+0.05 {
+			t.Fatalf("full sweep best %v loses to fixed N=%d best %v", full.Best, n, fixed.Best)
+		}
 	}
 }

@@ -99,19 +99,21 @@ func smokeCases() []smokeCase {
 			args: []string{"-duration", "3s", "-rate", "300", "-clients", "4", "-epochs", "0",
 				"-trials", "10000", "-model", "validation", "-replicas", "4", "-n", "3",
 				"-r", "1", "-w", "2", "-fail", "500ms crash 0; 2s recover 0",
-				"-sloppy", "-hint-dir", filepath.Join(os.TempDir(), fmt.Sprintf("pbs-smoke-hints-%d", os.Getpid()))},
+				"-sloppy", "-hint-fsync", "interval",
+				"-hint-dir", filepath.Join(os.TempDir(), fmt.Sprintf("pbs-smoke-hints-%d", os.Getpid()))},
 			want: []string{"sloppy=true", "durable hints:",
 				"sloppy quorum: failover writes", "sloppy quorum: spare writes",
 				"hints restored from log", "fault events"}},
 
 		// cmd/pbs-serve: the dynamic-configuration tuner retunes a
-		// mis-deployed strict quorum under a loose SLA.
+		// mis-deployed strict quorum under a loose ⟨k, t⟩ SLA (the spec
+		// exercises the k=, ms-suffix and percent forms).
 		{name: "pbs-serve-tuner", pkg: "pbs/cmd/pbs-serve",
 			args: []string{"-duration", "6s", "-rate", "0", "-clients", "8", "-epochs", "0",
 				"-trials", "20000", "-model", "validation", "-r", "3", "-w", "3",
-				"-read-fraction", "0.5", "-tune-sla", "t=100,p=0.9",
+				"-read-fraction", "0.5", "-tune-sla", "k=2,t=100ms,p=90",
 				"-tune-interval", "1500ms", "-tune-apply"},
-			want: []string{"[tuner] recommended N=3", "applying R=", "tuner: final recommendation",
+			want: []string{"[tuner] recommended N=3", "applying N=3 R=", "tuner: final recommendation",
 				"live cluster quorums now"}},
 
 		// examples/: every program, as shipped.

@@ -42,6 +42,12 @@ type Config struct {
 	// N is the deployed replication factor; the optimizer sweeps every
 	// (R, W) in [1, N]².
 	N int
+	// MaxN, when above N, additionally sweeps the replication factor: the
+	// optimizer evaluates every (n, R, W) with n in [max(1, Target.MinN),
+	// MaxN] and may recommend growing (or shrinking) the ring — the
+	// membership dimension of Section 6's dynamic configuration. Zero
+	// keeps N fixed (the pre-elastic behavior).
+	MaxN int
 	// Target is the staleness/latency SLA.
 	Target sla.Target
 	// Trials is the Monte Carlo budget per replication factor (default
@@ -62,6 +68,9 @@ type Config struct {
 func (c *Config) setDefaults() error {
 	if c.N < 1 {
 		return errors.New("tuner: replication factor N must be at least 1")
+	}
+	if c.MaxN != 0 && c.MaxN < c.N {
+		return errors.New("tuner: MaxN must be zero (fixed N) or >= N")
 	}
 	if c.Trials == 0 {
 		c.Trials = 40000
@@ -188,9 +197,16 @@ func Recommend(s Samples, cfg Config) (*Recommendation, error) {
 	}
 
 	target := cfg.Target
-	target.MinN = cfg.N // fixed deployment: sweep (R, W) only
+	maxN := cfg.N
+	if cfg.MaxN > cfg.N {
+		// Elastic sweep: N joins (R, W) as a free dimension, bounded below
+		// by the SLA's own durability floor.
+		maxN = cfg.MaxN
+	} else {
+		target.MinN = cfg.N // fixed deployment: sweep (R, W) only
+	}
 	rec.Target = target
-	res, err := sla.OptimizeWorkers(rec.Model, cfg.N, target, cfg.Trials, rng.New(cfg.Seed), cfg.Workers)
+	res, err := sla.OptimizeWorkers(rec.Model, maxN, target, cfg.Trials, rng.New(cfg.Seed), cfg.Workers)
 	rec.Result = res
 	if err != nil {
 		return rec, fmt.Errorf("tuner: %w", err)
@@ -207,9 +223,13 @@ type Tuner struct {
 	Source func() (Samples, error)
 	// Config parameterizes each round.
 	Config Config
-	// Apply, when non-nil, receives each feasible recommendation's (R, W)
-	// (e.g. server.Cluster.SetQuorums).
-	Apply func(r, w int) error
+	// Apply, when non-nil, receives each feasible recommendation's full
+	// (N, R, W). With a fixed-N Config n always equals Config.N and the
+	// callback reduces to quorum retuning (server.Cluster.SetQuorums);
+	// with MaxN set, a recommendation with n above the current member
+	// count asks the callback to grow the ring (server.Cluster.AddNode +
+	// SetConfig) — the membership change is the caller's to trigger.
+	Apply func(n, r, w int) error
 	// OnRound, when non-nil, observes every round's outcome (rec may be
 	// nil on sampling errors).
 	OnRound func(rec *Recommendation, err error)
@@ -238,7 +258,7 @@ func (t *Tuner) RunOnce() (*Recommendation, error) {
 		var rec *Recommendation
 		rec, err = Recommend(s, t.Config)
 		if err == nil && t.Apply != nil {
-			err = t.Apply(rec.Choice.R, rec.Choice.W)
+			err = t.Apply(rec.Choice.N, rec.Choice.R, rec.Choice.W)
 		}
 		if t.OnRound != nil {
 			t.OnRound(rec, err)

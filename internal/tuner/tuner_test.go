@@ -145,12 +145,12 @@ func TestRecommendFitQuality(t *testing.T) {
 
 func TestTunerRunOnceAppliesRecommendation(t *testing.T) {
 	s := synthSamples(validationModel(), 2000, 5)
-	var applied [2]int
+	var applied [3]int
 	tn := &Tuner{
 		Source: func() (Samples, error) { return s, nil },
 		Config: testConfig(),
-		Apply: func(r, w int) error {
-			applied = [2]int{r, w}
+		Apply: func(n, r, w int) error {
+			applied = [3]int{n, r, w}
 			return nil
 		},
 	}
@@ -158,7 +158,7 @@ func TestTunerRunOnceAppliesRecommendation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if applied != [2]int{rec.Choice.R, rec.Choice.W} {
+	if applied != [3]int{rec.Choice.N, rec.Choice.R, rec.Choice.W} {
 		t.Fatalf("applied %v, recommended %v", applied, rec.Choice)
 	}
 }
@@ -176,5 +176,44 @@ func TestTunerRunOnceSourceError(t *testing.T) {
 	}
 	if !errors.Is(sawErr, wantErr) {
 		t.Fatalf("OnRound saw %v, want %v", sawErr, wantErr)
+	}
+}
+
+// TestRecommendSweepsNWithMaxN: with MaxN above the deployed N the tuner
+// evaluates every (n, R, W) up to the bound and its recommendation equals
+// sla.Optimize's over the full space — the membership dimension of the
+// dynamic-configuration loop.
+func TestRecommendSweepsNWithMaxN(t *testing.T) {
+	s := synthSamples(validationModel(), 4000, 9)
+	cfg := testConfig()
+	cfg.MaxN = 5
+	rec, err := Recommend(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := sla.OptimizeWorkers(rec.Model, cfg.MaxN, rec.Target, cfg.Trials, rng.New(cfg.Seed), cfg.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Choice != check.Best {
+		t.Fatalf("tuner chose %v, sla.Optimize over N<=5 chose %v", rec.Choice, check.Best)
+	}
+	// 1+4+9+16+25 configurations across N in [1,5].
+	if got := len(rec.Result.All); got != 55 {
+		t.Errorf("swept %d configurations, want 55", got)
+	}
+	// The elastic best can only match or beat the fixed-N best.
+	fixed, err := Recommend(s, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Choice.Score > fixed.Choice.Score*1.02+0.05 {
+		t.Errorf("elastic sweep best %v loses to fixed-N best %v", rec.Choice, fixed.Choice)
+	}
+
+	bad := testConfig()
+	bad.MaxN = 2 // below deployed N
+	if _, err := Recommend(s, bad); err == nil {
+		t.Error("MaxN below N accepted")
 	}
 }

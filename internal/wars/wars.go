@@ -27,6 +27,7 @@ package wars
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"pbs/internal/dist"
@@ -203,6 +204,21 @@ func (run *Run) PConsistent(t float64) float64 {
 
 // PStale returns 1 - PConsistent(t), the pst of Definition 3.
 func (run *Run) PStale(t float64) float64 { return 1 - run.PConsistent(t) }
+
+// PKTConsistent returns the probability that a read issued t after the
+// latest commit returns a value within k versions of that latest value —
+// the paper's ⟨k, t⟩-staleness (Section 3.3, applied in Section 6.1's
+// SLAs). Reading a value more than k versions stale requires the read to
+// miss each of the k newest versions; the paper's closed form treats the
+// misses as independent, giving P(violation) = pst(t)^k. k <= 1 reduces to
+// plain t-visibility.
+func (run *Run) PKTConsistent(k int, t float64) float64 {
+	p := run.PStale(t)
+	if k <= 1 {
+		return 1 - p
+	}
+	return 1 - math.Pow(p, float64(k))
+}
 
 // TVisibility returns the smallest t at which the probability of
 // consistency is at least p (the "t-visibility for pst = 1-p" the paper
