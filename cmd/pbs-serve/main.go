@@ -122,7 +122,7 @@ func fatalf(format string, args ...any) {
 // streaming, ring flip) before reporting ready; without it, it seeds a
 // fresh single-node cluster other processes can -join. The process serves
 // until SIGINT/SIGTERM.
-func runSingleNode(p server.Params, listen, internal, join string) {
+func runSingleNode(p server.Params, listen, internal, join, advertise string) {
 	p.SetDefaults() // resolve implied flags (-sloppy => handoff) before the hint-dir check
 	if p.Handoff && p.HintDir != "" {
 		if err := os.MkdirAll(p.HintDir, 0o755); err != nil {
@@ -143,12 +143,17 @@ func runSingleNode(p server.Params, listen, internal, join string) {
 	}
 	fmt.Printf("pbs-serve: single node (%s) N=%d R=%d W=%d model=%s scale=%g sloppy=%v\n",
 		mode, p.N, p.R, p.W, p.Model.Name, p.Scale, p.SloppyQuorum)
+	if p.DataDir != "" {
+		fmt.Printf("  durable storage: %s (fsync=%s)\n", p.DataDir, p.Fsync)
+	}
 	nd, err := server.StartNode(server.NodeConfig{
-		Params:           p,
-		HTTPListener:     httpLn,
-		InternalListener: internalLn,
-		JoinAddr:         join,
-		Seed:             p.Seed,
+		Params:            p,
+		HTTPListener:      httpLn,
+		InternalListener:  internalLn,
+		JoinAddr:          join,
+		Seed:              p.Seed,
+		AdvertiseHTTP:     advertise,
+		AdvertiseInternal: advertise,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -188,6 +193,9 @@ func main() {
 	sloppy := flag.Bool("sloppy", false, "enable sloppy quorums (coordinator failover past a down primary, hinted spare-replica writes counting toward W; implies -handoff)")
 	hintDir := flag.String("hint-dir", "", "directory for durable per-node hint logs (replayed on start; empty = in-memory hints)")
 	hintFsync := flag.String("hint-fsync", "always", "hint-log fsync policy: always, interval or never")
+	dataDir := flag.String("data-dir", "", "directory for durable per-node storage engines (group-commit WAL + SSTables, replayed on restart; empty = in-memory stores)")
+	fsyncPolicy := flag.String("fsync", "always", "storage WAL fsync policy: always (group commit), interval or never")
+	memtableBytes := flag.Int64("memtable-bytes", 0, "memtable size in bytes that triggers an SSTable flush (0 = engine default)")
 	antiEntropy := flag.Bool("anti-entropy", false, "enable background Merkle anti-entropy between replicas")
 	tuneSLA := flag.String("tune-sla", "", `run the dynamic-configuration tuner against this SLA, e.g. "t=100,p=0.99" or "k=2,t=10ms,p=99.9"`)
 	tuneInterval := flag.Duration("tune-interval", 3*time.Second, "tuner round interval")
@@ -197,6 +205,7 @@ func main() {
 	listenAddr := flag.String("listen", "127.0.0.1:0", "single-node mode: public HTTP listen address")
 	internalAddr := flag.String("internal", "127.0.0.1:0", "single-node mode: internal replication-transport listen address")
 	joinAddr := flag.String("join", "", "single-node mode: internal address of any member of a running cluster to join")
+	advertise := flag.String("advertise", "", "single-node mode: address peers should dial instead of the bound listen address (host or host:port; a bare host keeps each listener's bound port)")
 	flag.Parse()
 
 	model, ok := latencyModel(*modelName)
@@ -211,10 +220,11 @@ func main() {
 			ReadRepair: *readRepair,
 			Handoff:    *handoff, AntiEntropy: *antiEntropy,
 			SloppyQuorum: *sloppy, HintDir: *hintDir, HintFsync: *hintFsync,
+			DataDir: *dataDir, Fsync: *fsyncPolicy, MemtableBytes: *memtableBytes,
 			WARSSampling: true,
 			Model:        &model, Scale: *scale,
 			Seed: *seed,
-		}, *listenAddr, *internalAddr, *joinAddr)
+		}, *listenAddr, *internalAddr, *joinAddr, *advertise)
 		return
 	}
 
@@ -244,6 +254,7 @@ func main() {
 		ReadRepair: *readRepair,
 		Handoff:    *handoff, AntiEntropy: *antiEntropy,
 		SloppyQuorum: *sloppy, HintDir: *hintDir, HintFsync: *hintFsync,
+		DataDir: *dataDir, Fsync: *fsyncPolicy, MemtableBytes: *memtableBytes,
 		WARSSampling: true, // /wars is part of the CLI surface; the tuner feeds on it
 		Model:        &model, Scale: *scale,
 		Seed: *seed,
@@ -258,6 +269,9 @@ func main() {
 		*replicas, *n, *r, *w, model.Name, *scale, *readRepair, *handoff || *sloppy, *antiEntropy, *sloppy)
 	if *hintDir != "" {
 		fmt.Printf("  durable hints: %s\n", *hintDir)
+	}
+	if *dataDir != "" {
+		fmt.Printf("  durable storage: %s (fsync=%s)\n", *dataDir, *fsyncPolicy)
 	}
 	for i, addr := range cluster.HTTPAddrs {
 		fmt.Printf("  node %d: %s\n", i, addr)

@@ -274,6 +274,45 @@ func (c *Client) Put(key, value string) (PutResult, error) {
 	return PutResult{}, fmt.Errorf("client: put %q failed on every node: %w", key, lastErr)
 }
 
+// Delete removes key through the key's primary coordinator. On the server
+// a delete is a write whose version is a tombstone: it gets a fresh seq,
+// commits at the same W quorum, and replicates through hinted handoff and
+// anti-entropy, so a stale replica cannot resurrect the key later. The
+// routing and retry discipline is exactly Put's: unreachable nodes and
+// routing-level 502/503s fall through the key's ring order, a
+// coordinator's own quorum failure is final.
+func (c *Client) Delete(key string) (PutResult, error) {
+	start := time.Now()
+	v := c.view.Load()
+	var lastErr error
+	for _, id := range v.ring.PreferenceList(key, len(v.addrs)) {
+		req, err := http.NewRequest(http.MethodDelete, v.byID[id]+"/kv/"+url.PathEscape(key), nil)
+		if err != nil {
+			return PutResult{}, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var pr server.PutResponse
+		if err := c.decodeResponse(resp, &pr); err != nil {
+			if isRetryable(err) {
+				lastErr = err
+				continue
+			}
+			return PutResult{}, err
+		}
+		return PutResult{
+			Seq:         pr.Seq,
+			CommittedAt: time.Unix(0, pr.CommittedUnixNano),
+			CoordMs:     pr.CoordMs,
+			ClientMs:    float64(time.Since(start)) / float64(time.Millisecond),
+		}, nil
+	}
+	return PutResult{}, fmt.Errorf("client: delete %q failed on every node: %w", key, lastErr)
+}
+
 // Get reads key through a round-robin coordinator. A coordinator that is
 // unreachable or answers 502/503 is skipped for the next in rotation, so a
 // crashed node degrades read spread, not read availability.

@@ -23,10 +23,52 @@ type Version struct {
 	// WrittenAt is the simulated time at which this replica applied the
 	// version (set by the store on Apply).
 	WrittenAt float64
+	// Tombstone marks a replicated delete: the version participates in
+	// ordering, replication, hinted handoff and anti-entropy exactly like a
+	// live write — which is what prevents a stale replica from resurrecting
+	// the key — but reads treat the key as absent.
+	Tombstone bool
 }
 
 // Newer reports whether v is newer than o under the total order.
 func (v Version) Newer(o Version) bool { return v.Seq > o.Seq }
+
+// Engine is the per-replica storage surface the server's node layer runs
+// on. Two implementations exist: the in-memory Store (wrapped in Synced
+// for concurrent callers) and internal/storage.Engine, the durable
+// WAL + memtable + SSTable engine. Implementations used by a live node
+// must be safe for concurrent use — the node's coordinator fan-out calls
+// Apply and Get from many goroutines, and a durable engine must be free
+// to release its locks while waiting on a group fsync.
+//
+// Range holds the engine's internal lock for the duration of the scan;
+// callbacks must not call back into the engine.
+type Engine interface {
+	// Apply installs v if it is newer than the locally known version for
+	// the key (idempotent, commutative last-writer-wins), returning whether
+	// local state changed. A durable engine does not return until v is
+	// persisted per its fsync policy.
+	Apply(v Version, now float64) bool
+	// Get returns the current version for the key. The boolean reports
+	// whether any record (live or tombstone) exists; callers that care
+	// about visibility must additionally check Version.Tombstone.
+	Get(key string) (Version, bool)
+	// Seq returns the current sequence number for the key (0 when the key
+	// is unknown).
+	Seq(key string) uint64
+	// Len returns the number of keys with records (tombstones included).
+	Len() int
+	// Summary returns the key→seq map used to build Merkle content
+	// summaries. Tombstones are included: a delete must diff and replicate
+	// like any other version.
+	Summary() map[string]uint64
+	// Range calls f for every stored version, in unspecified order.
+	Range(f func(Version))
+	// Versions returns a copy of the full state.
+	Versions() []Version
+	// Stats reports applied/ignored counters.
+	Stats() (applied, ignored int64)
+}
 
 // Store is a single replica's key-value state. It is not safe for
 // concurrent use; the discrete-event simulator is single-threaded by

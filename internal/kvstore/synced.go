@@ -1,0 +1,74 @@
+package kvstore
+
+import "sync"
+
+// Synced wraps a Store with a mutex, making it a concurrency-safe Engine —
+// the in-memory (non-durable) engine a live server node runs on when no
+// data directory is configured. The lock discipline mirrors what the node
+// layer used to do with its own storeMu, moved behind the Engine seam so
+// durable engines can manage their own locking (and release it while
+// waiting on a group fsync).
+type Synced struct {
+	mu sync.Mutex
+	s  *Store
+}
+
+// NewSynced returns an empty concurrency-safe store.
+func NewSynced() *Synced { return &Synced{s: New()} }
+
+// Apply installs v if newer (see Store.Apply).
+func (s *Synced) Apply(v Version, now float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Apply(v, now)
+}
+
+// Get returns the current version for the key (see Store.Get).
+func (s *Synced) Get(key string) (Version, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Get(key)
+}
+
+// Seq returns the current sequence number for the key.
+func (s *Synced) Seq(key string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Seq(key)
+}
+
+// Len returns the number of keys stored.
+func (s *Synced) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Len()
+}
+
+// Summary returns the key→seq map (see Store.Summary).
+func (s *Synced) Summary() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Summary()
+}
+
+// Range calls f for every stored version while holding the lock; f must
+// not call back into the store.
+func (s *Synced) Range(f func(Version)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.s.Range(f)
+}
+
+// Versions returns a copy of the full state.
+func (s *Synced) Versions() []Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Versions()
+}
+
+// Stats reports applied/ignored counters.
+func (s *Synced) Stats() (applied, ignored int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Stats()
+}

@@ -54,10 +54,10 @@ func (s *aeStats) snapshot() (rounds, failed, buckets, pulled, pushed int64) {
 	return s.rounds, s.failed, s.buckets, s.pulled, s.pushed
 }
 
-// localSummary snapshots this replica's key→seq map.
+// localSummary snapshots this replica's key→seq map. Tombstones are
+// included by every engine — a delete must diff and replicate like any
+// other version, or a stale replica would resurrect the key.
 func (n *Node) localSummary() map[string]uint64 {
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
 	return n.store.Summary()
 }
 
@@ -76,8 +76,6 @@ func (n *Node) localBucketVersions(depth int, buckets []int) []kvstore.Version {
 	}
 	var out []kvstore.Version
 	bytes := 0
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
 	n.store.Range(func(v kvstore.Version) {
 		if len(out) >= maxVersionsPerExchange || bytes >= maxBytesPerExchange {
 			return

@@ -38,6 +38,7 @@ import (
 	"pbs/internal/kvstore"
 	"pbs/internal/ring"
 	"pbs/internal/rng"
+	"pbs/internal/storage"
 )
 
 const (
@@ -79,17 +80,40 @@ type NodeConfig struct {
 	Faults *Faults
 	// Seed drives latency-injection and leg-sampling randomness.
 	Seed uint64
+	// AdvertiseHTTP and AdvertiseInternal override the addresses this node
+	// publishes to peers and clients (ring membership, /config, join
+	// handshakes). A multi-host node typically binds 0.0.0.0 but must
+	// advertise a host its peers can dial; empty falls back to the bound
+	// listener addresses.
+	AdvertiseHTTP, AdvertiseInternal string
 }
 
 // newNode builds the common core of a node (storage, injector, counters)
-// without listeners or membership.
-func newNode(id int, p Params, faults *Faults, seeds *rng.RNG) *Node {
+// without listeners or membership. With Params.DataDir set, the node runs
+// on the durable storage engine at DataDir/node-<id> — opening it replays
+// any persisted state, so a restarted node comes back holding everything
+// it ever acked.
+func newNode(id int, p Params, faults *Faults, seeds *rng.RNG) (*Node, error) {
+	var store kvstore.Engine
+	if p.DataDir != "" {
+		eng, err := storage.Open(storage.Options{
+			Dir:           filepath.Join(p.DataDir, fmt.Sprintf("node-%d", id)),
+			Fsync:         p.Fsync,
+			MemtableBytes: p.MemtableBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: open storage engine: %w", err)
+		}
+		store = eng
+	} else {
+		store = kvstore.NewSynced()
+	}
 	n := &Node{
 		id:           id,
 		params:       p,
 		inj:          newInjector(p.Model, p.Scale, seeds.Uint64()),
 		epoch:        time.Now(),
-		store:        kvstore.New(),
+		store:        store,
 		faults:       faults,
 		live:         newLiveness(),
 		pendingJoins: make(map[string]int),
@@ -108,7 +132,7 @@ func newNode(id int, p Params, faults *Faults, seeds *rng.RNG) *Node {
 	if p.WARSSampling {
 		n.legs = newLegSampler(seeds.Uint64())
 	}
-	return n
+	return n, nil
 }
 
 // attachDurableHints replaces the node's in-memory hint buffer with one
@@ -150,6 +174,9 @@ func (n *Node) Close() {
 		}
 		if n.handoff != nil {
 			n.handoff.closeLog()
+		}
+		if e, ok := n.store.(*storage.Engine); ok {
+			e.Close()
 		}
 		n.closePeers()
 	})
@@ -194,8 +221,11 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.HTTPListener == nil || cfg.InternalListener == nil {
 		return nil, errors.New("server: StartNode needs bound listeners")
 	}
-	httpAddr := "http://" + cfg.HTTPListener.Addr().String()
-	internalAddr := cfg.InternalListener.Addr().String()
+	// Published addresses default to the bound ones; -advertise swaps in a
+	// peer-dialable host (multi-host deployments binding 0.0.0.0) while
+	// keeping the actual bound port.
+	httpAddr := "http://" + advertised(cfg.HTTPListener.Addr().String(), cfg.AdvertiseHTTP)
+	internalAddr := advertised(cfg.InternalListener.Addr().String(), cfg.AdvertiseInternal)
 
 	seeds := rng.New(cfg.Seed)
 	faults := cfg.Faults
@@ -211,7 +241,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		n := newNode(cfg.SeedID, p, faults, seeds)
+		n, err := newNode(cfg.SeedID, p, faults, seeds)
+		if err != nil {
+			return nil, err
+		}
 		n.selfHTTP, n.selfInternal = httpAddr, internalAddr
 		if p.Handoff && p.HintDir != "" {
 			if err := n.attachDurableHints(filepath.Join(p.HintDir, fmt.Sprintf("hints-%d.log", n.id))); err != nil {
@@ -234,7 +267,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: join handshake with %s: %w", cfg.JoinAddr, err)
 	}
-	n := newNode(id, p, faults, seeds)
+	n, err := newNode(id, p, faults, seeds)
+	if err != nil {
+		return nil, err
+	}
 	n.selfHTTP, n.selfInternal = httpAddr, internalAddr
 	if p.Handoff && p.HintDir != "" {
 		if err := n.attachDurableHints(filepath.Join(p.HintDir, fmt.Sprintf("hints-%d.log", n.id))); err != nil {
@@ -251,6 +287,24 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	return n, nil
+}
+
+// advertised resolves the address a node publishes for one listener: the
+// bound address unless an advertise override is given. An override without
+// a port (a bare host) keeps the bound port — the common case where only
+// the host is unroutable, e.g. a bind to 0.0.0.0 with OS-assigned ports.
+func advertised(bound, override string) string {
+	if override == "" {
+		return bound
+	}
+	if _, _, err := net.SplitHostPort(override); err == nil {
+		return override
+	}
+	_, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return override
+	}
+	return net.JoinHostPort(override, port)
 }
 
 // self returns this node's member record.
@@ -419,9 +473,7 @@ func (n *Node) Leave() error {
 	if sz := next.Size(); nrep > sz {
 		nrep = sz
 	}
-	n.storeMu.Lock()
 	vers := n.store.Versions()
-	n.storeMu.Unlock()
 	var drainErr error
 	for _, ver := range vers {
 		for _, owner := range next.PreferenceList(ver.Key, nrep) {
@@ -616,7 +668,6 @@ func (n *Node) handleStreamRange(req streamRangeRequest) (streamRangeResponse, e
 	}
 
 	h := make(keyMaxHeap, 0, streamChunkKeys)
-	n.storeMu.Lock()
 	n.store.Range(func(ver kvstore.Version) {
 		k := ver.Key
 		if k <= req.cursor {
@@ -631,7 +682,6 @@ func (n *Node) handleStreamRange(req streamRangeRequest) (streamRangeResponse, e
 			heap.Fix(&h, 0)
 		}
 	})
-	n.storeMu.Unlock()
 	full := len(h) == streamChunkKeys
 	keys := []string(h)
 	sort.Strings(keys)

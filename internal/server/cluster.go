@@ -69,6 +69,11 @@ func StartLocal(nodes int, p Params) (*Cluster, error) {
 			return nil, fmt.Errorf("server: hint dir: %w", err)
 		}
 	}
+	if p.DataDir != "" {
+		if err := os.MkdirAll(p.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: data dir: %w", err)
+		}
+	}
 
 	httpLns := make([]net.Listener, nodes)
 	internalLns := make([]net.Listener, nodes)
@@ -102,7 +107,12 @@ func StartLocal(nodes int, p Params) (*Cluster, error) {
 	faults := NewFaults(seeds.Uint64())
 	c := &Cluster{Params: p, faults: faults, seeds: seeds}
 	for i := 0; i < nodes; i++ {
-		n := newNode(i, p, faults, seeds)
+		n, err := newNode(i, p, faults, seeds)
+		if err != nil {
+			c.Close()
+			closeAll()
+			return nil, err
+		}
 		n.selfHTTP, n.selfInternal = members[i].HTTPAddr, members[i].InternalAddr
 		if p.Handoff && p.HintDir != "" {
 			if err := n.attachDurableHints(filepath.Join(p.HintDir, fmt.Sprintf("hints-%d.log", i))); err != nil {

@@ -35,6 +35,7 @@ import (
 
 	"pbs/internal/dist"
 	"pbs/internal/kvstore"
+	"pbs/internal/storage"
 	"pbs/internal/vclock"
 )
 
@@ -75,6 +76,21 @@ type Params struct {
 	HintFsync string
 	// HandoffInterval paces hint replay (zero means 250ms).
 	HandoffInterval time.Duration
+	// DataDir enables the durable storage engine (internal/storage): each
+	// node persists its replica state under DataDir/node-<id> — a
+	// group-commit WAL in front of a memtable that flushes to SSTables — and
+	// recovers it on restart, replaying the clean WAL prefix past any torn
+	// tail. Empty means in-memory storage only (state dies with the
+	// process, as before).
+	DataDir string
+	// Fsync is the storage engine's WAL durability policy, sharing the hint
+	// log's vocabulary: "always" group-commits an fsync before every ack
+	// (the default), "interval" fsyncs on a 100ms ticker, "never" flushes to
+	// the OS only. Ignored without DataDir.
+	Fsync string
+	// MemtableBytes is the storage engine's memtable flush threshold (zero
+	// means 4 MiB). Ignored without DataDir.
+	MemtableBytes int64
 	// AntiEntropy enables the background Merkle anti-entropy service
 	// (antientropy.go).
 	AntiEntropy bool
@@ -119,6 +135,9 @@ func (p *Params) setDefaults() {
 	if p.HintFsync == "" {
 		p.HintFsync = HintFsyncAlways
 	}
+	if p.Fsync == "" {
+		p.Fsync = storage.FsyncAlways
+	}
 }
 
 func (p Params) validate(nodes int) error {
@@ -149,6 +168,10 @@ func (p Params) validateElastic() error {
 	default:
 		return fmt.Errorf("server: hint fsync policy %q (want %s, %s or %s)",
 			p.HintFsync, HintFsyncAlways, HintFsyncInterval, HintFsyncNever)
+	}
+	if p.Fsync != "" && !storage.ValidPolicy(p.Fsync) {
+		return fmt.Errorf("server: fsync policy %q (want %s, %s or %s)",
+			p.Fsync, storage.FsyncAlways, storage.FsyncInterval, storage.FsyncNever)
 	}
 	return nil
 }
@@ -246,6 +269,17 @@ type StatsResponse struct {
 	AEBuckets int64 `json:"ae_buckets"`
 	AEPulled  int64 `json:"ae_pulled"`
 	AEPushed  int64 `json:"ae_pushed"`
+
+	// Durable-storage-engine counters (zero unless Params.DataDir).
+	// StoreRecovered is the number of distinct keys reloaded from disk at
+	// node start; WALAppends/WALSyncs expose the group-commit batch ratio.
+	StoreRecovered   int64 `json:"store_recovered"`
+	StoreFlushes     int64 `json:"store_flushes"`
+	StoreCompactions int64 `json:"store_compactions"`
+	StoreSSTables    int   `json:"store_sstables"`
+	WALAppends       int64 `json:"wal_appends"`
+	WALSyncs         int64 `json:"wal_syncs"`
+	WALErrs          int64 `json:"wal_errs"`
 }
 
 // Sequence numbers carry a per-key epoch in their high bits: a failover
@@ -302,6 +336,13 @@ func (s *StatsResponse) Accumulate(o StatsResponse) {
 	s.AEBuckets += o.AEBuckets
 	s.AEPulled += o.AEPulled
 	s.AEPushed += o.AEPushed
+	s.StoreRecovered += o.StoreRecovered
+	s.StoreFlushes += o.StoreFlushes
+	s.StoreCompactions += o.StoreCompactions
+	s.StoreSSTables += o.StoreSSTables
+	s.WALAppends += o.WALAppends
+	s.WALSyncs += o.WALSyncs
+	s.WALErrs += o.WALErrs
 }
 
 // keyEntry serializes version-number assignment for one key at its
@@ -340,8 +381,12 @@ type Node struct {
 	// load them once per operation.
 	rq, wq, nrep atomic.Int32
 
-	storeMu sync.Mutex
-	store   *kvstore.Store
+	// store is the replica's storage engine: kvstore.Synced (in-memory) or
+	// storage.Engine (durable, Params.DataDir). Engines are internally
+	// synchronized — the node layer never wraps a lock around them, which is
+	// what lets the durable engine group-commit concurrent appliers under
+	// one fsync.
+	store kvstore.Engine
 
 	keys sync.Map // string -> *keyEntry
 
@@ -376,17 +421,18 @@ func (n *Node) nowMs() float64 {
 	return float64(time.Since(n.epoch)) / float64(time.Millisecond)
 }
 
-// applyLocal installs a replicated version into this replica's store.
+// applyLocal installs a replicated version into this replica's store. With
+// a durable engine this does not return until the version is persisted per
+// the fsync policy — an acked apply survives SIGKILL.
 func (n *Node) applyLocal(v kvstore.Version) bool {
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
 	return n.store.Apply(v, n.nowMs())
 }
 
-// getLocal reads this replica's current version for key.
+// getLocal reads this replica's current version for key. The boolean means
+// a record exists — a tombstone reads as found here, so quorum reads can
+// pick the newest version across live and deleted states; visibility is
+// decided at the coordinator (handleGet).
 func (n *Node) getLocal(key string) (kvstore.Version, bool) {
-	n.storeMu.Lock()
-	defer n.storeMu.Unlock()
 	return n.store.Get(key)
 }
 
@@ -434,9 +480,7 @@ func (n *Node) nextSeq(key string, takeover bool) uint64 {
 	e := ei.(*keyEntry)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	n.storeMu.Lock()
 	stored := n.store.Seq(key)
-	n.storeMu.Unlock()
 	if stored > e.next {
 		e.next = stored
 	}
@@ -463,6 +507,7 @@ func (n *Node) nextSeq(key string, takeover bool) uint64 {
 func (n *Node) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /kv/{key}", n.handlePut)
+	mux.HandleFunc("DELETE /kv/{key}", n.handleDelete)
 	mux.HandleFunc("GET /kv/{key}", n.handleGet)
 	mux.HandleFunc("GET /config", n.handleConfig)
 	mux.HandleFunc("GET /stats", n.handleStats)
@@ -525,6 +570,22 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 		}
 		return
 	}
+	n.routeWrite(w, req, key, body, false)
+}
+
+// handleDelete routes a delete, which is just a write whose version is a
+// tombstone: it gets a fresh seq from the key's coordinator, fans out to
+// the same N preference replicas, commits at the same W quorum, and flows
+// through hinted handoff and anti-entropy like any live write — the
+// replication-borne tombstone is exactly what keeps a stale replica from
+// resurrecting the key later.
+func (n *Node) handleDelete(w http.ResponseWriter, req *http.Request) {
+	n.routeWrite(w, req, req.PathValue("key"), nil, true)
+}
+
+// routeWrite is the shared PUT/DELETE routing path (see handlePut's doc
+// comment for the coordinator-election rules).
+func (n *Node) routeWrite(w http.ResponseWriter, req *http.Request, key string, body []byte, tombstone bool) {
 	v := n.view()
 	if v == nil {
 		http.Error(w, "server: node has no membership yet", http.StatusServiceUnavailable)
@@ -533,7 +594,7 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 	primary := v.m.Coordinator(key)
 	forwarded := req.Header.Get(forwardedHeader) != ""
 	if primary == n.id {
-		n.coordinatePut(w, v, key, body, false)
+		n.coordinatePut(w, v, key, body, tombstone, false)
 		return
 	}
 	if !n.params.SloppyQuorum {
@@ -541,7 +602,7 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 			http.Error(w, "server: forwarding loop: not the primary coordinator", http.StatusInternalServerError)
 			return
 		}
-		n.forwardPut(w, v, primary, key, body)
+		n.forwardPut(w, v, primary, key, body, tombstone)
 		return
 	}
 	if forwarded {
@@ -552,7 +613,7 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 			http.Error(w, "server: forwarded to a non-replica coordinator", http.StatusInternalServerError)
 			return
 		}
-		n.coordinatePut(w, v, key, body, true)
+		n.coordinatePut(w, v, key, body, tombstone, true)
 		return
 	}
 	// Sloppy routing: hand the write to the first live preference replica,
@@ -560,13 +621,13 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 	sawQuorumFail := false
 	for _, cand := range n.prefs(v, key) {
 		if cand == n.id {
-			n.coordinatePut(w, v, key, body, true)
+			n.coordinatePut(w, v, key, body, tombstone, true)
 			return
 		}
 		if !n.alive(v, cand) {
 			continue
 		}
-		switch n.tryForward(w, v, cand, key, body) {
+		switch n.tryForward(w, v, cand, key, body, tombstone) {
 		case forwardRelayed:
 			return
 		case forwardUnreachable:
@@ -609,7 +670,7 @@ func (n *Node) onPreferenceList(v *memView, key string) bool {
 // (redirecting legs for unreachable replicas to hinted spares in sloppy
 // mode), respond at the W-th acknowledgment. The whole operation runs under
 // the membership view loaded at admission.
-func (n *Node) coordinatePut(w http.ResponseWriter, v *memView, key string, body []byte, takeover bool) {
+func (n *Node) coordinatePut(w http.ResponseWriter, v *memView, key string, body []byte, tombstone, takeover bool) {
 	n.coordWrites.Add(1)
 	if takeover {
 		n.failoverWrites.Add(1)
@@ -617,10 +678,11 @@ func (n *Node) coordinatePut(w http.ResponseWriter, v *memView, key string, body
 
 	seq := n.nextSeq(key, takeover)
 	ver := kvstore.Version{
-		Key:   key,
-		Seq:   seq,
-		Value: string(body),
-		Clock: vclock.VC{n.id: n.clockTicks.Add(1)},
+		Key:       key,
+		Seq:       seq,
+		Value:     string(body),
+		Tombstone: tombstone,
+		Clock:     vclock.VC{n.id: n.clockTicks.Add(1)},
 	}
 	prefs := n.prefs(v, key)
 	nReps := len(prefs)
@@ -791,9 +853,9 @@ func (n *Node) deliverWrite(v *memView, target int, ver kvstore.Version, spares 
 
 // forwardPut proxies a write to the key's primary coordinator and relays
 // the response verbatim (strict-quorum routing).
-func (n *Node) forwardPut(w http.ResponseWriter, v *memView, primary int, key string, body []byte) {
+func (n *Node) forwardPut(w http.ResponseWriter, v *memView, primary int, key string, body []byte, tombstone bool) {
 	url := v.httpAddr(primary) + "/kv/" + neturl.PathEscape(key)
-	freq, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	freq, err := http.NewRequest(writeMethod(tombstone), url, bytes.NewReader(body))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -808,6 +870,15 @@ func (n *Node) forwardPut(w http.ResponseWriter, v *memView, primary int, key st
 	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+}
+
+// writeMethod maps a write's tombstone flag back to its HTTP verb, so
+// proxied deletes stay deletes across forwarding hops.
+func writeMethod(tombstone bool) string {
+	if tombstone {
+		return http.MethodDelete
+	}
+	return http.MethodPut
 }
 
 // forwardOutcome classifies one sloppy-routing forward attempt.
@@ -830,9 +901,9 @@ const (
 // cluster can absorb. The outcome distinguishes a dead candidate from a
 // live one that couldn't commit, so only the former is marked dead in the
 // liveness cache.
-func (n *Node) tryForward(w http.ResponseWriter, v *memView, cand int, key string, body []byte) forwardOutcome {
+func (n *Node) tryForward(w http.ResponseWriter, v *memView, cand int, key string, body []byte, tombstone bool) forwardOutcome {
 	url := v.httpAddr(cand) + "/kv/" + neturl.PathEscape(key)
-	freq, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	freq, err := http.NewRequest(writeMethod(tombstone), url, bytes.NewReader(body))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return forwardRelayed
@@ -978,8 +1049,12 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	answered := time.Now()
+	// A tombstone wins the newest-of-R comparison like any version — that is
+	// what makes a delete stick against slower live writes — but the client
+	// sees the key as absent. Seq is still reported so callers can observe
+	// the delete's version (and tests can assert tombstone durability).
 	writeJSON(w, GetResponse{
-		Found:   bestFound,
+		Found:   bestFound && !best.Tombstone,
 		Seq:     best.Seq,
 		Value:   best.Value,
 		CoordMs: float64(answered.Sub(start)) / float64(time.Millisecond),
@@ -1043,10 +1118,8 @@ func (n *Node) handleConfig(w http.ResponseWriter, _ *http.Request) {
 // statsLocal assembles this node's full counter snapshot — the single
 // source for both the /stats endpoint and Cluster.Stats aggregation.
 func (n *Node) statsLocal() StatsResponse {
-	n.storeMu.Lock()
 	keys := n.store.Len()
 	applied, ignored := n.store.Stats()
-	n.storeMu.Unlock()
 	st := StatsResponse{
 		Node:           n.id,
 		R:              int(n.rq.Load()),
@@ -1073,6 +1146,16 @@ func (n *Node) statsLocal() StatsResponse {
 		st.HintsRestored = n.handoff.restoredCount()
 	}
 	st.AERounds, st.AEFailed, st.AEBuckets, st.AEPulled, st.AEPushed = n.ae.snapshot()
+	if e, ok := n.store.(*storage.Engine); ok {
+		m := e.Metrics()
+		st.StoreRecovered = m.Recovered
+		st.StoreFlushes = m.Flushes
+		st.StoreCompactions = m.Compactions
+		st.StoreSSTables = m.SSTables
+		st.WALAppends = m.WALAppends
+		st.WALSyncs = m.WALSyncs
+		st.WALErrs = m.WALErrs
+	}
 	return st
 }
 

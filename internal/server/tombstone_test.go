@@ -1,0 +1,127 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// httpDelete deletes through a node's public API and decodes the response.
+func httpDelete(t *testing.T, base, key string) PutResponse {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, base+"/kv/"+key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("DELETE %s: %s: %s", key, resp.Status, body)
+	}
+	var pr PutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestDeleteTombstone pins the basic delete lifecycle: a delete is a
+// versioned write (fresh seq from the same coordinator), reads observe the
+// key as gone from every coordinator, and a later put resurrects it with a
+// yet-higher version.
+func TestDeleteTombstone(t *testing.T) {
+	c, err := StartLocal(3, Params{N: 3, R: 2, W: 2, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pr := httpPut(t, c.HTTPAddrs[0], "alpha", "one")
+	if pr.Seq != 1 {
+		t.Fatalf("put seq %d, want 1", pr.Seq)
+	}
+	dr := httpDelete(t, c.HTTPAddrs[1], "alpha")
+	if dr.Seq != 2 {
+		t.Fatalf("delete seq %d, want 2", dr.Seq)
+	}
+	for i, base := range c.HTTPAddrs {
+		gr := httpGet(t, base, "alpha")
+		if gr.Found {
+			t.Fatalf("node %d still finds deleted key: %+v", i, gr)
+		}
+		if gr.Seq != 2 {
+			t.Fatalf("node %d reports seq %d for tombstone, want 2", i, gr.Seq)
+		}
+	}
+
+	// Deleting a key that never existed still commits a tombstone write.
+	if dr := httpDelete(t, c.HTTPAddrs[2], "ghost"); dr.Seq == 0 {
+		t.Fatalf("delete of absent key got seq 0: %+v", dr)
+	}
+
+	// A put after the delete resurrects the key with a newer version.
+	pr = httpPut(t, c.HTTPAddrs[2], "alpha", "reborn")
+	if pr.Seq != 3 {
+		t.Fatalf("resurrecting put seq %d, want 3", pr.Seq)
+	}
+	gr := httpGet(t, c.HTTPAddrs[0], "alpha")
+	if !gr.Found || gr.Value != "reborn" {
+		t.Fatalf("resurrected read %+v", gr)
+	}
+}
+
+// TestDeleteNoResurrectionAfterAntiEntropy is the tombstone-replication
+// regression test: a replica that was down for the delete still holds the
+// live version when it recovers. Merkle anti-entropy must push the
+// tombstone *to* the stale replica — never pull the stale live version
+// back over the delete — so the key stays gone from every coordinator.
+func TestDeleteNoResurrectionAfterAntiEntropy(t *testing.T) {
+	c, err := StartLocal(3, Params{
+		N: 3, R: 1, W: 1, Seed: 42,
+		AntiEntropy: true, AntiEntropyInterval: 30 * time.Millisecond, MerkleDepth: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const victim = 2
+	key := keysWithPrimary(t, c, 0, 1, "del-")[0]
+	httpPut(t, c.HTTPAddrs[0], key, "doomed")
+	waitReplicaSeqs(t, c, victim, []string{key}, 1, 5*time.Second)
+
+	// The victim sleeps through the delete holding the live version.
+	c.Faults().Crash(victim)
+	dr := httpDelete(t, c.HTTPAddrs[0], key)
+	if dr.Seq != 2 {
+		t.Fatalf("delete seq %d, want 2", dr.Seq)
+	}
+	c.Faults().Recover(victim)
+
+	// Anti-entropy must converge the victim onto the tombstone.
+	waitReplicaSeqs(t, c, victim, []string{key}, 2, 10*time.Second)
+
+	// With the stale replica converged, no coordinator may resurrect the
+	// key — including reads coordinated at the recovered victim itself.
+	for i, base := range c.HTTPAddrs {
+		for attempt := 0; attempt < 5; attempt++ {
+			gr := httpGet(t, base, key)
+			if gr.Found {
+				t.Fatalf("node %d resurrected deleted key: %+v", i, gr)
+			}
+		}
+	}
+	// And the tombstone must never have been overwritten by the stale
+	// version on the replicas that saw the delete.
+	for i := 0; i < 3; i++ {
+		if seq := c.ReplicaSeq(i, key); seq != 2 {
+			t.Fatalf("replica %d at seq %d, want tombstone seq 2", i, seq)
+		}
+	}
+}

@@ -152,9 +152,18 @@ func (d *decoder) clock() vclock.VC {
 	return vc
 }
 
+// versionFlagTombstone marks a replicated delete in the wire format's
+// version flags byte.
+const versionFlagTombstone byte = 1 << 0
+
 func encodeVersion(b []byte, v kvstore.Version) []byte {
 	b = appendString16(b, v.Key)
 	b = binary.BigEndian.AppendUint64(b, v.Seq)
+	var flags byte
+	if v.Tombstone {
+		flags |= versionFlagTombstone
+	}
+	b = append(b, flags)
 	b = appendString32(b, v.Value)
 	return appendClock(b, v.Clock)
 }
@@ -163,6 +172,7 @@ func (d *decoder) version() kvstore.Version {
 	var v kvstore.Version
 	v.Key = d.string16()
 	v.Seq = d.u64()
+	v.Tombstone = d.u8()&versionFlagTombstone != 0
 	v.Value = d.string32()
 	v.Clock = d.clock()
 	return v

@@ -1,0 +1,5 @@
+//go:build !race
+
+package smoke
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package smoke
+
+// raceEnabled reports whether the race detector is compiled in; the
+// fsync throughput bench relaxes its floor under race instrumentation.
+const raceEnabled = true
