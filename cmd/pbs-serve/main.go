@@ -121,11 +121,19 @@ func fatalf(format string, args ...any) {
 // With -join it bootstraps into a running cluster (ID assignment, key-range
 // streaming, ring flip) before reporting ready; without it, it seeds a
 // fresh single-node cluster other processes can -join. The process serves
-// until SIGINT/SIGTERM.
-func runSingleNode(p server.Params, listen, internal, join, advertise string) {
+// until SIGINT/SIGTERM; with -leave it drains out of the ring (a committed
+// leave through the config log) before shutting down.
+func runSingleNode(p server.Params, listen, internal, join, advertise, failSpec string, leave bool) {
 	p.SetDefaults() // resolve implied flags (-sloppy => handoff) before the hint-dir check
 	if p.Handoff && p.HintDir != "" {
 		if err := os.MkdirAll(p.HintDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	var schedule []server.FaultEvent
+	if failSpec != "" {
+		var err error
+		if schedule, err = server.ParseSchedule(failSpec); err != nil {
 			fatalf("%v", err)
 		}
 	}
@@ -162,11 +170,32 @@ func runSingleNode(p server.Params, listen, internal, join, advertise string) {
 	m := nd.Membership()
 	fmt.Printf("node %d: http=%s internal=%s ring-epoch=%d members=%d\n",
 		nd.ID(), nd.HTTPAddr(), nd.InternalAddr(), m.Epoch(), m.Size())
+	if len(schedule) > 0 {
+		// "self" events (Node -1) resolve to this process's member ID, known
+		// only after the join.
+		for i := range schedule {
+			if schedule[i].Node == -1 {
+				schedule[i].Node = nd.ID()
+			}
+		}
+		fmt.Printf("node %d: fault schedule:\n", nd.ID())
+		for _, e := range schedule {
+			fmt.Printf("  %v\n", e)
+		}
+		stopSchedule := nd.Faults().RunSchedule(schedule)
+		defer stopSchedule()
+	}
 	fmt.Printf("ready\n")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	if leave {
+		fmt.Printf("node %d: leaving the ring\n", nd.ID())
+		if err := nd.Leave(); err != nil {
+			fmt.Fprintf(os.Stderr, "pbs-serve: node %d: leave: %v\n", nd.ID(), err)
+		}
+	}
 	fmt.Printf("node %d: shutting down\n", nd.ID())
 }
 
@@ -206,6 +235,8 @@ func main() {
 	internalAddr := flag.String("internal", "127.0.0.1:0", "single-node mode: internal replication-transport listen address")
 	joinAddr := flag.String("join", "", "single-node mode: internal address of any member of a running cluster to join")
 	advertise := flag.String("advertise", "", "single-node mode: address peers should dial instead of the bound listen address (host or host:port; a bare host keeps each listener's bound port)")
+	leave := flag.Bool("leave", false, "single-node mode: drain and leave the ring (a committed config-log leave) on SIGINT/SIGTERM instead of just shutting down")
+	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy membership gossip interval (0 = server default)")
 	flag.Parse()
 
 	model, ok := latencyModel(*modelName)
@@ -223,8 +254,9 @@ func main() {
 			DataDir: *dataDir, Fsync: *fsyncPolicy, MemtableBytes: *memtableBytes,
 			WARSSampling: true,
 			Model:        &model, Scale: *scale,
-			Seed: *seed,
-		}, *listenAddr, *internalAddr, *joinAddr, *advertise)
+			Seed:           *seed,
+			GossipInterval: *gossipInterval,
+		}, *listenAddr, *internalAddr, *joinAddr, *advertise, *failSpec, *leave)
 		return
 	}
 
@@ -257,7 +289,8 @@ func main() {
 		DataDir: *dataDir, Fsync: *fsyncPolicy, MemtableBytes: *memtableBytes,
 		WARSSampling: true, // /wars is part of the CLI surface; the tuner feeds on it
 		Model:        &model, Scale: *scale,
-		Seed: *seed,
+		Seed:           *seed,
+		GossipInterval: *gossipInterval,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -1,0 +1,488 @@
+// Package configlog is a small replicated log arbitrating ring
+// configuration: slot e of the log holds the membership committed at ring
+// epoch e, decided by single-decree Paxos among the members of the
+// previous configuration (slot e-1). Concurrent membership changes —
+// joins through different seeds, a join racing a leave — propose
+// different values for the same slot; Paxos picks exactly one, the losing
+// proposer adopts the decided value and re-proposes its change at the
+// next slot. Bounded-retry failure modes ("lost the epoch race N times")
+// disappear: every lost round is another committed configuration, so a
+// proposer makes progress by losing.
+//
+// Consensus runs on membership only, never on the data path: a decided
+// slot is installed as the node's ring view (server.installMembership) and
+// data operations keep their partial-quorum semantics untouched — exactly
+// the Dynamo-style split the PBS model assumes.
+//
+// The protocol is the classic three-phase single-decree Paxos (modeled on
+// MIT 6.824's paxos.go): prepare(n) → promise carrying the
+// highest-numbered accepted value, accept(n, v) → ack, then a best-effort
+// decide broadcast. Proposal numbers are globally unique per proposer
+// (round<<16 | proposerID). Acceptor state is kept per slot and in memory
+// only: a restarted node re-learns decided slots from its peers' decide
+// replies and from gossiped memberships, which is sufficient here because
+// a decided configuration is also durably embodied in the surviving
+// majority's ring views.
+package configlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pbs/internal/rng"
+)
+
+// Peer is the transport seam: one acceptor's RPC surface as seen from a
+// proposer. The server's internal transport implements it (opConfigLog).
+type Peer interface {
+	ConfigRPC(payload []byte) ([]byte, error)
+}
+
+// --- acceptor / learner --------------------------------------------------
+
+// slotState is one slot's acceptor and learner state.
+type slotState struct {
+	np      uint64 // highest proposal number promised (prepare)
+	na      uint64 // proposal number of the highest accepted value
+	va      []byte // the accepted value
+	decided []byte // non-nil once the slot's value is learned
+}
+
+// Log is one node's acceptor, learner, and local copy of the decided
+// prefix. Safe for concurrent use.
+type Log struct {
+	mu    sync.Mutex
+	slots map[uint64]*slotState
+	// onDecide fires (outside the lock) the first time a slot's decided
+	// value is learned, in learn order for this node — not necessarily slot
+	// order under partitions; consumers order by content (ring epochs).
+	onDecide func(slot uint64, value []byte)
+	decides  int64
+}
+
+// New returns an empty log. onDecide (may be nil) is invoked once per
+// newly learned slot.
+func New(onDecide func(slot uint64, value []byte)) *Log {
+	return &Log{slots: make(map[uint64]*slotState), onDecide: onDecide}
+}
+
+func (l *Log) slot(s uint64) *slotState {
+	st := l.slots[s]
+	if st == nil {
+		st = &slotState{}
+		l.slots[s] = st
+	}
+	return st
+}
+
+// RecordDecide installs a learned value for a slot (seed bootstrap, a
+// proposer folding its own decision, a decide message). Idempotent; the
+// first install fires onDecide.
+func (l *Log) RecordDecide(slot uint64, value []byte) {
+	l.mu.Lock()
+	st := l.slot(slot)
+	first := st.decided == nil
+	if first {
+		st.decided = append([]byte(nil), value...)
+		l.decides++
+	}
+	cb := l.onDecide
+	l.mu.Unlock()
+	if first && cb != nil {
+		cb(slot, value)
+	}
+}
+
+// Decided returns the learned value for a slot, if any.
+func (l *Log) Decided(slot uint64) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.slots[slot]
+	if st == nil || st.decided == nil {
+		return nil, false
+	}
+	return append([]byte(nil), st.decided...), true
+}
+
+// MaxDecided returns the highest slot with a learned value (0 when none).
+func (l *Log) MaxDecided() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var max uint64
+	for s, st := range l.slots {
+		if st.decided != nil && s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// DecideCount returns how many slots this node has learned.
+func (l *Log) DecideCount() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.decides
+}
+
+// HandleRPC serves one acceptor-side message (the opConfigLog payload) and
+// returns the encoded reply.
+func (l *Log) HandleRPC(payload []byte) ([]byte, error) {
+	req, err := DecodeRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case KindPrepare:
+		l.mu.Lock()
+		st := l.slot(req.Slot)
+		rep := Reply{Np: st.np, Na: st.na, Va: st.va, Decided: st.decided}
+		if st.decided == nil && req.N > st.np {
+			st.np = req.N
+			rep.OK = true
+			rep.Np = req.N
+		}
+		l.mu.Unlock()
+		return EncodeReply(rep), nil
+	case KindAccept:
+		l.mu.Lock()
+		st := l.slot(req.Slot)
+		rep := Reply{Np: st.np, Decided: st.decided}
+		if st.decided == nil && req.N >= st.np {
+			st.np = req.N
+			st.na = req.N
+			st.va = append([]byte(nil), req.Value...)
+			rep.OK = true
+			rep.Np = req.N
+			rep.Na = req.N
+			rep.Va = st.va
+		}
+		l.mu.Unlock()
+		return EncodeReply(rep), nil
+	case KindDecide:
+		l.RecordDecide(req.Slot, req.Value)
+		return EncodeReply(Reply{OK: true, Decided: req.Value}), nil
+	default:
+		return nil, fmt.Errorf("configlog: unknown message kind %d", req.Kind)
+	}
+}
+
+// --- proposer ------------------------------------------------------------
+
+const (
+	// proposerBits is how many low bits of a proposal number carry the
+	// proposer ID, making numbers globally unique across proposers.
+	proposerBits = 16
+	proposerMask = 1<<proposerBits - 1
+
+	// defaultMaxRounds bounds one Propose call's prepare/accept rounds.
+	// Generous: rounds are only lost to genuinely concurrent proposals for
+	// the same slot, and the randomized backoff breaks livelock quickly.
+	defaultMaxRounds = 64
+
+	// backoffBase scales the randomized retry pause between lost rounds.
+	backoffBase = 2 * time.Millisecond
+	backoffCap  = 40 * time.Millisecond
+)
+
+// Proposal is one Propose call's inputs.
+type Proposal struct {
+	// Slot is the log slot being decided.
+	Slot uint64
+	// Value is this proposer's candidate (ignored if the slot already has
+	// an accepted or decided value at a majority).
+	Value []byte
+	// Peers are the slot's acceptors: the members of the previous
+	// configuration. A majority must be reachable.
+	Peers []Peer
+	// ProposerID disambiguates concurrent proposers' proposal numbers; must
+	// be unique among them (ring member IDs are).
+	ProposerID int
+	// Seed drives backoff jitter.
+	Seed uint64
+	// MaxRounds bounds retry rounds (0 selects the default).
+	MaxRounds int
+}
+
+// ErrNoMajority is wrapped by Propose when a majority of acceptors was
+// unreachable in every round — the one failure mode retrying cannot fix
+// without the network healing.
+var ErrNoMajority = errors.New("configlog: no majority of acceptors reachable")
+
+// Propose runs single-decree Paxos for one slot and returns the slot's
+// decided value — which is this proposer's Value only if it won; a caller
+// whose value lost adopts the returned decision and re-proposes at a later
+// slot. The decide is broadcast best-effort to every acceptor before
+// returning.
+func Propose(p Proposal) ([]byte, error) {
+	if len(p.Peers) == 0 {
+		return nil, errors.New("configlog: proposal needs at least one acceptor")
+	}
+	maxRounds := p.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	majority := len(p.Peers)/2 + 1
+	r := rng.New(p.Seed ^ uint64(p.ProposerID)*0x9e3779b97f4a7c15)
+	var maxSeen uint64
+	var lastErr error
+	for round := 0; round < maxRounds; round++ {
+		if round > 0 {
+			pause := backoffBase * time.Duration(round)
+			if pause > backoffCap {
+				pause = backoffCap
+			}
+			// Full jitter: concurrent proposers for one slot desynchronize.
+			time.Sleep(time.Duration(r.Float64() * float64(pause)))
+		}
+		n := (maxSeen>>proposerBits+1)<<proposerBits | uint64(p.ProposerID)&proposerMask
+
+		// Phase 1: prepare. Any reply carrying a decided value short-cuts
+		// the round — the slot is settled, just spread and adopt it.
+		prepares := fanout(p.Peers, Request{Kind: KindPrepare, Slot: p.Slot, N: n})
+		if v, ok := decidedOf(prepares); ok {
+			broadcastDecide(p.Peers, p.Slot, v)
+			return v, nil
+		}
+		var promised, reached int
+		value := p.Value
+		var valueNa uint64
+		for _, rep := range prepares {
+			if rep.err != nil {
+				lastErr = rep.err
+				continue
+			}
+			reached++
+			if rep.Np > maxSeen {
+				maxSeen = rep.Np
+			}
+			if !rep.OK {
+				continue
+			}
+			promised++
+			// A promise reports the highest-numbered value the acceptor
+			// already accepted; the proposer must adopt the max over them.
+			if rep.Va != nil && rep.Na > valueNa {
+				valueNa = rep.Na
+				value = rep.Va
+			}
+		}
+		if reached < majority {
+			lastErr = fmt.Errorf("%w: %d/%d answered prepare", ErrNoMajority, reached, len(p.Peers))
+			continue
+		}
+		if promised < majority {
+			continue // outbid: retry with a higher number
+		}
+
+		// Phase 2: accept.
+		accepts := fanout(p.Peers, Request{Kind: KindAccept, Slot: p.Slot, N: n, Value: value})
+		if v, ok := decidedOf(accepts); ok {
+			broadcastDecide(p.Peers, p.Slot, v)
+			return v, nil
+		}
+		accepted := 0
+		for _, rep := range accepts {
+			if rep.err != nil {
+				lastErr = rep.err
+				continue
+			}
+			if rep.Np > maxSeen {
+				maxSeen = rep.Np
+			}
+			if rep.OK {
+				accepted++
+			}
+		}
+		if accepted >= majority {
+			broadcastDecide(p.Peers, p.Slot, value)
+			return value, nil
+		}
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("configlog: slot %d undecided after %d rounds: %w", p.Slot, maxRounds, lastErr)
+	}
+	return nil, fmt.Errorf("configlog: slot %d undecided after %d rounds", p.Slot, maxRounds)
+}
+
+// replyOrErr pairs one acceptor's reply with its transport error.
+type replyOrErr struct {
+	Reply
+	err error
+}
+
+// fanout sends req to every peer concurrently and collects all replies.
+func fanout(peers []Peer, req Request) []replyOrErr {
+	enc := EncodeRequest(req)
+	out := make([]replyOrErr, len(peers))
+	var wg sync.WaitGroup
+	for i, pe := range peers {
+		wg.Add(1)
+		go func(i int, pe Peer) {
+			defer wg.Done()
+			raw, err := pe.ConfigRPC(enc)
+			if err != nil {
+				out[i] = replyOrErr{err: err}
+				return
+			}
+			rep, err := DecodeReply(raw)
+			out[i] = replyOrErr{Reply: rep, err: err}
+		}(i, pe)
+	}
+	wg.Wait()
+	return out
+}
+
+// decidedOf returns the first decided value any reply carried.
+func decidedOf(reps []replyOrErr) ([]byte, bool) {
+	for _, rep := range reps {
+		if rep.err == nil && rep.Decided != nil {
+			return rep.Decided, true
+		}
+	}
+	return nil, false
+}
+
+// broadcastDecide spreads a decision to every acceptor, best-effort: a
+// member that misses it learns the configuration through gossip instead.
+func broadcastDecide(peers []Peer, slot uint64, value []byte) {
+	fanout(peers, Request{Kind: KindDecide, Slot: slot, Value: value})
+}
+
+// --- wire codec ----------------------------------------------------------
+//
+//	request: u8 kind | u64 slot | u64 n | u32 len | value
+//	reply:   u8 flags | u64 np | u64 na | u32 len(va) | va
+//	         | u32 len(decided) | decided
+//
+// In replies, nil values encode length 0 with flag bits distinguishing
+// "no value" from "empty value" (memberships never encode empty, but the
+// codec should not conflate them).
+
+// Message kinds.
+const (
+	KindPrepare byte = 1
+	KindAccept  byte = 2
+	KindDecide  byte = 3
+)
+
+const (
+	flagOK         byte = 1 << 0
+	flagHasVa      byte = 1 << 1
+	flagHasDecided byte = 1 << 2
+
+	// maxValueBytes bounds one encoded configuration value.
+	maxValueBytes = 1 << 20
+)
+
+// Request is one proposer→acceptor message.
+type Request struct {
+	Kind  byte
+	Slot  uint64
+	N     uint64 // proposal number (unused for KindDecide)
+	Value []byte // accept/decide payload (nil for KindPrepare)
+}
+
+// Reply is one acceptor→proposer message.
+type Reply struct {
+	OK      bool   // promise granted / accept recorded / decide installed
+	Np      uint64 // acceptor's highest promised number
+	Na      uint64 // proposal number of Va
+	Va      []byte // highest-numbered accepted value (prepare replies)
+	Decided []byte // the slot's decided value, when known
+}
+
+// EncodeRequest serializes a request.
+func EncodeRequest(r Request) []byte {
+	b := []byte{r.Kind}
+	b = binary.BigEndian.AppendUint64(b, r.Slot)
+	b = binary.BigEndian.AppendUint64(b, r.N)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Value)))
+	return append(b, r.Value...)
+}
+
+// DecodeRequest parses an EncodeRequest payload.
+func DecodeRequest(b []byte) (Request, error) {
+	var r Request
+	if len(b) < 1+8+8+4 {
+		return r, errors.New("configlog: short request")
+	}
+	r.Kind = b[0]
+	if r.Kind != KindPrepare && r.Kind != KindAccept && r.Kind != KindDecide {
+		return r, fmt.Errorf("configlog: unknown message kind %d", r.Kind)
+	}
+	r.Slot = binary.BigEndian.Uint64(b[1:])
+	r.N = binary.BigEndian.Uint64(b[9:])
+	vlen := int(binary.BigEndian.Uint32(b[17:]))
+	if vlen > maxValueBytes {
+		return r, fmt.Errorf("configlog: value of %d bytes exceeds limit", vlen)
+	}
+	if len(b) != 21+vlen {
+		return r, errors.New("configlog: malformed request")
+	}
+	if vlen > 0 {
+		r.Value = b[21:]
+	}
+	return r, nil
+}
+
+// EncodeReply serializes a reply.
+func EncodeReply(r Reply) []byte {
+	var flags byte
+	if r.OK {
+		flags |= flagOK
+	}
+	if r.Va != nil {
+		flags |= flagHasVa
+	}
+	if r.Decided != nil {
+		flags |= flagHasDecided
+	}
+	b := []byte{flags}
+	b = binary.BigEndian.AppendUint64(b, r.Np)
+	b = binary.BigEndian.AppendUint64(b, r.Na)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Va)))
+	b = append(b, r.Va...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(r.Decided)))
+	return append(b, r.Decided...)
+}
+
+// DecodeReply parses an EncodeReply payload.
+func DecodeReply(b []byte) (Reply, error) {
+	var r Reply
+	if len(b) < 1+8+8+4 {
+		return r, errors.New("configlog: short reply")
+	}
+	flags := b[0]
+	if flags&^(flagOK|flagHasVa|flagHasDecided) != 0 {
+		return r, fmt.Errorf("configlog: unknown reply flags %#x", flags)
+	}
+	r.OK = flags&flagOK != 0
+	r.Np = binary.BigEndian.Uint64(b[1:])
+	r.Na = binary.BigEndian.Uint64(b[9:])
+	b = b[17:]
+	valen := int(binary.BigEndian.Uint32(b))
+	if valen > maxValueBytes || len(b) < 4+valen+4 {
+		return r, errors.New("configlog: malformed reply")
+	}
+	va := b[4 : 4+valen]
+	b = b[4+valen:]
+	dlen := int(binary.BigEndian.Uint32(b))
+	if dlen > maxValueBytes || len(b) != 4+dlen {
+		return r, errors.New("configlog: malformed reply")
+	}
+	decided := b[4:]
+	if flags&flagHasVa != 0 {
+		r.Va = va
+	} else if valen != 0 {
+		return r, errors.New("configlog: va bytes without flag")
+	}
+	if flags&flagHasDecided != 0 {
+		r.Decided = decided
+	} else if dlen != 0 {
+		return r, errors.New("configlog: decided bytes without flag")
+	}
+	return r, nil
+}

@@ -1,0 +1,217 @@
+package configlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// localPeer serves a Log in-process, optionally failing or delaying.
+type localPeer struct {
+	log  *Log
+	down atomic.Bool
+	// flakyEvery drops every k-th RPC when > 0 (deterministic lossiness).
+	flakyEvery int64
+	calls      atomic.Int64
+}
+
+func (p *localPeer) ConfigRPC(payload []byte) ([]byte, error) {
+	if p.down.Load() {
+		return nil, errors.New("peer down")
+	}
+	if k := p.flakyEvery; k > 0 && p.calls.Add(1)%int64(k) == 0 {
+		return nil, errors.New("rpc lost")
+	}
+	return p.log.HandleRPC(payload)
+}
+
+func newCluster(n int) ([]*Log, []Peer) {
+	logs := make([]*Log, n)
+	peers := make([]Peer, n)
+	for i := range logs {
+		logs[i] = New(nil)
+		peers[i] = &localPeer{log: logs[i]}
+	}
+	return logs, peers
+}
+
+func TestSingleProposerDecides(t *testing.T) {
+	logs, peers := newCluster(3)
+	v, err := Propose(Proposal{Slot: 2, Value: []byte("config-a"), Peers: peers, ProposerID: 7, Seed: 1})
+	if err != nil {
+		t.Fatalf("propose: %v", err)
+	}
+	if string(v) != "config-a" {
+		t.Fatalf("decided %q, want config-a", v)
+	}
+	// The decide broadcast reached every acceptor.
+	for i, l := range logs {
+		d, ok := l.Decided(2)
+		if !ok || string(d) != "config-a" {
+			t.Fatalf("acceptor %d: decided=%q ok=%v", i, d, ok)
+		}
+	}
+}
+
+// TestConcurrentProposersAgree is the safety core: two proposers racing the
+// same slot with different values must decide the SAME value — this is what
+// makes two same-epoch conflicting membership installs impossible.
+func TestConcurrentProposersAgree(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		_, peers := newCluster(3)
+		var wg sync.WaitGroup
+		results := make([][]byte, 2)
+		errs := make([]error, 2)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = Propose(Proposal{
+					Slot:       5,
+					Value:      []byte(fmt.Sprintf("value-%d", i)),
+					Peers:      peers,
+					ProposerID: i + 1,
+					Seed:       uint64(trial)*31 + uint64(i),
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("trial %d proposer %d: %v", trial, i, err)
+			}
+		}
+		if !bytes.Equal(results[0], results[1]) {
+			t.Fatalf("trial %d: proposers decided different values: %q vs %q",
+				trial, results[0], results[1])
+		}
+	}
+}
+
+func TestDecisionSurvivesMinorityFailure(t *testing.T) {
+	logs, peers := newCluster(3)
+	lp := peers[2].(*localPeer)
+	lp.down.Store(true)
+	v, err := Propose(Proposal{Slot: 3, Value: []byte("survives"), Peers: peers, ProposerID: 1, Seed: 9})
+	if err != nil {
+		t.Fatalf("propose with one acceptor down: %v", err)
+	}
+	if string(v) != "survives" {
+		t.Fatalf("decided %q", v)
+	}
+	// A later proposer with a different value — after the down acceptor
+	// recovers — must learn the existing decision, not overwrite it.
+	lp.down.Store(false)
+	v2, err := Propose(Proposal{Slot: 3, Value: []byte("usurper"), Peers: peers, ProposerID: 2, Seed: 10})
+	if err != nil {
+		t.Fatalf("re-propose: %v", err)
+	}
+	if string(v2) != "survives" {
+		t.Fatalf("decided value changed to %q", v2)
+	}
+	if d, ok := logs[2].Decided(3); !ok || string(d) != "survives" {
+		t.Fatalf("recovered acceptor learned %q ok=%v", d, ok)
+	}
+}
+
+func TestNoMajorityFails(t *testing.T) {
+	_, peers := newCluster(3)
+	peers[1].(*localPeer).down.Store(true)
+	peers[2].(*localPeer).down.Store(true)
+	_, err := Propose(Proposal{Slot: 1, Value: []byte("x"), Peers: peers, ProposerID: 1, Seed: 2, MaxRounds: 3})
+	if !errors.Is(err, ErrNoMajority) {
+		t.Fatalf("err = %v, want ErrNoMajority", err)
+	}
+}
+
+func TestLossyLinksStillDecide(t *testing.T) {
+	_, peers := newCluster(5)
+	for _, p := range peers {
+		p.(*localPeer).flakyEvery = 3 // every third RPC to each acceptor is lost
+	}
+	v, err := Propose(Proposal{Slot: 4, Value: []byte("lossy"), Peers: peers, ProposerID: 3, Seed: 4})
+	if err != nil {
+		t.Fatalf("propose under loss: %v", err)
+	}
+	if string(v) != "lossy" {
+		t.Fatalf("decided %q", v)
+	}
+}
+
+func TestOnDecideFiresOnce(t *testing.T) {
+	var fired atomic.Int64
+	l := New(func(slot uint64, v []byte) { fired.Add(1) })
+	l.RecordDecide(1, []byte("a"))
+	l.RecordDecide(1, []byte("a"))
+	l.RecordDecide(1, []byte("ignored-conflict"))
+	if fired.Load() != 1 {
+		t.Fatalf("onDecide fired %d times, want 1", fired.Load())
+	}
+	if d, _ := l.Decided(1); string(d) != "a" {
+		t.Fatalf("decided = %q, want first value to stick", d)
+	}
+	if l.MaxDecided() != 1 || l.DecideCount() != 1 {
+		t.Fatalf("MaxDecided=%d DecideCount=%d", l.MaxDecided(), l.DecideCount())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Kind: KindPrepare, Slot: 7, N: 1<<16 | 3},
+		{Kind: KindAccept, Slot: 7, N: 2<<16 | 4, Value: []byte("v")},
+		{Kind: KindDecide, Slot: 9, Value: []byte("decided-bytes")},
+	}
+	for _, r := range reqs {
+		got, err := DecodeRequest(EncodeRequest(r))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if got.Kind != r.Kind || got.Slot != r.Slot || got.N != r.N || !bytes.Equal(got.Value, r.Value) {
+			t.Fatalf("round trip %+v -> %+v", r, got)
+		}
+	}
+	reps := []Reply{
+		{},
+		{OK: true, Np: 99},
+		{OK: true, Np: 5, Na: 4, Va: []byte("accepted")},
+		{Np: 5, Decided: []byte("done")},
+		{OK: true, Va: []byte{}, Decided: []byte{}},
+	}
+	for _, r := range reps {
+		got, err := DecodeReply(EncodeReply(r))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if got.OK != r.OK || got.Np != r.Np || got.Na != r.Na ||
+			!bytes.Equal(got.Va, r.Va) || (got.Va == nil) != (r.Va == nil) ||
+			!bytes.Equal(got.Decided, r.Decided) || (got.Decided == nil) != (r.Decided == nil) {
+			t.Fatalf("round trip %+v -> %+v", r, got)
+		}
+	}
+}
+
+func FuzzConfigLogCodec(f *testing.F) {
+	f.Add(EncodeRequest(Request{Kind: KindPrepare, Slot: 1, N: 1 << 16}))
+	f.Add(EncodeRequest(Request{Kind: KindDecide, Slot: 2, Value: []byte("v")}))
+	f.Add(EncodeReply(Reply{OK: true, Np: 3, Na: 2, Va: []byte("a"), Decided: []byte("d")}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeRequest(data); err == nil {
+			if got := EncodeRequest(req); !bytes.Equal(got, data) {
+				t.Fatalf("request re-encode mismatch: %x vs %x", got, data)
+			}
+			// A structurally valid request must never panic the acceptor.
+			if _, err := New(nil).HandleRPC(data); err != nil {
+				t.Fatalf("acceptor rejected valid request: %v", err)
+			}
+		}
+		if rep, err := DecodeReply(data); err == nil {
+			if got := EncodeReply(rep); !bytes.Equal(got, data) {
+				t.Fatalf("reply re-encode mismatch: %x vs %x", got, data)
+			}
+		}
+	})
+}

@@ -1,0 +1,287 @@
+// Package gossip implements anti-entropy membership dissemination: each
+// node keeps a small per-member state table — a heartbeat counter, the
+// highest ring epoch the member has been seen under, and the highest seq
+// epoch the member has been observed assigning — and periodically exchanges
+// it with one peer picked round-robin (piggybacking on the same partner
+// rotation the Merkle anti-entropy service uses). Entries merge field-wise
+// by max, so the tables are join-semilattices and every exchange is
+// idempotent and order-independent.
+//
+// Two properties the server layer builds on:
+//
+//   - Bounded convergence with zero explicit pushes: the full encoded
+//     membership of the sender rides on every exchange (see EncodeMessage),
+//     so a partitioned or restarted node adopts the current ring the first
+//     time it exchanges with any up-to-date member — and round-robin
+//     partner selection guarantees that happens within at most Size-1 of
+//     its own rounds, usually the very first (the initiating side of the
+//     healed node's next round already suffices).
+//
+//   - Cluster memory of seq-epoch claims: when a failover coordinator
+//     claims a fresh seq epoch (server.SeqEpoch), it records the claim in
+//     its own entry; peers merge and re-echo it. A coordinator that
+//     restarts with an empty store and empty key table re-learns the
+//     highest epoch its previous incarnation ever claimed from the first
+//     gossip round, even when no surviving replica stored any version
+//     carrying that epoch — the window consensus would otherwise be needed
+//     to close (node.go's nextSeq).
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry is one member's gossiped state. All counters merge by max.
+type Entry struct {
+	// ID is the member's stable ring ID.
+	ID int
+	// Heartbeat is bumped by the member itself once per gossip tick; a
+	// rising heartbeat observed via merge is evidence of liveness.
+	Heartbeat uint64
+	// RingEpoch is the highest ring (membership) epoch the member has been
+	// seen holding.
+	RingEpoch uint64
+	// SeqEpoch is the highest per-key seq epoch the member has been
+	// observed assigning (its own claims plus what peers echoed back).
+	SeqEpoch uint64
+}
+
+// memberState is one entry plus local-only bookkeeping.
+type memberState struct {
+	e Entry
+	// lastAdvance is the local receive time of the last heartbeat advance —
+	// the liveness timestamp. Never gossiped (clocks are not comparable
+	// across nodes).
+	lastAdvance time.Time
+}
+
+// State is one node's gossip table. Safe for concurrent use.
+type State struct {
+	mu      sync.Mutex
+	self    int
+	entries map[int]*memberState
+}
+
+// New returns a fresh table for member self, holding only its own zeroed
+// entry.
+func New(self int) *State {
+	s := &State{self: self, entries: make(map[int]*memberState)}
+	s.entries[self] = &memberState{e: Entry{ID: self}, lastAdvance: time.Now()}
+	return s
+}
+
+// Self returns the owning member's ID.
+func (s *State) Self() int { return s.self }
+
+// Tick advances the node's own heartbeat and records the ring epoch it
+// currently holds. Called once per gossip round.
+func (s *State) Tick(ringEpoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	me := s.entries[s.self]
+	me.e.Heartbeat++
+	if ringEpoch > me.e.RingEpoch {
+		me.e.RingEpoch = ringEpoch
+	}
+	me.lastAdvance = time.Now()
+}
+
+// ObserveSeqEpoch folds an observed seq-epoch claim by member id into the
+// table (creating a placeholder entry for a not-yet-gossiped member).
+func (s *State) ObserveSeqEpoch(id int, epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.entries[id]
+	if ms == nil {
+		ms = &memberState{e: Entry{ID: id}}
+		s.entries[id] = ms
+	}
+	if epoch > ms.e.SeqEpoch {
+		ms.e.SeqEpoch = epoch
+	}
+}
+
+// SelfSeqEpoch returns the merged observation of this member's own
+// seq-epoch claims — its own plus everything peers echoed back.
+func (s *State) SelfSeqEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[s.self].e.SeqEpoch
+}
+
+// Snapshot returns every entry sorted by member ID.
+func (s *State) Snapshot() []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, ms := range s.entries {
+		out = append(out, ms.e)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LastAdvance returns the local time of id's last observed heartbeat
+// advance (ok=false for unknown members).
+func (s *State) LastAdvance(id int) (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.entries[id]
+	if ms == nil || ms.lastAdvance.IsZero() {
+		return time.Time{}, false
+	}
+	return ms.lastAdvance, true
+}
+
+// Retain drops entries for members not in keep (departed nodes), always
+// keeping the node's own entry.
+func (s *State) Retain(keep []int) {
+	wanted := make(map[int]bool, len(keep)+1)
+	for _, id := range keep {
+		wanted[id] = true
+	}
+	wanted[s.self] = true
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range s.entries {
+		if !wanted[id] {
+			delete(s.entries, id)
+		}
+	}
+}
+
+// MergeResult summarizes what one merge changed.
+type MergeResult struct {
+	// Advanced lists the members (excluding self) whose heartbeat advanced —
+	// fresh evidence of liveness.
+	Advanced []int
+	// MaxRingEpoch is the highest ring epoch across the merged table.
+	MaxRingEpoch uint64
+	// SelfSeqEpoch is the post-merge observation of this member's own
+	// seq-epoch claims. When it exceeds what the current incarnation has
+	// claimed, a previous incarnation claimed epochs this process has
+	// forgotten.
+	SelfSeqEpoch uint64
+}
+
+// Merge folds a remote snapshot into the table: per-member, per-field max.
+// A remote echo of the node's own entry with a higher heartbeat means this
+// process restarted (heartbeats reset to zero); the node jumps its own
+// counter above the echo so peers keep seeing it advance.
+func (s *State) Merge(remote []Entry, now time.Time) MergeResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res MergeResult
+	for _, re := range remote {
+		ms := s.entries[re.ID]
+		if ms == nil {
+			ms = &memberState{e: Entry{ID: re.ID}}
+			s.entries[re.ID] = ms
+		}
+		if re.ID == s.self {
+			// Echo of ourselves: reclaim the heartbeat after a restart and
+			// absorb claims our previous incarnation made.
+			if re.Heartbeat > ms.e.Heartbeat {
+				ms.e.Heartbeat = re.Heartbeat + 1
+				ms.lastAdvance = now
+			}
+		} else if re.Heartbeat > ms.e.Heartbeat {
+			ms.e.Heartbeat = re.Heartbeat
+			ms.lastAdvance = now
+			res.Advanced = append(res.Advanced, re.ID)
+		}
+		if re.RingEpoch > ms.e.RingEpoch {
+			ms.e.RingEpoch = re.RingEpoch
+		}
+		if re.SeqEpoch > ms.e.SeqEpoch {
+			ms.e.SeqEpoch = re.SeqEpoch
+		}
+	}
+	for _, ms := range s.entries {
+		if ms.e.RingEpoch > res.MaxRingEpoch {
+			res.MaxRingEpoch = ms.e.RingEpoch
+		}
+	}
+	res.SelfSeqEpoch = s.entries[s.self].e.SeqEpoch
+	return res
+}
+
+// --- wire codec ---------------------------------------------------------
+//
+// One gossip exchange carries the sender's full encoded membership (the
+// ring.Membership codec, opaque here) plus its entry table:
+//
+//	u32 len(membership) | membership | u16 count | count × entry
+//	entry: u32 id | u64 heartbeat | u64 ringEpoch | u64 seqEpoch
+
+const (
+	// maxEntries bounds a decoded table so a corrupt count cannot trigger a
+	// huge allocation; mirrors ring's maxMembers.
+	maxEntries = 1 << 14
+	// maxMembershipBytes bounds the piggybacked membership encoding.
+	maxMembershipBytes = 1 << 20
+	entryBytes         = 4 + 8 + 8 + 8
+)
+
+// EncodeMessage serializes one exchange payload.
+func EncodeMessage(membership []byte, entries []Entry) []byte {
+	b := binary.BigEndian.AppendUint32(nil, uint32(len(membership)))
+	b = append(b, membership...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(entries)))
+	for _, e := range entries {
+		b = binary.BigEndian.AppendUint32(b, uint32(e.ID))
+		b = binary.BigEndian.AppendUint64(b, e.Heartbeat)
+		b = binary.BigEndian.AppendUint64(b, e.RingEpoch)
+		b = binary.BigEndian.AppendUint64(b, e.SeqEpoch)
+	}
+	return b
+}
+
+// DecodeMessage parses an EncodeMessage payload, rejecting oversized
+// sections, negative IDs, and trailing garbage.
+func DecodeMessage(b []byte) (membership []byte, entries []Entry, err error) {
+	if len(b) < 4 {
+		return nil, nil, errors.New("gossip: short message")
+	}
+	memLen := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if memLen > maxMembershipBytes {
+		return nil, nil, fmt.Errorf("gossip: membership of %d bytes exceeds limit", memLen)
+	}
+	if len(b) < memLen+2 {
+		return nil, nil, errors.New("gossip: short message")
+	}
+	membership = b[:memLen]
+	b = b[memLen:]
+	count := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if count > maxEntries {
+		return nil, nil, fmt.Errorf("gossip: table of %d entries exceeds limit", count)
+	}
+	if len(b) != count*entryBytes {
+		return nil, nil, errors.New("gossip: malformed entry table")
+	}
+	entries = make([]Entry, count)
+	for i := range entries {
+		id := int(int32(binary.BigEndian.Uint32(b)))
+		if id < 0 {
+			return nil, nil, fmt.Errorf("gossip: negative member id %d", id)
+		}
+		entries[i] = Entry{
+			ID:        id,
+			Heartbeat: binary.BigEndian.Uint64(b[4:]),
+			RingEpoch: binary.BigEndian.Uint64(b[12:]),
+			SeqEpoch:  binary.BigEndian.Uint64(b[20:]),
+		}
+		b = b[entryBytes:]
+	}
+	return membership, entries, nil
+}

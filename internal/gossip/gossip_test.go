@@ -1,0 +1,155 @@
+package gossip
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMergeMaxSemantics(t *testing.T) {
+	s := New(0)
+	s.Tick(3)
+	now := time.Now()
+	res := s.Merge([]Entry{
+		{ID: 1, Heartbeat: 5, RingEpoch: 4, SeqEpoch: 2},
+		{ID: 2, Heartbeat: 1, RingEpoch: 2},
+	}, now)
+	if !reflect.DeepEqual(res.Advanced, []int{1, 2}) {
+		t.Fatalf("advanced = %v, want [1 2]", res.Advanced)
+	}
+	if res.MaxRingEpoch != 4 {
+		t.Fatalf("max ring epoch = %d, want 4", res.MaxRingEpoch)
+	}
+
+	// Re-merging the same snapshot is idempotent: nothing advances.
+	res = s.Merge([]Entry{{ID: 1, Heartbeat: 5, RingEpoch: 4, SeqEpoch: 2}}, now)
+	if len(res.Advanced) != 0 {
+		t.Fatalf("re-merge advanced %v, want none", res.Advanced)
+	}
+
+	// Lower fields never roll the table back.
+	res = s.Merge([]Entry{{ID: 1, Heartbeat: 2, RingEpoch: 1, SeqEpoch: 1}}, now)
+	if len(res.Advanced) != 0 || res.MaxRingEpoch != 4 {
+		t.Fatalf("stale merge changed table: advanced=%v maxEpoch=%d", res.Advanced, res.MaxRingEpoch)
+	}
+	for _, e := range s.Snapshot() {
+		if e.ID == 1 && (e.Heartbeat != 5 || e.RingEpoch != 4 || e.SeqEpoch != 2) {
+			t.Fatalf("entry 1 rolled back: %+v", e)
+		}
+	}
+}
+
+func TestHeartbeatAdvanceUpdatesLastAdvance(t *testing.T) {
+	s := New(0)
+	t0 := time.Unix(100, 0)
+	s.Merge([]Entry{{ID: 1, Heartbeat: 1}}, t0)
+	at, ok := s.LastAdvance(1)
+	if !ok || !at.Equal(t0) {
+		t.Fatalf("lastAdvance = %v ok=%v, want %v", at, ok, t0)
+	}
+	// A merge without a heartbeat advance leaves the timestamp alone.
+	t1 := time.Unix(200, 0)
+	s.Merge([]Entry{{ID: 1, Heartbeat: 1}}, t1)
+	if at, _ := s.LastAdvance(1); !at.Equal(t0) {
+		t.Fatalf("lastAdvance moved without advance: %v", at)
+	}
+	t2 := time.Unix(300, 0)
+	s.Merge([]Entry{{ID: 1, Heartbeat: 2}}, t2)
+	if at, _ := s.LastAdvance(1); !at.Equal(t2) {
+		t.Fatalf("lastAdvance = %v, want %v", at, t2)
+	}
+}
+
+func TestSelfHeartbeatReclaimAfterRestart(t *testing.T) {
+	// A restarted node's fresh table echoes back its pre-restart heartbeat;
+	// the node must jump above it so peers keep seeing it advance.
+	s := New(3)
+	res := s.Merge([]Entry{{ID: 3, Heartbeat: 50, SeqEpoch: 7}}, time.Now())
+	if len(res.Advanced) != 0 {
+		t.Fatalf("self echo reported as peer advance: %v", res.Advanced)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap[0].Heartbeat <= 50 {
+		t.Fatalf("self heartbeat = %+v, want > 50", snap)
+	}
+	if res.SelfSeqEpoch != 7 {
+		t.Fatalf("self seq epoch = %d, want 7 (previous incarnation's claim)", res.SelfSeqEpoch)
+	}
+}
+
+func TestObserveSeqEpoch(t *testing.T) {
+	s := New(0)
+	s.ObserveSeqEpoch(0, 4)
+	s.ObserveSeqEpoch(0, 2) // lower: ignored
+	if got := s.SelfSeqEpoch(); got != 4 {
+		t.Fatalf("self seq epoch = %d, want 4", got)
+	}
+	s.ObserveSeqEpoch(9, 11) // unknown member gets a placeholder entry
+	found := false
+	for _, e := range s.Snapshot() {
+		if e.ID == 9 && e.SeqEpoch == 11 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("observation for unknown member lost: %v", s.Snapshot())
+	}
+}
+
+func TestRetain(t *testing.T) {
+	s := New(0)
+	s.Merge([]Entry{{ID: 1, Heartbeat: 1}, {ID: 2, Heartbeat: 1}}, time.Now())
+	s.Retain([]int{1})
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].ID != 0 || snap[1].ID != 1 {
+		t.Fatalf("after retain: %v, want self + member 1", snap)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	mem := []byte("opaque-membership-bytes")
+	entries := []Entry{
+		{ID: 0, Heartbeat: 12, RingEpoch: 3, SeqEpoch: 1},
+		{ID: 7, Heartbeat: 999, RingEpoch: 4, SeqEpoch: 0},
+	}
+	enc := EncodeMessage(mem, entries)
+	gotMem, gotEntries, err := DecodeMessage(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(gotMem, mem) || !reflect.DeepEqual(gotEntries, entries) {
+		t.Fatalf("round trip: mem=%q entries=%v", gotMem, gotEntries)
+	}
+
+	// Empty table and empty membership are valid.
+	if _, _, err := DecodeMessage(EncodeMessage(nil, nil)); err != nil {
+		t.Fatalf("empty message: %v", err)
+	}
+
+	// Truncations and trailing garbage are rejected, never panic.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeMessage(enc[:cut]); err == nil && cut < len(enc) {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, err := DecodeMessage(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func FuzzGossipMessage(f *testing.F) {
+	f.Add(EncodeMessage([]byte("m"), []Entry{{ID: 1, Heartbeat: 2, RingEpoch: 3, SeqEpoch: 4}}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mem, entries, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to the identical bytes.
+		if got := EncodeMessage(mem, entries); !bytes.Equal(got, data) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, data)
+		}
+	})
+}

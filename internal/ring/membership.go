@@ -12,9 +12,11 @@ package ring
 // epochs in the version numbers (server.SeqEpoch): a seq epoch fences two
 // coordinators of one key's history, a ring epoch fences two views of the
 // node set. Receivers adopt the higher ring epoch; equal epochs with
-// different member sets signal concurrent membership changes, which this
-// testbed rejects rather than arbitrates (serialize joins through one seed
-// at a time; consensus is future work).
+// different member sets signal concurrent membership changes. Which of
+// two rival configurations owns an epoch is arbitrated above this
+// package by the replicated config log (internal/configlog): slot e of
+// the log holds the one Membership at epoch e, and servers pin a digest
+// per decided epoch so a conflicting same-epoch view is rejected.
 
 import (
 	"encoding/binary"

@@ -9,32 +9,39 @@ package server
 // correctly, though no client routes to it yet — and bulk-pulls the key
 // ranges it will own from every current owner (opStreamRange, cursor-paged
 // scans filtered by the prospective ring). Once caught up it flips: it
-// installs the next-epoch membership containing itself and pushes it to
-// every member (opMembership); coordinators adopt the higher epoch
-// atomically, so each operation runs entirely under one ring view. Writes
-// committed under the old view during the window land on old owners, so the
-// joiner runs delta pull rounds until a round transfers nothing new — at
-// which point every acknowledged write it owns is local.
+// commits the next-epoch membership containing itself through the
+// replicated ring-config log (ringlog.go) and the decision reaches every
+// member; coordinators adopt the higher epoch atomically, so each
+// operation runs entirely under one ring view. Writes committed under the
+// old view during the window land on old owners, so the joiner runs delta
+// pull rounds until a round transfers nothing new — at which point every
+// acknowledged write it owns is local.
 //
 // Leaves drain the same ranges in reverse: the leaver pushes every local
-// version to its new owners under the shrunk ring, installs and broadcasts
-// the next epoch, and can then shut down.
+// version to its new owners under the shrunk ring, commits the next epoch
+// through the config log, and can then shut down.
 //
-// Membership changes are serialized per seed (ID assignment is guarded and
-// monotone); concurrent joins through *different* seeds can race an epoch
-// and one will fail its flip and retry against the newer view. True
-// arbitration (consensus) is out of scope for this testbed.
+// ID assignment is serialized per seed (guarded and monotone), but epoch
+// arbitration is consensus: every membership change commits through the
+// config log, so concurrent joins through *different* seeds propose rival
+// configurations for the same slot, exactly one wins, and the loser
+// adopts the decision and re-proposes at the next slot. Dissemination is
+// the log's decide broadcast plus an opMembership push, with gossip
+// (gossip.go) converging any member both missed.
 
 import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"path/filepath"
 	"sort"
 	"time"
 
+	"pbs/internal/configlog"
+	"pbs/internal/gossip"
 	"pbs/internal/kvstore"
 	"pbs/internal/ring"
 	"pbs/internal/rng"
@@ -54,9 +61,12 @@ const (
 	// deltaRoundPause spaces delta rounds, letting in-flight writes from
 	// old-view coordinators land before the next scan.
 	deltaRoundPause = 25 * time.Millisecond
-	// joinFlipAttempts bounds epoch-conflict retries when another
-	// membership change races ours.
-	joinFlipAttempts = 5
+	// maxConfigSlots bounds how many consecutive config-log slots a single
+	// join or leave will contest. Unlike the old bounded epoch-race retry,
+	// every consumed slot is a committed configuration — hitting this bound
+	// means the cluster reconfigured 32 times while we tried, not that we
+	// flipped a coin and lost.
+	maxConfigSlots = 32
 )
 
 // NodeConfig configures one standalone node (cmd/pbs-serve -join, or
@@ -126,6 +136,9 @@ func newNode(id int, p Params, faults *Faults, seeds *rng.RNG) (*Node, error) {
 	n.rq.Store(int32(p.R))
 	n.wq.Store(int32(p.W))
 	n.nrep.Store(int32(p.N))
+	n.gossip = gossip.New(id)
+	n.cfglog = configlog.New(n.onConfigDecided)
+	n.cfgDigests = make(map[uint64]uint64)
 	if p.Handoff {
 		n.handoff = newHandoff()
 	}
@@ -157,6 +170,9 @@ func (n *Node) start(httpLn, internalLn net.Listener) {
 	}
 	if n.params.AntiEntropy {
 		go n.runAntiEntropy(n.params.AntiEntropyInterval, n.params.MerkleDepth)
+	}
+	if !n.params.DisableGossip {
+		go n.runGossip(n.params.GossipInterval)
 	}
 }
 
@@ -190,6 +206,11 @@ func (n *Node) HTTPAddr() string { return n.selfHTTP }
 
 // InternalAddr returns the node's replication-transport address.
 func (n *Node) InternalAddr() string { return n.selfInternal }
+
+// Faults returns the node's fault controller, so a standalone process
+// (pbs-serve's single-node mode) can run scripted fault schedules against
+// itself.
+func (n *Node) Faults() *Faults { return n.faults }
 
 // RingEpoch returns the node's current ring epoch (0 before the first
 // membership install).
@@ -251,7 +272,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 				return nil, err
 			}
 		}
-		n.installMembership(m)
+		// The seed configuration is slot 1 of the config log: every
+		// membership a node ever holds flows through a decided slot, so the
+		// digest pinned per epoch always traces back to a decision.
+		n.cfglog.RecordDecide(1, ring.EncodeMembership(m))
 		n.start(cfg.HTTPListener, cfg.InternalListener)
 		return n, nil
 	}
@@ -326,31 +350,48 @@ func (n *Node) completeJoin() error {
 		}
 	}
 
-	// Flip: install and broadcast the next-epoch membership containing us.
-	// A concurrent membership change may have claimed our epoch; retry
-	// against the newer view (pull it from the seed's successors via the
-	// broadcast responses already folded into our view).
+	// Flip: commit the next-epoch membership containing us through the
+	// config log. A concurrent change proposing the same slot means exactly
+	// one of us wins it; losing installs the rival configuration and we
+	// re-propose on top of it at the next slot — every iteration, win or
+	// lose, is a committed configuration, so the old bounded-retry failure
+	// ("kept losing epoch races") cannot happen.
 	var next *ring.Membership
 	for attempt := 0; ; attempt++ {
 		cur := n.view().m
-		if cur.Contains(n.id) {
-			next = cur // another node's broadcast already included us
+		if mem, ok := cur.Member(n.id); ok {
+			if mem.InternalAddr != n.selfInternal {
+				// A rival joiner admitted under a divergent view committed
+				// our ID with its own addresses. Succeeding here would leave
+				// the ring routing our ID to the rival; abort instead (the
+				// operator restarts the join, getting a fresh ID).
+				return fmt.Errorf("server: join flip: member ID %d was claimed by %s in a concurrent join", n.id, mem.InternalAddr)
+			}
+			next = cur // a decided configuration already includes us
 			break
+		}
+		if attempt >= maxConfigSlots {
+			return fmt.Errorf("server: join flip unresolved after %d committed reconfigurations", maxConfigSlots)
 		}
 		joined, err := cur.Join(n.self())
 		if err != nil {
 			return fmt.Errorf("server: join flip: %w", err)
 		}
-		if n.installMembership(joined) {
-			next = joined
+		decided, err := n.proposeConfig(cur, joined)
+		if err != nil {
+			return fmt.Errorf("server: join flip: %w", err)
+		}
+		if decided.Contains(n.id) {
+			next = decided
 			break
 		}
-		if attempt >= joinFlipAttempts {
-			return errors.New("server: join flip kept losing epoch races")
-		}
+		// Lost the slot to a rival change; its configuration is installed
+		// locally now, and the next iteration proposes on top of it.
 	}
 	if err := n.broadcastMembership(next); err != nil {
-		return fmt.Errorf("server: membership broadcast: %w", err)
+		// Best-effort: the configuration is committed in the log and the
+		// decide broadcast reached a majority; gossip converges the rest.
+		log.Printf("server: node %d: membership push after join: %v", n.id, err)
 	}
 
 	// Delta rounds: writes coordinated under the old view during the flip
@@ -458,8 +499,9 @@ func pushMembershipTo(addr string, enc []byte) ([]byte, error) {
 
 // Leave drains this node out of the ring: every locally stored version is
 // pushed to its owners under the shrunk membership, then the next-epoch
-// membership (without this node) is installed and broadcast. The caller
-// should Close the node afterwards. The reverse of a join's catch-up.
+// membership (without this node) is committed through the config log. The
+// caller should Close the node afterwards. The reverse of a join's
+// catch-up.
 func (n *Node) Leave() error {
 	v := n.view()
 	if v == nil {
@@ -486,9 +528,43 @@ func (n *Node) Leave() error {
 			}
 		}
 	}
-	n.installMembership(next)
-	if err := n.broadcastMembership(next); err != nil && drainErr == nil {
-		drainErr = err
+	// Commit the departure, re-proposing on top of rival configurations
+	// (a concurrent join that won our slot) until one without us commits.
+	for attempt := 0; ; attempt++ {
+		cur := n.view().m
+		if !cur.Contains(n.id) {
+			next = cur
+			break
+		}
+		if attempt >= maxConfigSlots {
+			if drainErr == nil {
+				drainErr = fmt.Errorf("server: leave unresolved after %d committed reconfigurations", maxConfigSlots)
+			}
+			return drainErr
+		}
+		shrunk, err := cur.Leave(n.id)
+		if err != nil {
+			if drainErr == nil {
+				drainErr = err
+			}
+			return drainErr
+		}
+		decided, err := n.proposeConfig(cur, shrunk)
+		if err != nil {
+			if drainErr == nil {
+				drainErr = err
+			}
+			return drainErr
+		}
+		if !decided.Contains(n.id) {
+			next = decided
+			break
+		}
+	}
+	if err := n.broadcastMembership(next); err != nil {
+		// Best-effort, as in completeJoin: the log's decide broadcast plus
+		// gossip converge any member the push missed.
+		log.Printf("server: node %d: membership push after leave: %v", n.id, err)
 	}
 	return drainErr
 }
@@ -519,6 +595,17 @@ func (n *Node) handleJoinRequest(httpAddr, internalAddr string) (id int, members
 		return pending, enc, nil // retry of an in-flight join
 	}
 	id = v.m.NextID()
+	// Stagger assignment by this seed's rank in the ring: concurrent joins
+	// admitted through *different* seeds of the same view then start from
+	// disjoint IDs, so they contend only for the epoch slot (which the
+	// config log arbitrates), never for an identity. completeJoin still
+	// hard-fails if an ID is claimed by a rival under divergent views.
+	for i, mem := range v.m.Members() {
+		if mem.ID == n.id {
+			id += i
+			break
+		}
+	}
 	if id <= n.lastAssigned {
 		id = n.lastAssigned + 1
 	}

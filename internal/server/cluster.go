@@ -121,7 +121,9 @@ func StartLocal(nodes int, p Params) (*Cluster, error) {
 				return nil, err
 			}
 		}
-		n.installMembership(membership)
+		// The bootstrap configuration is slot 1 of every node's config log
+		// (RecordDecide installs it), matching the single-seed path.
+		n.cfglog.RecordDecide(1, ring.EncodeMembership(membership))
 		n.start(httpLns[i], internalLns[i])
 		c.Nodes = append(c.Nodes, n)
 		c.HTTPAddrs = append(c.HTTPAddrs, members[i].HTTPAddr)

@@ -341,5 +341,6 @@ func replayHintBytes(t *testing.T, b []byte) map[int]map[string]kvstore.Version 
 		t.Fatal(err)
 	}
 	defer f.Close()
-	return replayHints(f)
+	pending, _ := replayHints(f)
+	return pending
 }

@@ -13,6 +13,12 @@ package server
 //   - drop: a fraction of internal RPCs toward the replica is lost.
 //   - delay: internal RPCs toward the replica are delayed by a fixed
 //     amount, on top of any injected WARS latency.
+//   - partition: the replica is cut off from every other node — internal
+//     RPCs to and from it fail, control plane included (gossip, pings,
+//     membership pushes), but unlike a crash its process stays up: the
+//     public HTTP surface keeps answering from the stale local view. This
+//     is the "drop rule between one node and the rest" scenario gossip
+//     must heal.
 //
 // Faults can be driven programmatically (tests, Cluster helpers) or from a
 // scripted schedule ("500ms crash 1; 2s recover 1") for pbs-serve's -fail
@@ -39,12 +45,17 @@ var ErrReplicaDown = errors.New("server: replica down")
 // injection.
 var ErrRPCDropped = errors.New("server: rpc dropped")
 
+// ErrPartitioned is the error for an internal RPC cut by a network
+// partition at either endpoint.
+var ErrPartitioned = errors.New("server: network partition")
+
 // nodeFault is the injected state of one replica.
 type nodeFault struct {
-	down    bool
-	paused  chan struct{} // non-nil while paused; closed on resume
-	dropP   float64
-	delayMs float64
+	down        bool
+	partitioned bool
+	paused      chan struct{} // non-nil while paused; closed on resume
+	dropP       float64
+	delayMs     float64
 }
 
 // Faults is a cluster-wide fault controller, safe for concurrent use.
@@ -86,7 +97,7 @@ func (f *Faults) node(id int) *nodeFault {
 // Callers hold f.mu.
 func (f *Faults) rearm() {
 	for _, nf := range f.nodes {
-		if nf.down || nf.paused != nil || nf.dropP > 0 || nf.delayMs > 0 {
+		if nf.down || nf.partitioned || nf.paused != nil || nf.dropP > 0 || nf.delayMs > 0 {
 			f.armed.Store(true)
 			return
 		}
@@ -166,12 +177,37 @@ func (f *Faults) SetDelay(id int, ms float64) {
 	f.record("delay rpcs to node %d by %gms", id, ms)
 }
 
+// Partition cuts the replica off from every other node until Heal: RPCs
+// to and from it — control plane included — fail fast, while its process
+// (public HTTP surface, local state) stays up.
+func (f *Faults) Partition(id int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.node(id).partitioned = true
+	f.rearm()
+	f.record("partition node %d", id)
+}
+
+// Partitioned reports whether the replica is currently cut off. Nil-safe;
+// nodes consult it server-side so a partition also blocks RPCs arriving
+// from processes that do not share this controller.
+func (f *Faults) Partitioned(id int) bool {
+	if f == nil || !f.armed.Load() {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	nf := f.nodes[id]
+	return nf != nil && nf.partitioned
+}
+
 // Heal clears every fault on the replica.
 func (f *Faults) Heal(id int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	nf := f.node(id)
 	nf.down = false
+	nf.partitioned = false
 	nf.dropP = 0
 	nf.delayMs = 0
 	if nf.paused != nil {
@@ -215,20 +251,31 @@ func (f *Faults) Log() []string {
 }
 
 // crashGate gates a liveness probe from `from` to `to`: it fails only when
-// either endpoint is crashed, ignoring pause/drop/delay (a paused or lossy
-// replica is degraded, not dead). Nil-safe, and not counted as injection —
-// probes are control-plane traffic.
+// either endpoint is crashed or partitioned, ignoring pause/drop/delay (a
+// paused or lossy replica is degraded, not dead — but a partitioned one is
+// unreachable, control plane included). Nil-safe, and not counted as
+// injection — probes are control-plane traffic.
 func (f *Faults) crashGate(from, to int) error {
 	if f == nil || !f.armed.Load() {
 		return nil
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if nf := f.nodes[from]; nf != nil && nf.down {
-		return fmt.Errorf("%w: sender %d crashed", ErrReplicaDown, from)
+	if nf := f.nodes[from]; nf != nil {
+		if nf.down {
+			return fmt.Errorf("%w: sender %d crashed", ErrReplicaDown, from)
+		}
+		if nf.partitioned {
+			return fmt.Errorf("%w: sender %d isolated", ErrPartitioned, from)
+		}
 	}
-	if nf := f.nodes[to]; nf != nil && nf.down {
-		return fmt.Errorf("%w: node %d", ErrReplicaDown, to)
+	if nf := f.nodes[to]; nf != nil {
+		if nf.down {
+			return fmt.Errorf("%w: node %d", ErrReplicaDown, to)
+		}
+		if nf.partitioned {
+			return fmt.Errorf("%w: node %d isolated", ErrPartitioned, to)
+		}
 	}
 	return nil
 }
@@ -241,10 +288,17 @@ func (f *Faults) allow(from, to int) error {
 		return nil
 	}
 	f.mu.Lock()
-	if nf := f.nodes[from]; nf != nil && nf.down {
-		f.injected++
-		f.mu.Unlock()
-		return fmt.Errorf("%w: sender %d crashed", ErrReplicaDown, from)
+	if nf := f.nodes[from]; nf != nil {
+		if nf.down {
+			f.injected++
+			f.mu.Unlock()
+			return fmt.Errorf("%w: sender %d crashed", ErrReplicaDown, from)
+		}
+		if nf.partitioned {
+			f.injected++
+			f.mu.Unlock()
+			return fmt.Errorf("%w: sender %d isolated", ErrPartitioned, from)
+		}
 	}
 	nf := f.nodes[to]
 	if nf == nil {
@@ -255,6 +309,11 @@ func (f *Faults) allow(from, to int) error {
 		f.injected++
 		f.mu.Unlock()
 		return fmt.Errorf("%w: node %d", ErrReplicaDown, to)
+	}
+	if nf.partitioned {
+		f.injected++
+		f.mu.Unlock()
+		return fmt.Errorf("%w: node %d isolated", ErrPartitioned, to)
 	}
 	paused := nf.paused
 	dropP, delayMs := nf.dropP, nf.delayMs
@@ -289,9 +348,11 @@ func (f *Faults) allow(from, to int) error {
 type FaultEvent struct {
 	// After is the delay from schedule start.
 	After time.Duration
-	// Action is one of crash, recover, pause, resume, heal, drop, delay.
+	// Action is one of crash, recover, pause, resume, heal, partition,
+	// drop, delay.
 	Action string
-	// Node is the target replica.
+	// Node is the target replica. -1 means "self" — resolved by a
+	// single-node process (pbs-serve) to its own member ID once known.
 	Node int
 	// Value parameterizes drop (probability) and delay (milliseconds).
 	Value float64
@@ -312,9 +373,12 @@ func (e FaultEvent) String() string {
 // events, each "<after> <action> <node> [value]", e.g.
 //
 //	"500ms crash 1; 2s recover 1; 0s drop 2 0.3; 0s delay 0 5"
+//	"2s partition self; 8s heal self"
 //
 // Durations use Go syntax; drop takes a probability in [0,1]; delay takes
-// milliseconds.
+// milliseconds. The node field accepts the literal "self" (Node -1) for
+// schedules shipped to a single-node process that learns its member ID
+// only after joining.
 func ParseSchedule(spec string) ([]FaultEvent, error) {
 	var events []FaultEvent
 	for _, part := range strings.Split(spec, ";") {
@@ -330,13 +394,16 @@ func ParseSchedule(spec string) ([]FaultEvent, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: fault event %q: %w", part, err)
 		}
-		node, err := strconv.Atoi(fields[2])
-		if err != nil || node < 0 {
-			return nil, fmt.Errorf("server: fault event %q: bad node %q", part, fields[2])
+		node := -1
+		if fields[2] != "self" {
+			node, err = strconv.Atoi(fields[2])
+			if err != nil || node < 0 {
+				return nil, fmt.Errorf("server: fault event %q: bad node %q", part, fields[2])
+			}
 		}
 		ev := FaultEvent{After: after, Action: fields[1], Node: node}
 		switch ev.Action {
-		case "crash", "recover", "pause", "resume", "heal":
+		case "crash", "recover", "pause", "resume", "heal", "partition":
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("server: fault event %q: %s takes no value", part, ev.Action)
 			}
@@ -371,6 +438,8 @@ func (f *Faults) apply(e FaultEvent) {
 		f.Resume(e.Node)
 	case "heal":
 		f.Heal(e.Node)
+	case "partition":
+		f.Partition(e.Node)
 	case "drop":
 		f.SetDrop(e.Node, e.Value)
 	case "delay":

@@ -1,0 +1,132 @@
+package server
+
+// The node-side gossip service: a periodic exchange of the gossip table
+// (internal/gossip) with one partner picked by the same round-robin
+// rotation the Merkle anti-entropy service uses. Every exchange piggybacks
+// the sender's full encoded membership, so membership dissemination needs
+// no explicit push fan-out at all — a node that missed a ring flip (crash,
+// partition, dropped broadcast) re-learns the committed configuration the
+// first time it exchanges with any up-to-date member, within at most
+// Size-1 of its own rounds.
+//
+// Gossip also closes the last seq-epoch window (see nextSeq): each node's
+// entry carries the highest seq epoch it has been observed assigning, so a
+// coordinator that restarts with an empty disk re-learns its previous
+// incarnation's claims from the first exchange and fences above them.
+
+import (
+	"errors"
+	"time"
+
+	"pbs/internal/gossip"
+	"pbs/internal/ring"
+)
+
+// defaultGossipInterval paces gossip rounds when Params.GossipInterval is
+// zero. Fast enough that convergence bounds are a few hundred ms in small
+// clusters, slow enough to be negligible load.
+const defaultGossipInterval = 250 * time.Millisecond
+
+// runGossip is the background gossip loop: every interval, tick the local
+// heartbeat and exchange tables with one round-robin partner.
+func (n *Node) runGossip(interval time.Duration) {
+	if interval <= 0 {
+		interval = defaultGossipInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	partner := n.id
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		if n.faults.Down(n.id) || n.faults.Partitioned(n.id) {
+			continue // a dead or isolated node gossips nothing
+		}
+		v := n.view()
+		if v == nil {
+			continue // not bootstrapped yet
+		}
+		n.gossip.Tick(v.m.Epoch())
+		partner = nextPartner(v, n.id, partner)
+		if partner < 0 {
+			partner = n.id
+			continue // alone in the ring
+		}
+		p, ok := v.peers[partner]
+		if !ok {
+			continue
+		}
+		n.gossipRounds.Add(1)
+		resp, err := p.Gossip(n.gossipMessage(v))
+		if err != nil {
+			n.gossipFailed.Add(1)
+			continue
+		}
+		n.absorbGossip(resp)
+	}
+}
+
+// gossipMessage builds this node's exchange payload under view v.
+func (n *Node) gossipMessage(v *memView) []byte {
+	return gossip.EncodeMessage(ring.EncodeMembership(v.m), n.gossip.Snapshot())
+}
+
+// handleGossip serves one incoming exchange: absorb the sender's state,
+// answer with ours. Symmetric — one exchange converges both tables.
+func (n *Node) handleGossip(payload []byte) ([]byte, error) {
+	if n.gossip == nil {
+		return nil, errors.New("server: gossip not running")
+	}
+	if err := n.absorbGossip(payload); err != nil {
+		return nil, err
+	}
+	v := n.view()
+	if v == nil {
+		return nil, errors.New("server: node has no membership yet")
+	}
+	return n.gossipMessage(v), nil
+}
+
+// absorbGossip folds one received exchange payload into the node: install
+// the piggybacked membership if it is newer, merge the entry table, feed
+// heartbeat advances to the liveness cache, and fence nextSeq above any
+// seq epoch a previous incarnation of this node claimed.
+func (n *Node) absorbGossip(msg []byte) error {
+	mem, entries, err := gossip.DecodeMessage(msg)
+	if err != nil {
+		return err
+	}
+	if len(mem) > 0 {
+		m, err := ring.DecodeMembership(mem)
+		if err != nil {
+			return err
+		}
+		if n.installMembership(m) {
+			n.gossipInstalls.Add(1)
+		}
+	}
+	res := n.gossip.Merge(entries, time.Now())
+	for _, id := range res.Advanced {
+		n.live.mark(id, true)
+	}
+	n.raiseSeqFloor(res.SelfSeqEpoch)
+	return nil
+}
+
+// raiseSeqFloor lifts the seq-epoch floor when peers remember this node
+// claiming an epoch beyond anything the current incarnation assigned —
+// evidence of a forgotten pre-restart claim that nextSeq must fence above.
+func (n *Node) raiseSeqFloor(observed uint64) {
+	if observed == 0 || observed <= n.selfMaxClaim.Load() {
+		return
+	}
+	for {
+		cur := n.seqFloor.Load()
+		if observed <= cur || n.seqFloor.CompareAndSwap(cur, observed) {
+			return
+		}
+	}
+}

@@ -34,6 +34,7 @@ type handoff struct {
 
 	stored, replayed, dropped int64
 	restored                  int64 // hints reloaded from the log at start
+	truncated                 int64 // 1 when the log replay stopped at a torn/unknown record
 }
 
 func newHandoff() *handoff {
@@ -44,7 +45,7 @@ func newHandoff() *handoff {
 // under the given fsync policy and returns a handoff buffer preloaded with
 // every hint that was pending when the previous process stopped.
 func newDurableHandoff(path, fsyncPolicy string) (*handoff, error) {
-	log, pending, err := openHintLog(path, fsyncPolicy)
+	log, pending, truncated, err := openHintLog(path, fsyncPolicy)
 	if err != nil {
 		return nil, err
 	}
@@ -54,6 +55,13 @@ func newDurableHandoff(path, fsyncPolicy string) (*handoff, error) {
 	}
 	h.restored = int64(h.pending)
 	h.stored = h.restored
+	if truncated {
+		// The replay stopped before the end of the log (torn tail after a
+		// crash, or records from a future version). The clean prefix above
+		// is intact and replayed; the discarded suffix is surfaced as a
+		// counter so operators see it in /stats instead of nothing.
+		h.truncated = 1
+	}
 	return h, nil
 }
 
@@ -151,6 +159,14 @@ func (h *handoff) restoredCount() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.restored
+}
+
+// truncatedCount reports whether (1) the start-time log replay stopped at a
+// torn or unknown record instead of a clean end-of-log.
+func (h *handoff) truncatedCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.truncated
 }
 
 // closeLog flushes and closes the hint log, if one is attached.

@@ -69,19 +69,23 @@ func decodeHintRecord(payload []byte) (target int, v kvstore.Version, err error)
 }
 
 // replayHints folds a hint-log byte stream into the pending hint set.
-// Decoding stops cleanly at the first malformed or torn record: everything
-// before it was flushed by a completed append and is authoritative.
-func replayHints(r io.Reader) map[int]map[string]kvstore.Version {
-	pending := make(map[int]map[string]kvstore.Version)
+// Decoding stops at the first malformed, torn, or unknown record:
+// everything before it was flushed by a completed append and is
+// authoritative. truncated reports whether the scan stopped early rather
+// than at a clean end-of-log — a torn tail after a crash, or records
+// written by a future version — so the discarded suffix is surfaced
+// (StatsResponse.HintsTruncated) instead of vanishing silently.
+func replayHints(r io.Reader) (pending map[int]map[string]kvstore.Version, truncated bool) {
+	pending = make(map[int]map[string]kvstore.Version)
 	br := bufio.NewReader(r)
 	for {
 		tag, payload, err := readFrame(br)
 		if err != nil {
-			return pending
+			return pending, err != io.EOF
 		}
 		target, v, err := decodeHintRecord(payload)
 		if err != nil {
-			return pending
+			return pending, true
 		}
 		kh := pending[target]
 		switch tag {
@@ -100,7 +104,7 @@ func replayHints(r io.Reader) map[int]map[string]kvstore.Version {
 			}
 		default:
 			// Unknown record type: written by a future version, stop here.
-			return pending
+			return pending, true
 		}
 	}
 }
@@ -117,14 +121,16 @@ type hintLog struct {
 
 // openHintLog replays path (a missing file is an empty log), compacts it,
 // and opens it for appending under the given fsync policy. It returns the
-// replayed pending hint set.
-func openHintLog(path, policy string) (*hintLog, map[int]map[string]kvstore.Version, error) {
+// replayed pending hint set and whether the replay stopped at a truncated
+// (torn or unknown) record instead of a clean end-of-log.
+func openHintLog(path, policy string) (*hintLog, map[int]map[string]kvstore.Version, bool, error) {
 	var pending map[int]map[string]kvstore.Version
+	var truncated bool
 	if f, err := os.Open(path); err == nil {
-		pending = replayHints(f)
+		pending, truncated = replayHints(f)
 		f.Close()
 	} else if !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("server: hint log: %w", err)
+		return nil, nil, false, fmt.Errorf("server: hint log: %w", err)
 	} else {
 		pending = make(map[int]map[string]kvstore.Version)
 	}
@@ -133,26 +139,26 @@ func openHintLog(path, policy string) (*hintLog, map[int]map[string]kvstore.Vers
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: hint log: %w", err)
+		return nil, nil, false, fmt.Errorf("server: hint log: %w", err)
 	}
 	bw := bufio.NewWriter(f)
 	for target, kh := range pending {
 		for _, v := range kh {
 			if err := writeFrame(bw, hintRecStore, encodeHintRecord(target, v)); err != nil {
 				f.Close()
-				return nil, nil, fmt.Errorf("server: hint log compaction: %w", err)
+				return nil, nil, false, fmt.Errorf("server: hint log compaction: %w", err)
 			}
 		}
 	}
 	if err := f.Close(); err != nil {
-		return nil, nil, fmt.Errorf("server: hint log compaction: %w", err)
+		return nil, nil, false, fmt.Errorf("server: hint log compaction: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return nil, nil, fmt.Errorf("server: hint log: %w", err)
+		return nil, nil, false, fmt.Errorf("server: hint log: %w", err)
 	}
 	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("server: hint log: %w", err)
+		return nil, nil, false, fmt.Errorf("server: hint log: %w", err)
 	}
 	if policy == "" {
 		policy = HintFsyncAlways
@@ -162,7 +168,7 @@ func openHintLog(path, policy string) (*hintLog, map[int]map[string]kvstore.Vers
 		l.stop = make(chan struct{})
 		go l.runIntervalSync(l.stop)
 	}
-	return l, pending, nil
+	return l, pending, truncated, nil
 }
 
 // append writes one record and flushes it to the OS — plus, under the

@@ -110,6 +110,69 @@ func TestHintLogTornTail(t *testing.T) {
 	}
 }
 
+// TestHintLogUnknownRecordTruncation pins what happens when replay meets a
+// record type this build does not know (a log written by a future
+// version, or corruption that kept a valid frame shape): the clean prefix
+// before it is fully replayed, everything after is discarded, and the
+// discard is surfaced through the truncation counter instead of silently.
+func TestHintLogUnknownRecordTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints.log")
+	h, err := newDurableHandoff(path, HintFsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.store(1, kvstore.Version{Key: "a", Seq: 2, Value: "x"})
+	h.store(2, kvstore.Version{Key: "b", Seq: 4, Value: "y"})
+	h.closeLog()
+
+	// Splice in an unknown-type record followed by a perfectly valid store
+	// record: replay must stop at the unknown record, so the trailing valid
+	// one is (deliberately) lost and the loss is counted.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	tail := kvstore.Version{Key: "c", Seq: 6, Value: "z"}
+	if err := writeFrame(bw, 99, encodeHintRecord(1, tail)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(bw, hintRecStore, encodeHintRecord(1, tail)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	h2, err := newDurableHandoff(path, HintFsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, _, _, _ := h2.stats()
+	if pending != 2 {
+		t.Fatalf("replayed %d hints, want the 2 before the unknown record", pending)
+	}
+	if h2.truncatedCount() != 1 {
+		t.Fatalf("truncatedCount = %d after an unknown-record stop, want 1", h2.truncatedCount())
+	}
+	h2.closeLog()
+
+	// The reopen compacted the junk away: a third open replays the same
+	// clean prefix with no truncation reported.
+	h3, err := newDurableHandoff(path, HintFsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h3.closeLog()
+	if pending, _, _, _ := h3.stats(); pending != 2 {
+		t.Fatalf("compacted log replayed %d hints, want 2", pending)
+	}
+	if h3.truncatedCount() != 0 {
+		t.Fatalf("truncatedCount = %d after compaction, want 0", h3.truncatedCount())
+	}
+}
+
 // TestHintLogCompaction pins that reopening compacts: cleared hints do not
 // accumulate in the file across restarts.
 func TestHintLogCompaction(t *testing.T) {
@@ -183,7 +246,8 @@ func FuzzHintLogReplay(f *testing.F) {
 	f.Add([]byte{hintRecStore, 0xff, 0xff, 0xff}) // garbage header
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		pending := normalizePending(replayHints(bytes.NewReader(data)))
+		rawPending, _ := replayHints(bytes.NewReader(data))
+		pending := normalizePending(rawPending)
 		var buf bytes.Buffer
 		bw := bufio.NewWriter(&buf)
 		for target, kh := range pending {
@@ -193,7 +257,11 @@ func FuzzHintLogReplay(f *testing.F) {
 				}
 			}
 		}
-		again := normalizePending(replayHints(&buf))
+		rawAgain, truncAgain := replayHints(&buf)
+		if truncAgain {
+			t.Fatalf("re-encoded pending set reported truncation")
+		}
+		again := normalizePending(rawAgain)
 		if !reflect.DeepEqual(pending, again) {
 			t.Fatalf("replay not a fixpoint:\n first: %+v\n again: %+v", pending, again)
 		}

@@ -10,10 +10,17 @@ package server
 //
 // Ring epochs are totally ordered: installMembership adopts strictly higher
 // epochs and rejects everything else, so replayed or reordered membership
-// pushes cannot roll a node's view backward. (Per-key *seq* epochs — the
-// failover fencing in the version numbers — are unrelated; see nextSeq.)
+// pushes cannot roll a node's view backward. On top of the ordering, each
+// epoch's membership digest is pinned the first time the node learns it —
+// from the config log's decision (ringlog.go) or a first install — and any
+// later install claiming the same epoch with different contents is rejected
+// and counted (ConfigRejects): two conflicting same-epoch views can never
+// both take effect on one node. (Per-key *seq* epochs — the failover
+// fencing in the version numbers — are unrelated; see nextSeq.)
 
 import (
+	"hash/fnv"
+	"log"
 	"sort"
 
 	"pbs/internal/ring"
@@ -78,18 +85,39 @@ func closePeer(p Peer) {
 	}
 }
 
+// membershipDigest is the content fingerprint pinned per ring epoch
+// (cfgDigests): the FNV-64a of the canonical membership encoding, which is
+// deterministic (members are sorted by ID).
+func membershipDigest(m *ring.Membership) uint64 {
+	h := fnv.New64a()
+	h.Write(ring.EncodeMembership(m))
+	return h.Sum64()
+}
+
 // installMembership adopts m if it is strictly newer than the node's
-// current view, rebuilding the peer map: clients for surviving members are
-// reused (their pooled connections stay warm), clients for new members are
-// dialed lazily, and clients for departed members are closed. Returns
-// whether the view changed.
+// current view — and consistent with whatever configuration this node has
+// already pinned at m's epoch — rebuilding the peer map: clients for
+// surviving members are reused (their pooled connections stay warm),
+// clients for new members are dialed lazily, and clients for departed
+// members are closed. Returns whether the view changed.
 func (n *Node) installMembership(m *ring.Membership) bool {
+	d := membershipDigest(m)
 	n.memMu.Lock()
+	if n.cfgDigests == nil {
+		n.cfgDigests = make(map[uint64]uint64)
+	}
+	if pinned, ok := n.cfgDigests[m.Epoch()]; ok && pinned != d {
+		n.memMu.Unlock()
+		n.configRejects.Add(1)
+		log.Printf("server: node %d: rejecting membership at epoch %d: conflicts with the configuration already pinned at that epoch", n.id, m.Epoch())
+		return false
+	}
 	cur := n.mem.Load()
 	if cur != nil && m.Epoch() <= cur.m.Epoch() {
 		n.memMu.Unlock()
 		return false
 	}
+	n.cfgDigests[m.Epoch()] = d
 	peers := make(map[int]Peer, m.Size())
 	var removed []Peer
 	for _, mem := range m.Members() {
@@ -119,6 +147,11 @@ func (n *Node) installMembership(m *ring.Membership) bool {
 	n.memMu.Unlock()
 	for _, p := range removed {
 		closePeer(p)
+	}
+	if n.gossip != nil {
+		// Departed members' gossip entries go with their peers; their
+		// heartbeats must not read as live cluster state.
+		n.gossip.Retain(m.IDs())
 	}
 	n.ringFlips.Add(1)
 	return true

@@ -33,7 +33,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pbs/internal/configlog"
 	"pbs/internal/dist"
+	"pbs/internal/gossip"
 	"pbs/internal/kvstore"
 	"pbs/internal/storage"
 	"pbs/internal/vclock"
@@ -96,6 +98,14 @@ type Params struct {
 	AntiEntropy bool
 	// AntiEntropyInterval paces exchange rounds (zero means 1s).
 	AntiEntropyInterval time.Duration
+	// GossipInterval paces membership-gossip rounds (gossip.go; zero means
+	// 250ms). Gossip runs on every node by default: it is the dissemination
+	// layer that re-converges partitioned or restarted members onto the
+	// current ring and carries seq-epoch observations between coordinators.
+	GossipInterval time.Duration
+	// DisableGossip turns the gossip loop off — for tests that need a
+	// membership view to stay deliberately stale.
+	DisableGossip bool
 	// MerkleDepth is the anti-entropy summary-tree depth (zero means 10).
 	MerkleDepth int
 	// WARSSampling records per-replica WARS leg latencies into bounded
@@ -263,6 +273,25 @@ type StatsResponse struct {
 	RingEpoch uint64 `json:"ring_epoch"`
 	RingFlips int64  `json:"ring_flips"`
 
+	// Membership-gossip counters (gossip.go). GossipInstalls counts ring
+	// views adopted *from* gossip exchanges — nonzero on a node that
+	// re-learned the membership through dissemination rather than an
+	// explicit push.
+	GossipRounds   int64 `json:"gossip_rounds"`
+	GossipFailed   int64 `json:"gossip_failed"`
+	GossipInstalls int64 `json:"gossip_installs"`
+
+	// Ring-config consensus counters (ringlog.go, internal/configlog).
+	// ConfigDecides counts log slots this node learned a decision for;
+	// ConfigRejects counts membership installs refused because they
+	// conflicted with the configuration committed at the same epoch.
+	ConfigDecides int64 `json:"config_decides"`
+	ConfigRejects int64 `json:"config_rejects"`
+
+	// HintsTruncated is 1 when the start-time hint-log replay stopped at a
+	// torn or unknown record (the clean prefix was still replayed).
+	HintsTruncated int64 `json:"hints_truncated"`
+
 	// Anti-entropy counters (zero unless Params.AntiEntropy).
 	AERounds  int64 `json:"ae_rounds"`
 	AEFailed  int64 `json:"ae_failed"`
@@ -331,6 +360,12 @@ func (s *StatsResponse) Accumulate(o StatsResponse) {
 		s.RingEpoch = o.RingEpoch
 	}
 	s.RingFlips += o.RingFlips
+	s.GossipRounds += o.GossipRounds
+	s.GossipFailed += o.GossipFailed
+	s.GossipInstalls += o.GossipInstalls
+	s.ConfigDecides += o.ConfigDecides
+	s.ConfigRejects += o.ConfigRejects
+	s.HintsTruncated += o.HintsTruncated
 	s.AERounds += o.AERounds
 	s.AEFailed += o.AEFailed
 	s.AEBuckets += o.AEBuckets
@@ -374,6 +409,25 @@ type Node struct {
 	pendingJoins map[string]int
 	lastAssigned int
 	ringFlips    atomic.Int64
+	// cfgDigests pins the membership digest committed (or first installed)
+	// at each ring epoch, guarded by memMu: a second, different membership
+	// claiming an already-pinned epoch is rejected, so two conflicting
+	// same-epoch views can never both take effect on one node.
+	cfgDigests map[uint64]uint64
+
+	// gossip is the node's membership-dissemination table (internal/gossip);
+	// cfglog is its ring-config consensus acceptor/learner state
+	// (internal/configlog). Both are nil only on detached test nodes.
+	gossip *gossip.State
+	cfglog *configlog.Log
+
+	// seqFloor is the highest seq epoch the *cluster* remembers this node
+	// claiming (fed by gossip echoes of previous incarnations); nextSeq
+	// assigns above it. selfMaxClaim is the highest epoch this incarnation
+	// has claimed itself — echoes at or below it carry no new information
+	// and do not move the floor.
+	seqFloor     atomic.Uint64
+	selfMaxClaim atomic.Uint64
 
 	// rq, wq and nrep are the live quorum sizes and replication factor.
 	// They start at Params.R/W/N and can be retuned at runtime
@@ -407,6 +461,11 @@ type Node struct {
 	failoverWrites atomic.Int64
 	spareWrites    atomic.Int64
 	spareReads     atomic.Int64
+	gossipRounds   atomic.Int64
+	gossipFailed   atomic.Int64
+	gossipInstalls atomic.Int64
+	configDecides  atomic.Int64
+	configRejects  atomic.Int64
 
 	httpSrv     *http.Server
 	internalLn  net.Listener
@@ -457,16 +516,19 @@ func (n *Node) getLocal(key string) (kvstore.Version, bool) {
 // rule — are impossible by construction; within an epoch, assignment is
 // serialized by the owner's keyEntry.
 //
-// The stale-coordinator race remains and is caught at delivery time, not
-// here: a coordinator whose store missed a higher epoch assigns beneath
-// it, replicas answer each apply with their current seq, a leg ignored
-// in favor of a higher-epoch version does not count toward W (ackable),
-// and the observed seq is folded back (foldSeq) so the retry assigns
-// above the usurping epoch. The one remaining window — no reachable
-// replica has the higher epoch to report, e.g. a coordinator restarted
-// mid-epoch after acking writes no surviving replica stored — would need
-// consensus to close; Dynamo closes it with vector-clock siblings
-// instead, which this seq-ordered testbed forgoes.
+// The stale-coordinator race is caught at delivery time, not here: a
+// coordinator whose store missed a higher epoch assigns beneath it,
+// replicas answer each apply with their current seq, a leg ignored in
+// favor of a higher-epoch version does not count toward W (ackable), and
+// the observed seq is folded back (foldSeq) so the retry assigns above
+// the usurping epoch. The once-remaining window — no reachable replica
+// has the higher epoch to report, e.g. a coordinator restarted mid-epoch
+// after acking writes no surviving replica stored — is closed by gossip:
+// every claim a coordinator makes is recorded in its gossip entry and
+// echoed back by peers, so a restarted coordinator re-learns the highest
+// epoch its previous incarnation ever claimed (seqFloor) from its first
+// gossip exchange and assigns above it, even when no surviving replica
+// stored a version carrying that epoch.
 // Seq-epoch ownership is computed modulo the membership's ID-allocation
 // bound (ring.Membership.SeqModulus) rather than the member count: IDs are
 // never reused, so ownership of every already-claimed epoch stays with the
@@ -498,7 +560,28 @@ func (n *Node) nextSeq(key string, takeover bool) uint64 {
 			e.next = next<<seqEpochShift | SeqCounter(e.next)
 		}
 	}
+	// Gossip floor: the cluster remembers this node claiming an epoch above
+	// what its (possibly restarted, possibly empty) store shows — claim a
+	// fresh owned epoch above the floor so no assignment can tie with the
+	// previous incarnation's.
+	if floor := n.seqFloor.Load(); nodes > 0 && floor > 0 && SeqEpoch(e.next) <= floor {
+		next := floor + 1
+		next += (uint64(n.id) + nodes - next%nodes) % nodes
+		e.next = next<<seqEpochShift | SeqCounter(e.next)
+	}
 	e.next++
+	// Publish the claim so peers remember it for this node's next
+	// incarnation. selfMaxClaim is raised first: a gossip echo of this very
+	// claim must read as already-known, not as a floor raise.
+	if ep := SeqEpoch(e.next); ep > 0 && n.gossip != nil {
+		for {
+			cur := n.selfMaxClaim.Load()
+			if ep <= cur || n.selfMaxClaim.CompareAndSwap(cur, ep) {
+				break
+			}
+		}
+		n.gossip.ObserveSeqEpoch(n.id, ep)
+	}
 	return e.next
 }
 
@@ -1133,6 +1216,11 @@ func (n *Node) statsLocal() StatsResponse {
 		SpareWrites:    n.spareWrites.Load(),
 		SpareReads:     n.spareReads.Load(),
 		RingFlips:      n.ringFlips.Load(),
+		GossipRounds:   n.gossipRounds.Load(),
+		GossipFailed:   n.gossipFailed.Load(),
+		GossipInstalls: n.gossipInstalls.Load(),
+		ConfigDecides:  n.configDecides.Load(),
+		ConfigRejects:  n.configRejects.Load(),
 		Keys:           keys,
 		Applied:        applied,
 		Ignored:        ignored,
@@ -1144,6 +1232,7 @@ func (n *Node) statsLocal() StatsResponse {
 	if n.handoff != nil {
 		st.HintsPending, st.HintsStored, st.HintsReplayed, st.HintsDropped = n.handoff.stats()
 		st.HintsRestored = n.handoff.restoredCount()
+		st.HintsTruncated = n.handoff.truncatedCount()
 	}
 	st.AERounds, st.AEFailed, st.AEBuckets, st.AEPulled, st.AEPushed = n.ae.snapshot()
 	if e, ok := n.store.(*storage.Engine); ok {

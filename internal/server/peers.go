@@ -40,6 +40,13 @@ type Peer interface {
 	// (nil payload = pull only) and returns the peer's current membership
 	// encoding — the gossip primitive behind ring flips.
 	ExchangeMembership(push []byte) ([]byte, error)
+	// Gossip pushes an encoded gossip message (sender's membership plus its
+	// heartbeat/epoch table, internal/gossip wire format) and returns the
+	// peer's own message — one exchange converges both sides.
+	Gossip(push []byte) ([]byte, error)
+	// ConfigRPC carries one ring-config consensus message (internal/configlog
+	// wire format) to the peer's acceptor and returns its reply.
+	ConfigRPC(payload []byte) ([]byte, error)
 }
 
 // faultPeer interposes a cluster-wide fault controller on the path from one
@@ -96,12 +103,29 @@ func (fp *faultPeer) BucketVersions(depth int, buckets []int) ([]kvstore.Version
 	return fp.next.BucketVersions(depth, buckets)
 }
 
-// ExchangeMembership is control-plane traffic like Ping: only a crash at
-// either endpoint blocks it — a paused or lossy replica must still be able
-// to learn about ring flips.
+// ExchangeMembership is control-plane traffic like Ping: only a crash or
+// partition at either endpoint blocks it — a paused or lossy replica must
+// still be able to learn about ring flips.
 func (fp *faultPeer) ExchangeMembership(push []byte) ([]byte, error) {
 	if err := fp.f.crashGate(fp.from, fp.to); err != nil {
 		return nil, err
 	}
 	return fp.next.ExchangeMembership(push)
+}
+
+// Gossip and ConfigRPC are control plane like ExchangeMembership: drop and
+// pause must not sever dissemination or consensus, but a crashed or
+// partitioned endpoint is unreachable.
+func (fp *faultPeer) Gossip(push []byte) ([]byte, error) {
+	if err := fp.f.crashGate(fp.from, fp.to); err != nil {
+		return nil, err
+	}
+	return fp.next.Gossip(push)
+}
+
+func (fp *faultPeer) ConfigRPC(payload []byte) ([]byte, error) {
+	if err := fp.f.crashGate(fp.from, fp.to); err != nil {
+		return nil, err
+	}
+	return fp.next.ConfigRPC(payload)
 }

@@ -1,0 +1,86 @@
+package server
+
+// The node-side face of the replicated ring-config log
+// (internal/configlog): slot e of the log arbitrates the membership at
+// ring epoch e, decided by single-decree Paxos among the members of the
+// configuration at epoch e-1. Every membership change — a join completing,
+// a member leaving — commits through proposeConfig; concurrent changes
+// through different seeds propose rival values for the same slot, exactly
+// one wins, and the loser adopts the decision and re-proposes at the next
+// slot. There is no "lost the epoch race too many times" failure left:
+// every lost slot is cluster progress.
+
+import (
+	"fmt"
+
+	"pbs/internal/configlog"
+	"pbs/internal/ring"
+)
+
+// onConfigDecided is the config log's learn callback: a slot's decided
+// value is the authoritative membership for that ring epoch. The digest is
+// pinned (overwriting any provisional pin) and the membership installed.
+func (n *Node) onConfigDecided(slot uint64, value []byte) {
+	m, err := ring.DecodeMembership(value)
+	if err != nil || m.Epoch() != slot {
+		// A decided value that is not a well-formed membership for its own
+		// slot cannot have come from a proposer in this cluster; drop it.
+		return
+	}
+	n.memMu.Lock()
+	if n.cfgDigests == nil {
+		n.cfgDigests = make(map[uint64]uint64)
+	}
+	n.cfgDigests[slot] = membershipDigest(m)
+	n.memMu.Unlock()
+	n.configDecides.Add(1)
+	n.installMembership(m)
+}
+
+// proposeConfig runs the config log for slot cur.Epoch()+1 with proposed
+// as this node's candidate, using cur's members as the acceptors. Returns
+// the slot's decided membership — proposed if this node won the slot, the
+// rival configuration if it lost. Either way the decision is recorded
+// locally (which installs it via onConfigDecided).
+func (n *Node) proposeConfig(cur, proposed *ring.Membership) (*ring.Membership, error) {
+	slot := cur.Epoch() + 1
+	if proposed.Epoch() != slot {
+		return nil, fmt.Errorf("server: proposing epoch %d at slot %d", proposed.Epoch(), slot)
+	}
+	v := n.view()
+	peers := make([]configlog.Peer, 0, cur.Size())
+	var transient []Peer
+	for _, mem := range cur.Members() {
+		var p Peer
+		if v != nil {
+			p = v.peers[mem.ID]
+		}
+		if p == nil {
+			// Acceptor not in the current view's peer map (e.g. a joiner
+			// proposing before it holds the full ring): dial it for the
+			// duration of this proposal only.
+			p = n.mkPeer(mem.ID, mem.InternalAddr)
+			transient = append(transient, p)
+		}
+		peers = append(peers, p)
+	}
+	decided, err := configlog.Propose(configlog.Proposal{
+		Slot:       slot,
+		Value:      ring.EncodeMembership(proposed),
+		Peers:      peers,
+		ProposerID: n.id,
+		Seed:       uint64(n.id+1)*0x9e3779b97f4a7c15 ^ slot,
+	})
+	for _, p := range transient {
+		closePeer(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m, err := ring.DecodeMembership(decided)
+	if err != nil {
+		return nil, fmt.Errorf("server: slot %d decided an undecodable membership: %w", slot, err)
+	}
+	n.cfglog.RecordDecide(slot, decided)
+	return m, nil
+}

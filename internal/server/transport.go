@@ -47,6 +47,12 @@ const (
 	opJoin        byte = 7
 	opMembership  byte = 8
 	opStreamRange byte = 9
+	// opGossip exchanges heartbeat/epoch tables plus the sender's full
+	// membership (gossip.go, internal/gossip); opConfigLog carries the
+	// ring-config consensus protocol (internal/configlog) — prepare, accept,
+	// and decide messages arbitrating membership epochs.
+	opGossip    byte = 10
+	opConfigLog byte = 11
 
 	statusOK  byte = 0
 	statusErr byte = 1
@@ -262,6 +268,12 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 	if n.faults.Down(n.id) {
 		return statusErr, []byte(ErrReplicaDown.Error())
 	}
+	// A partitioned replica refuses inbound traffic too, so the cut is
+	// bidirectional even for callers in other processes whose own fault
+	// controller has no entry for this node.
+	if n.faults.Partitioned(n.id) {
+		return statusErr, []byte(ErrPartitioned.Error())
+	}
 	d := &decoder{b: payload}
 	switch op {
 	case opApply:
@@ -373,6 +385,21 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 			return statusErr, []byte(err.Error())
 		}
 		return statusOK, resp.encode()
+	case opGossip:
+		resp, err := n.handleGossip(payload)
+		if err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, resp
+	case opConfigLog:
+		if n.cfglog == nil {
+			return statusErr, []byte("server: config log not running")
+		}
+		resp, err := n.cfglog.HandleRPC(payload)
+		if err != nil {
+			return statusErr, []byte(err.Error())
+		}
+		return statusOK, resp
 	default:
 		return statusErr, []byte(fmt.Sprintf("server: unknown op %d", op))
 	}
@@ -627,6 +654,18 @@ func (p *peer) Join(httpAddr, internalAddr string) (id int, membership []byte, e
 // returns the peer's current membership encoding.
 func (p *peer) ExchangeMembership(push []byte) ([]byte, error) {
 	return p.rpc(opMembership, push)
+}
+
+// Gossip pushes an encoded gossip message (membership + entry table) and
+// returns the peer's own message, so one exchange converges both sides.
+func (p *peer) Gossip(push []byte) ([]byte, error) {
+	return p.rpc(opGossip, push)
+}
+
+// ConfigRPC carries one ring-config consensus message (configlog wire
+// format) to the peer's acceptor and returns its reply.
+func (p *peer) ConfigRPC(payload []byte) ([]byte, error) {
+	return p.rpc(opConfigLog, payload)
 }
 
 // StreamRange pulls one page of the peer's versions for the key ranges the
