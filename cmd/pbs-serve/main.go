@@ -237,7 +237,17 @@ func main() {
 	advertise := flag.String("advertise", "", "single-node mode: address peers should dial instead of the bound listen address (host or host:port; a bare host keeps each listener's bound port)")
 	leave := flag.Bool("leave", false, "single-node mode: drain and leave the ring (a committed config-log leave) on SIGINT/SIGTERM instead of just shutting down")
 	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy membership gossip interval (0 = server default)")
+	transport := flag.String("transport", "mux", "internal data-plane transport: mux (multiplexed tagged frames) or blocking (one pooled connection per in-flight RPC)")
 	flag.Parse()
+
+	var blockingTransport bool
+	switch *transport {
+	case "mux":
+	case "blocking":
+		blockingTransport = true
+	default:
+		fatalf("unknown -transport %q (want mux or blocking)", *transport)
+	}
 
 	model, ok := latencyModel(*modelName)
 	if !ok {
@@ -254,8 +264,9 @@ func main() {
 			DataDir: *dataDir, Fsync: *fsyncPolicy, MemtableBytes: *memtableBytes,
 			WARSSampling: true,
 			Model:        &model, Scale: *scale,
-			Seed:           *seed,
-			GossipInterval: *gossipInterval,
+			Seed:              *seed,
+			GossipInterval:    *gossipInterval,
+			BlockingTransport: blockingTransport,
 		}, *listenAddr, *internalAddr, *joinAddr, *advertise, *failSpec, *leave)
 		return
 	}
@@ -289,8 +300,9 @@ func main() {
 		DataDir: *dataDir, Fsync: *fsyncPolicy, MemtableBytes: *memtableBytes,
 		WARSSampling: true, // /wars is part of the CLI surface; the tuner feeds on it
 		Model:        &model, Scale: *scale,
-		Seed:           *seed,
-		GossipInterval: *gossipInterval,
+		Seed:              *seed,
+		GossipInterval:    *gossipInterval,
+		BlockingTransport: blockingTransport,
 	})
 	if err != nil {
 		fatalf("%v", err)

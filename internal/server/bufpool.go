@@ -1,0 +1,55 @@
+package server
+
+// Size-classed frame-buffer pooling for the multiplexed transport. Every
+// payload on the serving hot path — request encode on the coordinator,
+// request/response payloads on the server, response decode back on the
+// coordinator — lives in a pooled buffer: getBuf on the way in, putBuf
+// after the last byte is consumed. Buffers are filed into power-of-four-ish
+// size classes so a burst of large frames cannot pin a pool full of huge
+// allocations behind tiny requests.
+//
+// Ownership discipline (the aliasing rules the -race tests pin):
+//   - the writer loop owns a request payload from enqueue to the end of its
+//     Write call and repools it there — callers that need to retry must
+//     re-encode into a fresh buffer, never reuse the enqueued one;
+//   - a reader loop owns each inbound payload until it hands it to exactly
+//     one completion, which repools it after decoding.
+
+import "sync"
+
+// bufClasses are the pooled capacity classes. The smallest covers a ping or
+// apply ack, the middle ones typical versions, the largest a maxValueBytes
+// value with headroom; anything larger than the top class is allocated
+// directly and dropped on release.
+var bufClasses = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 2 << 20}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+// getBuf returns a buffer with len n and cap of at least n, pooled when a
+// size class covers it.
+func getBuf(n int) []byte {
+	for i, c := range bufClasses {
+		if n <= c {
+			if v := bufPools[i].Get(); v != nil {
+				b := *(v.(*[]byte))
+				return b[:n]
+			}
+			return make([]byte, n, c)
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBuf files b back into the pool of the largest class its capacity
+// covers. Buffers below the smallest class (including nil) and above the
+// largest are dropped. Callers must not touch b after putBuf.
+func putBuf(b []byte) {
+	c := cap(b)
+	for i := len(bufClasses) - 1; i >= 0; i-- {
+		if c >= bufClasses[i] {
+			b = b[:0]
+			bufPools[i].Put(&b)
+			return
+		}
+	}
+}

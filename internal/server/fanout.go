@@ -1,0 +1,305 @@
+package server
+
+// Persistent per-peer fan-out workers for the serving hot path. The v1
+// coordinator spawned one goroutine per quorum leg per operation; at tens
+// of thousands of ops/s on a 3-replica cluster that is >100k goroutine
+// creations per second of pure churn. Here each destination member gets a
+// small persistent worker pool draining a submission queue, so a quorum
+// write touches N queues instead of spawning N goroutines, and the leg
+// task itself is pooled.
+//
+// The worker path is only taken when no WARS latency model is injected
+// (n.inj == nil): injected legs sleep their sampled W/A/R/S delays on the
+// coordinator, and serializing those sleeps through a fixed worker pool
+// would distort the order statistics the conformance suite pins. With a
+// model installed, coordinators keep the original goroutine-per-leg path —
+// identical semantics by construction. Fault injection (delay/pause) can
+// also make a leg dwell: a full queue spills the task onto a fresh
+// goroutine rather than queueing behind a stalled worker, so cross-peer
+// legs never serialize behind one slow destination.
+//
+// Queues are keyed by member ID, which the membership layer never reuses,
+// and live until the node closes: a departed member's drained queue idles
+// at a few parked goroutines, which is cheaper than solving the
+// enqueue-vs-shutdown race a per-membership lifecycle would create.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"pbs/internal/kvstore"
+)
+
+// legWorkersPerPeer bounds concurrent legs per destination on the worker
+// path. Sized to keep a loopback peer's pipe full at high op concurrency
+// without re-creating per-op goroutine churn.
+var legWorkersPerPeer = max(8, min(32, 4*runtime.GOMAXPROCS(0)))
+
+// legQueueCap bounds a peer queue; submissions beyond it spill onto fresh
+// goroutines (never block — a stalled peer must not gate other ops, and a
+// leg RPC is a blocking round trip, so a backlog deeper than the worker
+// pool would just sit in queue adding latency: the cap keeps queue dwell
+// to about one extra round trip, and overload degrades to the pre-mux
+// goroutine-per-leg shape instead of a convoy).
+var legQueueCap = legWorkersPerPeer
+
+type peerQueue struct {
+	mu     sync.Mutex
+	closed bool
+	ch     chan *legTask
+}
+
+// submit enqueues t, reporting false when the queue is closed or full (the
+// caller runs t on a fresh goroutine instead). The mutex orders submits
+// against close: once drainAndClose sets closed, no task can enter ch, so
+// the final drain leaves nothing stranded.
+func (q *peerQueue) submit(t *legTask) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+func (q *peerQueue) drainAndClose() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	for {
+		select {
+		case t := <-q.ch:
+			t.run()
+		default:
+			return
+		}
+	}
+}
+
+// legQueue returns (creating on first use) the submission queue for member
+// id, starting its workers.
+func (n *Node) legQueue(id int) *peerQueue {
+	if q, ok := n.legQueues.Load(id); ok {
+		return q.(*peerQueue)
+	}
+	q := &peerQueue{ch: make(chan *legTask, legQueueCap)}
+	if actual, loaded := n.legQueues.LoadOrStore(id, q); loaded {
+		return actual.(*peerQueue)
+	}
+	for i := 0; i < legWorkersPerPeer; i++ {
+		first := i == 0
+		go func() {
+			for {
+				select {
+				case t := <-q.ch:
+					t.run()
+				case <-n.stop:
+					if first {
+						q.drainAndClose()
+					}
+					return
+				}
+			}
+		}()
+	}
+	return q
+}
+
+// submitLeg routes one fan-out leg to its destination's worker queue,
+// spilling onto a fresh goroutine when the queue is saturated or closing.
+func (n *Node) submitLeg(id int, t *legTask) {
+	if !n.legQueue(id).submit(t) {
+		go t.run()
+	}
+}
+
+// legTask is one enqueued fan-out leg. Pooled: the worker that runs it
+// releases it, so the steady-state hot path allocates no task objects.
+type legTask struct {
+	n      *Node
+	view   *memView
+	target int
+	read   bool
+
+	// Write legs.
+	ver  kvstore.Version
+	acks chan bool
+	// Read legs.
+	key string
+	rs  *readState
+
+	spares *sparePicker
+}
+
+var legTaskPool = sync.Pool{New: func() any { return new(legTask) }}
+
+func newLegTask() *legTask { return legTaskPool.Get().(*legTask) }
+
+func (t *legTask) run() {
+	if t.read {
+		t.n.runReadLeg(t.view, t.target, t.key, t.spares, t.rs)
+	} else {
+		t.n.runWriteLeg(t.view, t.target, t.ver, t.spares, t.acks)
+	}
+	*t = legTask{}
+	legTaskPool.Put(t)
+}
+
+// runWriteLeg delivers one write leg and acks the coordinator. The leg
+// sampler sees the same observation as the goroutine path with zero
+// injected delays: the real RPC time as W, zero A.
+func (n *Node) runWriteLeg(v *memView, target int, ver kvstore.Version, spares *sparePicker, acks chan<- bool) {
+	var sent time.Time
+	if n.legs != nil {
+		sent = time.Now()
+	}
+	ok := n.deliverWrite(v, target, ver, spares)
+	if ok && n.legs != nil {
+		n.legs.observeWrite(float64(time.Since(sent))/float64(time.Millisecond), 0)
+	}
+	acks <- ok
+}
+
+// runReadLeg performs one read leg and hands the response to the shared
+// read state (which answers the handler at quorum and finalizes the
+// detector/repair pass when the last leg lands).
+func (n *Node) runReadLeg(v *memView, target int, key string, spares *sparePicker, rs *readState) {
+	var sent time.Time
+	if n.legs != nil {
+		sent = time.Now()
+	}
+	rr := n.readReplica(v, target, key, spares)
+	if rr.err == nil && n.legs != nil {
+		n.legs.observeRead(float64(time.Since(sent))/float64(time.Millisecond), 0)
+	}
+	rs.complete(rr)
+}
+
+// --- coordinated-read state ---------------------------------------------
+
+// readState collects one coordinated read's fan-out responses. It replaces
+// the v1 response channel + background finishRead goroutine with a single
+// mutex-guarded struct shared by the handler and the legs, preserving v1
+// semantics exactly: the handler answers with the newest version among the
+// first quorum *successful* responses in arrival order, and the staleness
+// detector / read-repair pass runs once over all responses after both the
+// last leg has landed and the handler has answered — executed by whichever
+// of the two gets there last, so no goroutine is spawned on the common
+// R < N hot path.
+type readState struct {
+	n    *Node
+	view *memView
+
+	quorum, total int
+	waiter        chan struct{}
+
+	mu        sync.Mutex
+	resps     []readResp
+	succ, don int
+	signaled  bool
+	answered  bool
+	finalized bool
+	returned  kvstore.Version
+}
+
+func (n *Node) newReadState(v *memView, quorum, total int) *readState {
+	return &readState{
+		n: n, view: v,
+		quorum: quorum, total: total,
+		waiter: make(chan struct{}),
+		resps:  make([]readResp, 0, total),
+	}
+}
+
+// complete records one leg's response, waking the handler once the quorum
+// (or every leg) is in, and finalizing when this was the last leg of an
+// already-answered read.
+func (rs *readState) complete(r readResp) {
+	rs.mu.Lock()
+	rs.resps = append(rs.resps, r)
+	rs.don++
+	if r.err == nil {
+		rs.succ++
+	}
+	signal := !rs.signaled && (rs.succ >= rs.quorum || rs.don == rs.total)
+	if signal {
+		rs.signaled = true
+	}
+	fin := rs.don == rs.total && rs.answered && !rs.finalized
+	if fin {
+		rs.finalized = true
+	}
+	rs.mu.Unlock()
+	if signal {
+		close(rs.waiter)
+	}
+	if fin {
+		rs.finalize()
+	}
+}
+
+// answer computes the handler's verdict after waiter fires: the newest
+// version among the first quorum successful responses in arrival order
+// (exactly the v1 channel loop). ok is false when every leg finished
+// without reaching the quorum. When all legs have already landed the
+// handler inherits the finalize pass (finalizeNow) — on a failed read it
+// does not run, matching v1, where the detector never saw failed reads.
+func (rs *readState) answer() (best kvstore.Version, found, ok, finalizeNow bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	succ := 0
+	for _, x := range rs.resps {
+		if x.err != nil {
+			continue
+		}
+		succ++
+		if x.found && (!found || x.v.Seq > best.Seq) {
+			best, found = x.v, true
+		}
+		if succ == rs.quorum {
+			break
+		}
+	}
+	if succ < rs.quorum {
+		return kvstore.Version{}, false, false, false
+	}
+	rs.answered = true
+	rs.returned = best
+	if rs.don == rs.total && !rs.finalized {
+		rs.finalized = true
+		finalizeNow = true
+	}
+	return best, found, true, finalizeNow
+}
+
+// finalize runs the asynchronous staleness detector and (when enabled)
+// read repair over the complete response set — a direct port of the v1
+// finishRead. It runs exactly once per successful read, after the last leg
+// landed and the handler answered; by then resps is immutable.
+func (rs *readState) finalize() {
+	newest := rs.returned
+	for _, x := range rs.resps {
+		if x.err == nil && x.found && x.v.Seq > newest.Seq {
+			newest = x.v
+		}
+	}
+	if newest.Seq > rs.returned.Seq {
+		rs.n.detectorFlags.Add(1)
+	}
+	if !rs.n.params.ReadRepair || newest.Seq == 0 {
+		return
+	}
+	for _, x := range rs.resps {
+		if x.err == nil && x.v.Seq < newest.Seq {
+			if _, _, err := rs.view.peers[x.node].Apply(newest); err == nil {
+				rs.n.readRepairs.Add(1)
+			}
+		}
+	}
+}

@@ -54,7 +54,13 @@ const (
 
 // encodeHintRecord builds one record payload: intended target + version.
 func encodeHintRecord(target int, v kvstore.Version) []byte {
-	return encodeVersion(binary.BigEndian.AppendUint32(nil, uint32(target)), v)
+	return appendHintRecord(nil, target, v)
+}
+
+// appendHintRecord appends one record payload to b (hot path: a pooled
+// buffer).
+func appendHintRecord(b []byte, target int, v kvstore.Version) []byte {
+	return encodeVersion(binary.BigEndian.AppendUint32(b, uint32(target)), v)
 }
 
 // decodeHintRecord parses one record payload.

@@ -1,0 +1,433 @@
+package server
+
+// Multiplexed data-plane transport (wire format v2). The v1 protocol
+// (transport.go) holds one pooled TCP connection per in-flight RPC for a
+// full blocking round trip; under high fan-out concurrency that either
+// serializes legs behind head-of-line round trips or dials a fresh
+// connection per overflow RPC. v2 extends the frame header with a request
+// ID so many RPCs share one connection:
+//
+//	frame: tag(u8) | id(u64) | len(u32) | payload
+//
+// where tag is the opcode on a request and the status byte on a response,
+// and a response's id echoes its request's. Each connection runs one writer
+// loop (draining a submission channel, flushing only when it goes idle, so
+// concurrent legs batch into single syscalls) and one reader loop (matching
+// response ids against a pending-call table). A connection upgrades from v1
+// by sending an opMuxHello frame; the server answers with a v1 statusOK
+// frame and both sides switch to tagged framing, so v1-only peers keep
+// interoperating — the server speaks both, per connection.
+//
+// Failure semantics the mux tests pin: any reader/writer error tears the
+// connection down and fails every in-flight call exactly once (each call is
+// delivered either by the reader — which removes it from the pending table
+// before completing it — or by teardown, which takes the whole table; a
+// call is in exactly one of those sets). Idle connections carry a long read
+// deadline; registering a call arms the short rpcTimeout deadline, so a
+// hung peer fails all pending calls within one timeout instead of hanging
+// the coordinator.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+const (
+	// opMuxHello upgrades a v1 connection to tagged framing. Its payload is
+	// one byte naming the mux protocol version.
+	opMuxHello byte = 12
+	muxVersion byte = 2
+
+	// muxConnsPerPeer is the fixed set of multiplexed connections a peer
+	// client fans its calls over (round robin). Two keeps a second pipe warm
+	// so one slow flush never gates every leg to that peer.
+	muxConnsPerPeer = 2
+
+	// muxIOBuf sizes the per-connection buffered reader/writer.
+	muxIOBuf = 64 << 10
+
+	// muxIdleDeadline is the read deadline on a mux connection with no
+	// pending calls — long enough that an idle cluster does not churn
+	// connections, finite so an abandoned socket cannot pin a goroutine
+	// forever. Registering a call re-arms the short rpcTimeout deadline.
+	muxIdleDeadline = 5 * time.Minute
+
+	// muxServerWorkers is the per-connection handler pool on the serving
+	// side. Sized comfortably above the storage engine's group-commit batch
+	// sweet spot so concurrent appliers on one connection still fill fsync
+	// batches (see TestFsyncGroupCommitThroughput).
+	muxServerWorkers = 32
+
+	// muxServerQueue bounds the per-connection request/response channels.
+	muxServerQueue = 256
+)
+
+var errMuxClosed = errors.New("server: mux connection closed")
+
+// --- tagged framing ------------------------------------------------------
+
+const taggedHdrLen = 13 // tag(1) + id(8) + len(4)
+
+// writeTaggedFrame appends one v2 frame to w without flushing — the writer
+// loops flush once their submission queue goes idle.
+func writeTaggedFrame(w *bufio.Writer, tag byte, id uint64, payload []byte) error {
+	var hdr [taggedHdrLen]byte
+	hdr[0] = tag
+	binary.BigEndian.PutUint64(hdr[1:], id)
+	binary.BigEndian.PutUint32(hdr[9:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readTaggedFrame reads one v2 frame, returning its payload in a pooled
+// buffer the caller must putBuf after decoding.
+func readTaggedFrame(r *bufio.Reader) (tag byte, id uint64, payload []byte, err error) {
+	var hdr [taggedHdrLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[9:])
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	payload = getBuf(int(n))
+	if _, err = io.ReadFull(r, payload); err != nil {
+		putBuf(payload)
+		return 0, 0, nil, err
+	}
+	return hdr[0], binary.BigEndian.Uint64(hdr[1:]), payload, nil
+}
+
+// --- client side ---------------------------------------------------------
+
+// muxResult is one call's completion: a response (status + pooled payload
+// the caller releases after decode) or a transport error.
+type muxResult struct {
+	status  byte
+	payload []byte
+	err     error
+}
+
+type muxCall struct{ ch chan muxResult }
+
+var muxCallPool = sync.Pool{
+	New: func() any { return &muxCall{ch: make(chan muxResult, 1)} },
+}
+
+// muxWrite is one queued request frame. The writer loop owns payload and
+// repools it after writing (or on teardown drain).
+type muxWrite struct {
+	op      byte
+	id      uint64
+	payload []byte
+}
+
+// muxConn is one multiplexed client connection: a writer loop, a reader
+// loop, and a table of pending calls keyed by request id.
+type muxConn struct {
+	c    net.Conn
+	wch  chan muxWrite
+	done chan struct{} // closed by teardown
+
+	mu      sync.Mutex
+	pending map[uint64]*muxCall
+	nextID  uint64
+	nPend   int
+	dead    bool
+	deadErr error
+}
+
+// dialMux opens a connection and upgrades it to tagged framing.
+func dialMux(addr string) (*muxConn, error) {
+	c, err := net.DialTimeout("tcp", addr, rpcTimeout)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(c, muxIOBuf)
+	br := bufio.NewReaderSize(c, muxIOBuf)
+	c.SetDeadline(time.Now().Add(rpcTimeout))
+	if err := writeFrame(bw, opMuxHello, []byte{muxVersion}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	status, resp, err := readFrame(br)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if status != statusOK {
+		c.Close()
+		return nil, fmt.Errorf("server: mux hello refused: %s", resp)
+	}
+	c.SetDeadline(time.Time{})
+	mc := &muxConn{
+		c:       c,
+		wch:     make(chan muxWrite, muxServerQueue),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]*muxCall),
+	}
+	go mc.writeLoop(bw)
+	go mc.readLoop(br)
+	return mc, nil
+}
+
+func (mc *muxConn) isDead() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.dead
+}
+
+// teardown marks the connection dead, closes it, and fails every pending
+// call exactly once. Safe to call from the reader, the writer, and close;
+// only the first caller delivers failures.
+func (mc *muxConn) teardown(err error) {
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		return
+	}
+	mc.dead = true
+	mc.deadErr = err
+	pending := mc.pending
+	mc.pending = nil
+	mc.nPend = 0
+	mc.mu.Unlock()
+	close(mc.done)
+	mc.c.Close()
+	for _, call := range pending {
+		call.ch <- muxResult{err: err}
+	}
+}
+
+func (mc *muxConn) writeLoop(bw *bufio.Writer) {
+	// drain releases queued payloads after the loop stops accepting them.
+	drain := func() {
+		for {
+			select {
+			case w := <-mc.wch:
+				putBuf(w.payload)
+			case <-mc.done:
+				// Keep draining until the queue is empty AND the conn is
+				// dead, so a racing enqueue cannot strand a buffer.
+				select {
+				case w := <-mc.wch:
+					putBuf(w.payload)
+				default:
+					return
+				}
+			}
+		}
+	}
+	for {
+		var w muxWrite
+		select {
+		case w = <-mc.wch:
+		case <-mc.done:
+			go drain()
+			return
+		}
+		for {
+			err := writeTaggedFrame(bw, w.op, w.id, w.payload)
+			putBuf(w.payload)
+			if err != nil {
+				mc.teardown(err)
+				go drain()
+				return
+			}
+			select {
+			case w = <-mc.wch:
+				continue
+			default:
+			}
+			break
+		}
+		// Queue idle: flush the batch in one syscall.
+		if err := bw.Flush(); err != nil {
+			mc.teardown(err)
+			go drain()
+			return
+		}
+	}
+}
+
+func (mc *muxConn) readLoop(br *bufio.Reader) {
+	for {
+		// Deadline choice is made under the lock so it serializes with
+		// call()'s short-deadline re-arm: a registered call can never be
+		// left behind a stale idle deadline.
+		mc.mu.Lock()
+		if mc.nPend > 0 {
+			mc.c.SetReadDeadline(time.Now().Add(rpcTimeout))
+		} else {
+			mc.c.SetReadDeadline(time.Now().Add(muxIdleDeadline))
+		}
+		mc.mu.Unlock()
+		status, id, payload, err := readTaggedFrame(br)
+		if err != nil {
+			mc.teardown(err)
+			return
+		}
+		mc.mu.Lock()
+		call := mc.pending[id]
+		if call != nil {
+			delete(mc.pending, id)
+			mc.nPend--
+		}
+		mc.mu.Unlock()
+		if call == nil {
+			putBuf(payload) // response for a call teardown already failed
+			continue
+		}
+		call.ch <- muxResult{status: status, payload: payload}
+	}
+}
+
+// call performs one RPC. It takes ownership of payload (pooled; the writer
+// loop releases it) and returns the response status plus a pooled response
+// payload the caller must putBuf after decoding.
+func (mc *muxConn) call(op byte, payload []byte) (status byte, resp []byte, err error) {
+	mc.mu.Lock()
+	if mc.dead {
+		err := mc.deadErr
+		mc.mu.Unlock()
+		putBuf(payload)
+		return 0, nil, err
+	}
+	mc.nextID++
+	id := mc.nextID
+	call := muxCallPool.Get().(*muxCall)
+	mc.pending[id] = call
+	mc.nPend++
+	// Re-arm an idle reader onto the short deadline now that a call is
+	// pending (a deadline set interrupts a blocked Read); done under the
+	// lock so it serializes with the reader's own deadline choice.
+	mc.c.SetReadDeadline(time.Now().Add(rpcTimeout))
+	mc.mu.Unlock()
+	select {
+	case mc.wch <- muxWrite{op: op, id: id, payload: payload}:
+	case <-mc.done:
+		// Teardown owns the pending table (we registered before dead was
+		// set), so it delivers our failure below; the payload was never
+		// enqueued and is ours to release.
+		putBuf(payload)
+	}
+	res := <-call.ch
+	muxCallPool.Put(call)
+	return res.status, res.payload, res.err
+}
+
+// --- server side ---------------------------------------------------------
+
+// muxTask is one decoded request awaiting a handler worker; muxDone is its
+// completed response awaiting the writer. buf is the pooled scratch the
+// response was encoded into (payload usually aliases it).
+type muxTask struct {
+	op      byte
+	id      uint64
+	payload []byte
+}
+
+type muxDone struct {
+	status  byte
+	id      uint64
+	payload []byte
+	buf     []byte
+}
+
+// serveMux runs the v2 protocol on an upgraded server connection: one
+// reader (this goroutine), a worker pool dispatching handleRPC, and one
+// writer batching tagged responses. It returns when the connection dies;
+// in-flight handlers drain through the worker pool first.
+func (n *Node) serveMux(conn net.Conn, br *bufio.Reader) {
+	reqs := make(chan muxTask, muxServerQueue)
+	resps := make(chan muxDone, muxServerQueue)
+
+	var wg sync.WaitGroup
+	wg.Add(muxServerWorkers)
+	for i := 0; i < muxServerWorkers; i++ {
+		go func() {
+			defer wg.Done()
+			for t := range reqs {
+				buf := getBuf(64)
+				status, resp := n.handleRPCBuf(t.op, t.payload, buf[:0])
+				putBuf(t.payload)
+				resps <- muxDone{status: status, id: t.id, payload: resp, buf: buf}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resps)
+	}()
+	go muxWriteResponses(conn, resps)
+
+	// Apply is only a blocking op when a durable engine is underneath (WAL
+	// append + group-commit fsync, which wants many concurrent appliers per
+	// batch); against the in-memory store it is a microsecond of mutex work
+	// and can ride the inline path with the reads.
+	inMemApply := n.params.DataDir == ""
+	for {
+		op, id, payload, err := readTaggedFrame(br)
+		if err != nil {
+			break
+		}
+		// Ops that never block on storage are handled inline by the reader
+		// instead of paying two channel hops and a worker wakeup — reads are
+		// the serving path's highest-rate op. Anything that can block
+		// (durable applies, hinted handoff, range streams) goes to the pool.
+		if op == opGet || op == opPing || (inMemApply && op == opApply) {
+			buf := getBuf(64)
+			status, resp := n.handleRPCBuf(op, payload, buf[:0])
+			putBuf(payload)
+			resps <- muxDone{status: status, id: id, payload: resp, buf: buf}
+			continue
+		}
+		reqs <- muxTask{op: op, id: id, payload: payload}
+	}
+	close(reqs)
+}
+
+// muxWriteResponses drains completed handlers onto the wire, flushing only
+// when the queue goes idle. On a write error it closes the connection (so
+// the reader unblocks) and keeps draining to release pooled buffers.
+func muxWriteResponses(conn net.Conn, resps <-chan muxDone) {
+	bw := bufio.NewWriterSize(conn, muxIOBuf)
+	var werr error
+	for {
+		r, ok := <-resps
+		if !ok {
+			conn.Close()
+			return
+		}
+		for {
+			if werr == nil {
+				if werr = writeTaggedFrame(bw, r.status, r.id, r.payload); werr != nil {
+					conn.Close()
+				}
+			}
+			putBuf(r.buf)
+			select {
+			case r, ok = <-resps:
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
+		}
+		if werr == nil {
+			if werr = bw.Flush(); werr != nil {
+				conn.Close()
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package server
+
+// v2 (multiplexed) transport failure-mode coverage: a peer that dies with
+// RPCs in flight must fail every one of them exactly once (no hang, no
+// double completion); pooled payload buffers must never alias across
+// concurrent calls (this file runs under -race in CI); a torn-down mux
+// connection must be transparently redialed like a stale v1 pooled conn;
+// and the fault controller's per-leg drop/delay injection must keep
+// working on the persistent-worker fan-out path.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pbs/internal/kvstore"
+	"pbs/internal/vclock"
+)
+
+// startStallMux is a server that completes the mux upgrade and then reads
+// tagged request frames forever without ever responding — in-flight calls
+// against it only complete through connection teardown.
+func startStallMux(t *testing.T) (addr string, received *atomic.Int64, killConns func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	received = new(atomic.Int64)
+	var mu sync.Mutex
+	var conns []net.Conn
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				bw := bufio.NewWriter(c)
+				if op, _, err := readFrame(br); err != nil || op != opMuxHello {
+					return
+				}
+				if err := writeFrame(bw, statusOK, []byte{muxVersion}); err != nil {
+					return
+				}
+				for {
+					if _, _, payload, err := readTaggedFrame(br); err != nil {
+						return
+					} else {
+						putBuf(payload)
+						received.Add(1)
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), received, func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+		conns = nil
+	}
+}
+
+// TestMuxTeardownFailsInFlightExactlyOnce pins the restart-mid-flight
+// contract: every RPC in flight when the connection dies returns exactly
+// one error — none hang, none complete twice (a double completion would
+// wedge teardown on the call's one-slot channel and show up here as a
+// hang).
+func TestMuxTeardownFailsInFlightExactlyOnce(t *testing.T) {
+	addr, received, killConns := startStallMux(t)
+	mc, err := dialMux(addr)
+	if err != nil {
+		t.Fatalf("dialMux: %v", err)
+	}
+	defer mc.teardown(errMuxClosed)
+
+	const inFlight = 32
+	var wg sync.WaitGroup
+	errs := make([]error, inFlight)
+	wg.Add(inFlight)
+	for i := 0; i < inFlight; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = mc.call(opPing, nil)
+		}(i)
+	}
+	// Wait until the server has consumed every request frame, so all calls
+	// are genuinely in flight when the connection dies.
+	deadline := time.Now().Add(5 * time.Second)
+	for received.Load() < inFlight {
+		if time.Now().After(deadline) {
+			t.Fatalf("server saw %d/%d requests", received.Load(), inFlight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	killConns()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight calls hung after connection teardown")
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("call %d completed successfully on a dead connection", i)
+		}
+	}
+	// The torn-down connection must fail new calls immediately.
+	if _, _, err := mc.call(opPing, nil); err == nil {
+		t.Fatal("call on torn-down connection succeeded")
+	}
+}
+
+// TestMuxPeerRedialsTornDownConn pins the mux counterpart of the v1
+// stale-pooled-conn retry: a connection torn down underneath the peer
+// (idle timeout, server restart) must be transparently replaced on the
+// next RPC, not surface as a replica failure.
+func TestMuxPeerRedialsTornDownConn(t *testing.T) {
+	c, err := StartLocal(1, Params{N: 1, R: 1, W: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p := newPeer(c.Nodes[0].selfInternal)
+	defer p.close()
+
+	if err := p.Ping(); err != nil {
+		t.Fatalf("first ping: %v", err)
+	}
+	p.muxMu.Lock()
+	for _, mc := range p.muxes {
+		if mc != nil {
+			mc.teardown(errMuxClosed)
+		}
+	}
+	p.muxMu.Unlock()
+	for i := 0; i < 2*muxConnsPerPeer; i++ {
+		if err := p.Ping(); err != nil {
+			t.Fatalf("ping %d after teardown: %v", i, err)
+		}
+	}
+}
+
+// TestMuxConcurrentCallsNoAliasing hammers one shared peer with
+// concurrent Apply/GetVersion calls for distinct keys and checks every
+// response against its own key — pooled request and response buffers must
+// never bleed between in-flight calls. Run under -race in CI.
+func TestMuxConcurrentCallsNoAliasing(t *testing.T) {
+	c, err := StartLocal(1, Params{N: 1, R: 1, W: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p := newPeer(c.Nodes[0].selfInternal)
+	defer p.close()
+
+	const workers = 16
+	const opsPerWorker = 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				key := fmt.Sprintf("k-%d-%d", w, i)
+				val := strings.Repeat(fmt.Sprintf("v-%d-%d.", w, i), 1+i%7)
+				ver := kvstore.Version{Key: key, Seq: uint64(i + 1), Value: val, Clock: vclock.VC{0: uint64(i + 1)}}
+				if _, _, err := p.Apply(ver); err != nil {
+					errCh <- fmt.Errorf("apply %s: %w", key, err)
+					return
+				}
+				got, found, err := p.GetVersion(key)
+				if err != nil {
+					errCh <- fmt.Errorf("get %s: %w", key, err)
+					return
+				}
+				if !found || got.Key != key || got.Value != val {
+					errCh <- fmt.Errorf("get %s returned key=%q val=%q (want val=%q): cross-call buffer aliasing?",
+						key, got.Key, got.Value, val)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerPathFaultDropAndDelay verifies the fault controller still
+// interposes per leg on the persistent-worker fan-out path (no latency
+// model installed, so coordinators take the worker path): a 100% drop on
+// one replica costs that leg but not the W=2 quorum, and an injected delay
+// on a required leg shows up in the coordinator's commit latency.
+func TestWorkerPathFaultDropAndDelay(t *testing.T) {
+	c, err := StartLocal(3, Params{N: 3, R: 2, W: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	put := func(key, val string) PutResponse {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPut,
+			c.HTTPAddrs[0]+"/kv/"+key, strings.NewReader(val))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("put %s: status %d", key, resp.StatusCode)
+		}
+		var pr PutResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatalf("put %s: decode: %v", key, err)
+		}
+		return pr
+	}
+
+	// Drop every RPC to one non-coordinating replica: writes must still
+	// commit at W=2 of 3, and the drops must be injected on the leg path.
+	coordinator := c.Membership().Coordinator("drop-key")
+	victim := (coordinator + 1) % 3
+	c.Faults().SetDrop(victim, 1.0)
+	before := c.Faults().Injected()
+	for i := 0; i < 8; i++ {
+		put("drop-key", fmt.Sprintf("v%d", i))
+	}
+	if got := c.Faults().Injected() - before; got == 0 {
+		t.Fatal("no drops injected on the worker fan-out path")
+	}
+	c.Faults().SetDrop(victim, 0)
+
+	// Delay one replica and require all three acks (W=3): the commit cannot
+	// beat the injected leg delay.
+	if err := c.SetQuorums(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	const delayMs = 30
+	c.Faults().SetDelay(victim, delayMs)
+	pr := put("delay-key", "v")
+	if pr.CoordMs < delayMs {
+		t.Fatalf("W=3 commit in %.2fms beat the %dms injected leg delay", pr.CoordMs, delayMs)
+	}
+}

@@ -124,6 +124,11 @@ type Params struct {
 	Vnodes int
 	// Seed seeds latency-injection sampling.
 	Seed uint64
+	// BlockingTransport pins data-plane RPCs (Apply, ApplyHinted,
+	// GetVersion, Ping) to the v1 blocking conn-per-RPC transport instead
+	// of the v2 multiplexed one — the pre-multiplexing baseline the serving
+	// benchmark compares against. Control-plane ops use v1 either way.
+	BlockingTransport bool
 }
 
 // SetDefaults resolves zero values and implied settings (SloppyQuorum
@@ -443,6 +448,11 @@ type Node struct {
 	store kvstore.Engine
 
 	keys sync.Map // string -> *keyEntry
+
+	// legQueues holds the persistent per-peer fan-out worker queues
+	// (fanout.go): member ID -> *peerQueue. IDs are never reused, so a
+	// queue binds to one member forever.
+	legQueues sync.Map
 
 	faults  *Faults
 	live    *liveness // peer reachability cache (sloppy-quorum routing)
@@ -775,31 +785,50 @@ func (n *Node) coordinatePut(w http.ResponseWriter, v *memView, key string, body
 	if quorumW > nReps {
 		quorumW = nReps
 	}
-	wd := make([]float64, nReps)
-	ad := make([]float64, nReps)
-	n.inj.writeDelays(wd, ad)
-
 	var spares *sparePicker
 	if n.params.SloppyQuorum {
 		spares = n.sparePicker(v, key)
 	}
 	start := time.Now()
 	acks := make(chan bool, nReps) // buffered: stragglers never block (send-to-all)
-	for i, nodeID := range prefs {
-		go func(i, nodeID int) {
-			sleepMs(wd[i])
-			var sent time.Time
-			if n.legs != nil {
-				sent = time.Now()
-			}
-			ok := n.deliverWrite(v, nodeID, ver, spares)
-			if ok && n.legs != nil {
-				rpcMs := float64(time.Since(sent)) / float64(time.Millisecond)
-				n.legs.observeWrite(wd[i]+rpcMs, ad[i])
-			}
-			sleepMs(ad[i])
-			acks <- ok
-		}(i, nodeID)
+	if n.inj == nil && !n.params.BlockingTransport {
+		// Hot path: no WARS model, so legs go straight to the persistent
+		// per-peer workers (fanout.go) — no per-op goroutines, no delay
+		// arrays.
+		for _, nodeID := range prefs {
+			t := newLegTask()
+			t.n, t.view, t.target = n, v, nodeID
+			t.ver, t.spares, t.acks = ver, spares, acks
+			n.submitLeg(nodeID, t)
+		}
+	} else {
+		// Injected path: each leg sleeps its sampled W delay before the RPC
+		// and its A delay after, on a goroutine of its own so the sleeps
+		// overlap — the order statistics the conformance suite pins.
+		// BlockingTransport also lands here (with zero delays): it pins the
+		// whole pre-mux data plane, goroutine-per-leg fan-out included, so
+		// the serving bench compares like against like.
+		wd := make([]float64, nReps)
+		ad := make([]float64, nReps)
+		if n.inj != nil {
+			n.inj.writeDelays(wd, ad)
+		}
+		for i, nodeID := range prefs {
+			go func(i, nodeID int) {
+				sleepMs(wd[i])
+				var sent time.Time
+				if n.legs != nil {
+					sent = time.Now()
+				}
+				ok := n.deliverWrite(v, nodeID, ver, spares)
+				if ok && n.legs != nil {
+					rpcMs := float64(time.Since(sent)) / float64(time.Millisecond)
+					n.legs.observeWrite(wd[i]+rpcMs, ad[i])
+				}
+				sleepMs(ad[i])
+				acks <- ok
+			}(i, nodeID)
+		}
 	}
 
 	got, done := 0, 0
@@ -1082,51 +1111,53 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 	if quorumR > nReps {
 		quorumR = nReps
 	}
-	rd := make([]float64, nReps)
-	sd := make([]float64, nReps)
-	n.inj.readDelays(rd, sd)
-
 	var spares *sparePicker
 	if n.params.SloppyQuorum {
 		spares = n.sparePicker(v, key)
 	}
 	start := time.Now()
-	ch := make(chan readResp, nReps)
-	for i, nodeID := range prefs {
-		go func(i, nodeID int) {
-			sleepMs(rd[i])
-			var sent time.Time
-			if n.legs != nil {
-				sent = time.Now()
-			}
-			rr := n.readReplica(v, nodeID, key, spares)
-			if rr.err == nil && n.legs != nil {
-				rpcMs := float64(time.Since(sent)) / float64(time.Millisecond)
-				n.legs.observeRead(rd[i]+rpcMs, sd[i])
-			}
-			sleepMs(sd[i])
-			ch <- rr
-		}(i, nodeID)
+	rs := n.newReadState(v, quorumR, nReps)
+	if n.inj == nil && !n.params.BlockingTransport {
+		// Hot path: persistent per-peer workers (fanout.go), no per-op
+		// goroutines.
+		for _, nodeID := range prefs {
+			t := newLegTask()
+			t.n, t.view, t.target, t.read = n, v, nodeID, true
+			t.key, t.spares, t.rs = key, spares, rs
+			n.submitLeg(nodeID, t)
+		}
+	} else {
+		// Injected path (and the BlockingTransport baseline, with zero
+		// delays): overlapped R/S delay sleeps per leg (see coordinatePut).
+		rd := make([]float64, nReps)
+		sd := make([]float64, nReps)
+		if n.inj != nil {
+			n.inj.readDelays(rd, sd)
+		}
+		for i, nodeID := range prefs {
+			go func(i, nodeID int) {
+				sleepMs(rd[i])
+				var sent time.Time
+				if n.legs != nil {
+					sent = time.Now()
+				}
+				rr := n.readReplica(v, nodeID, key, spares)
+				if rr.err == nil && n.legs != nil {
+					rpcMs := float64(time.Since(sent)) / float64(time.Millisecond)
+					n.legs.observeRead(rd[i]+rpcMs, sd[i])
+				}
+				sleepMs(sd[i])
+				rs.complete(rr)
+			}(i, nodeID)
+		}
 	}
 
-	var best kvstore.Version
-	bestFound := false
-	succ, done := 0, 0
-	early := make([]readResp, 0, nReps)
-	for done < nReps && succ < quorumR {
-		x := <-ch
-		done++
-		early = append(early, x)
-		if x.err != nil {
-			continue
-		}
-		succ++
-		if x.found && (!bestFound || x.v.Seq > best.Seq) {
-			best = x.v
-			bestFound = true
-		}
-	}
-	if succ < quorumR {
+	// Wait for the read quorum (or every leg, if the quorum is
+	// unreachable), then compute the verdict over the first R successful
+	// responses in arrival order.
+	<-rs.waiter
+	best, bestFound, ok, finalizeNow := rs.answer()
+	if !ok {
 		n.failedOps.Add(1)
 		http.Error(w, "server: read quorum not reached", http.StatusServiceUnavailable)
 		return
@@ -1143,35 +1174,16 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 		CoordMs: float64(answered.Sub(start)) / float64(time.Millisecond),
 		Node:    n.id,
 	})
-
-	// Background: drain the N-R late responses; compare them with the
-	// returned version (the paper's asynchronous staleness detector) and
-	// push the newest version to lagging replicas when read repair is on.
-	go n.finishRead(v, key, best, early, ch, nReps-done)
-}
-
-func (n *Node) finishRead(view *memView, key string, returned kvstore.Version, early []readResp, ch <-chan readResp, pending int) {
-	all := early
-	for i := 0; i < pending; i++ {
-		all = append(all, <-ch)
-	}
-	newest := returned
-	for _, x := range all {
-		if x.err == nil && x.found && x.v.Seq > newest.Seq {
-			newest = x.v
-		}
-	}
-	if newest.Seq > returned.Seq {
-		n.detectorFlags.Add(1)
-	}
-	if !n.params.ReadRepair || newest.Seq == 0 {
-		return
-	}
-	for _, x := range all {
-		if x.err == nil && x.v.Seq < newest.Seq {
-			if _, _, err := view.peers[x.node].Apply(newest); err == nil {
-				n.readRepairs.Add(1)
-			}
+	// The staleness-detector / read-repair pass over the complete response
+	// set (the v1 finishRead) runs on whichever of {last leg, handler} gets
+	// there last; when it falls to the handler with read repair enabled it
+	// moves to a goroutine so repair RPCs never delay this handler's return
+	// (the response is already written, but the connection is held).
+	if finalizeNow {
+		if n.params.ReadRepair {
+			go rs.finalize()
+		} else {
+			rs.finalize()
 		}
 	}
 }

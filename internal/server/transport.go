@@ -1,22 +1,26 @@
 package server
 
-// Replica-to-replica transport: a length-prefixed binary protocol over
-// persistent TCP connections. The public key-value API is HTTP (node.go);
-// internal replication traffic (version propagation, replica reads, read
-// repair) uses this leaner framing so a single-machine cluster can sustain
-// tens of thousands of coordinated operations per second — every
-// coordinated operation fans out N internal RPCs, so the internal path is
-// the hot path.
+// Replica-to-replica transport. The public key-value API is HTTP
+// (node.go); internal replication traffic (version propagation, replica
+// reads, read repair) uses a leaner length-prefixed binary protocol —
+// every coordinated operation fans out N internal RPCs, so the internal
+// path is the hot path.
 //
-// Framing: one request frame per RPC, one response frame back, at most one
-// RPC in flight per connection. Concurrency comes from a free-list pool of
-// connections per peer; because WARS delay injection happens on the
-// coordinator *before* the RPC is issued, connections are only held for the
-// real loopback round trip (~100 µs) and a small pool serves a large number
-// of concurrent operations.
+// Two wire formats share the port. v1 is the blocking protocol: one
+// request frame per RPC, one response frame back, at most one RPC in
+// flight per connection, concurrency from a free-list pool of connections
+// per peer.
 //
 //	request:  op(u8)     | len(u32) | payload
 //	response: status(u8) | len(u32) | payload (error text when status != 0)
+//
+// v2 (mux.go) extends the header with a request ID and multiplexes many
+// in-flight RPCs over a small fixed set of connections per peer; a
+// connection upgrades from v1 with an opMuxHello frame. Data-plane ops
+// (Apply, ApplyHinted, GetVersion, Ping) default to v2; control-plane ops
+// (membership, gossip, consensus, anti-entropy, range streaming) are not
+// hot and stay on the v1 pool, as does everything when
+// Params.BlockingTransport pins the pre-multiplexing baseline.
 
 import (
 	"bufio"
@@ -26,6 +30,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pbs/internal/kvstore"
@@ -216,17 +221,18 @@ func readFrame(r *bufio.Reader) (tag byte, payload []byte, err error) {
 }
 
 // applyResponse installs a replicated version and encodes the apply
-// answer: whether local state changed, plus the replica's now-current seq
-// for the key. The seq lets a coordinator detect that its write was
-// ignored in favor of a *higher-epoch* version — the signature of a
-// recovered primary coordinating in a stale epoch — and refuse to count
-// the leg toward W (see deliverWrite).
-func (n *Node) applyResponse(v kvstore.Version) []byte {
+// answer into buf (hot path: a pooled scratch; nil allocates): whether
+// local state changed, plus the replica's now-current seq for the key. The
+// seq lets a coordinator detect that its write was ignored in favor of a
+// *higher-epoch* version — the signature of a recovered primary
+// coordinating in a stale epoch — and refuse to count the leg toward W
+// (see deliverWrite).
+func (n *Node) applyResponse(v kvstore.Version, buf []byte) []byte {
 	applied := n.applyLocal(v)
 	cur, _ := n.getLocal(v.Key)
-	out := []byte{0}
+	out := append(buf, 0)
 	if applied {
-		out[0] = 1
+		out[len(out)-1] = 1
 	}
 	return binary.BigEndian.AppendUint64(out, cur.Seq)
 }
@@ -246,12 +252,28 @@ func (n *Node) serveInternal(ln net.Listener) {
 
 func (n *Node) serveConn(conn net.Conn) {
 	defer conn.Close()
-	br := bufio.NewReader(conn)
+	br := bufio.NewReaderSize(conn, muxIOBuf)
 	bw := bufio.NewWriter(conn)
 	for {
 		op, payload, err := readFrame(br)
 		if err != nil {
 			return // peer closed or broken connection
+		}
+		if op == opMuxHello {
+			// Upgrade to tagged framing (wire format v2): acknowledge in v1,
+			// then hand the connection — and whatever the buffered reader
+			// already holds — to the multiplexed serve loop.
+			if len(payload) != 1 || payload[0] != muxVersion {
+				if err := writeFrame(bw, statusErr, []byte("server: unsupported mux version")); err != nil {
+					return
+				}
+				continue
+			}
+			if err := writeFrame(bw, statusOK, []byte{muxVersion}); err != nil {
+				return
+			}
+			n.serveMux(conn, br)
+			return
 		}
 		status, resp := n.handleRPC(op, payload)
 		if err := writeFrame(bw, status, resp); err != nil {
@@ -261,10 +283,17 @@ func (n *Node) serveConn(conn net.Conn) {
 }
 
 // handleRPC dispatches one internal request against local replica state.
-// Crashed replicas refuse every request: fault injection interposes on the
-// sender side (peers.go), and this server-side check keeps the crash
-// airtight for callers that reach the TCP endpoint directly.
 func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
+	return n.handleRPCBuf(op, payload, nil)
+}
+
+// handleRPCBuf is handleRPC with a caller-provided response scratch (the
+// mux serve loop passes a pooled buffer; hot-path ops append their
+// response to it, cold ops ignore it). Crashed replicas refuse every
+// request: fault injection interposes on the sender side (peers.go), and
+// this server-side check keeps the crash airtight for callers that reach
+// the TCP endpoint directly.
+func (n *Node) handleRPCBuf(op byte, payload, buf []byte) (status byte, resp []byte) {
 	if n.faults.Down(n.id) {
 		return statusErr, []byte(ErrReplicaDown.Error())
 	}
@@ -281,11 +310,11 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 		if d.err != nil {
 			return statusErr, []byte(d.err.Error())
 		}
-		return statusOK, n.applyResponse(v)
+		return statusOK, n.applyResponse(v, buf)
 	case opPing:
 		// Liveness probe: reaching this point proves the replica is up
 		// (crashed replicas were already refused above).
-		return statusOK, []byte{1}
+		return statusOK, append(buf, 1)
 	case opApplyHint:
 		// A sloppy-quorum spare write: install the version locally and
 		// remember which preference-list replica it was intended for, so
@@ -299,7 +328,7 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 		if mv := n.view(); mv == nil || !mv.m.Contains(target) {
 			return statusErr, []byte(fmt.Sprintf("server: hint target %d is not a cluster member", target))
 		}
-		resp := n.applyResponse(v)
+		resp := n.applyResponse(v, buf)
 		if n.handoff != nil {
 			n.handoff.store(target, v)
 		}
@@ -310,9 +339,9 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 			return statusErr, []byte(d.err.Error())
 		}
 		v, found := n.getLocal(key)
-		out := []byte{0}
+		out := append(buf, 0)
 		if found {
-			out[0] = 1
+			out[len(out)-1] = 1
 		}
 		return statusOK, encodeVersion(out, v)
 	case opTree:
@@ -414,14 +443,23 @@ type peerConn struct {
 	bw *bufio.Writer
 }
 
-// peer is the RPC client for one replica's internal endpoint.
+// peer is the RPC client for one replica's internal endpoint. Data-plane
+// ops (Apply, ApplyHinted, GetVersion, Ping) ride a small fixed set of
+// multiplexed v2 connections (mux.go) unless blocking pins them to the v1
+// pool; control-plane ops always use the v1 pool.
 type peer struct {
-	addr string
-	free chan *peerConn
+	addr     string
+	blocking bool
+	free     chan *peerConn
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{} // every live conn, for Close
+	conns  map[net.Conn]struct{} // every live v1 conn, for Close
 	closed bool
+
+	muxMu     sync.Mutex
+	muxes     [muxConnsPerPeer]*muxConn
+	muxClosed bool
+	muxRR     atomic.Uint32
 }
 
 func newPeer(addr string) *peer {
@@ -430,6 +468,73 @@ func newPeer(addr string) *peer {
 		free:  make(chan *peerConn, peerPoolSize),
 		conns: make(map[net.Conn]struct{}),
 	}
+}
+
+// newBlockingPeer returns a peer whose data-plane ops use the v1
+// blocking-pool path — the pre-multiplexing baseline (Params.
+// BlockingTransport) and the subject of the v1 retry-semantics tests.
+func newBlockingPeer(addr string) *peer {
+	p := newPeer(addr)
+	p.blocking = true
+	return p
+}
+
+// muxConnFor returns the live mux connection for this call's round-robin
+// slot, dialing (or redialing a dead slot) lazily.
+func (p *peer) muxConnFor() (*muxConn, error) {
+	slot := int(p.muxRR.Add(1)) % muxConnsPerPeer
+	p.muxMu.Lock()
+	defer p.muxMu.Unlock()
+	if p.muxClosed {
+		return nil, errors.New("server: peer closed")
+	}
+	if mc := p.muxes[slot]; mc != nil && !mc.isDead() {
+		return mc, nil
+	}
+	mc, err := dialMux(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	p.muxes[slot] = mc
+	return mc, nil
+}
+
+// muxRPC performs one multiplexed round trip, returning a pooled response
+// payload the caller must putBuf after decoding. enc appends the request
+// payload to a pooled buffer (nil sends an empty payload); it may run
+// twice: a call that fails on an established connection gets one retry on
+// a fresh one — the connection may have idled into a teardown or died
+// mid-restart, and every RPC in the protocol is idempotent (the same
+// policy as the v1 pool's stale-connection retry). The enqueued buffer is
+// owned by the connection's writer loop, so the retry re-encodes rather
+// than resends.
+func (p *peer) muxRPC(op byte, sizeHint int, enc func([]byte) []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		mc, err := p.muxConnFor()
+		if err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		var payload []byte
+		if enc != nil {
+			payload = enc(getBuf(sizeHint)[:0])
+		}
+		status, resp, err := mc.call(op, payload)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if status != statusOK {
+			err = fmt.Errorf("server: peer %s: %s", p.addr, resp)
+			putBuf(resp)
+			return nil, err
+		}
+		return resp, nil
+	}
+	return nil, lastErr
 }
 
 // get returns a connection, preferring the free list; pooled reports
@@ -537,14 +642,30 @@ func decodeApply(resp []byte) (applied bool, replicaSeq uint64, err error) {
 	return applied, replicaSeq, nil
 }
 
+// versionSizeHint estimates v's encoded size, for pooled-buffer sizing.
+func versionSizeHint(v kvstore.Version) int {
+	return 32 + len(v.Key) + len(v.Value) + 12*len(v.Clock)
+}
+
 // Apply replicates v to the peer, reporting whether the peer's state
 // changed and the peer's resulting seq for the key.
 func (p *peer) Apply(v kvstore.Version) (applied bool, replicaSeq uint64, err error) {
-	resp, err := p.rpc(opApply, encodeVersion(nil, v))
+	if p.blocking {
+		resp, err := p.rpc(opApply, encodeVersion(nil, v))
+		if err != nil {
+			return false, 0, err
+		}
+		return decodeApply(resp)
+	}
+	resp, err := p.muxRPC(opApply, versionSizeHint(v), func(b []byte) []byte {
+		return encodeVersion(b, v)
+	})
 	if err != nil {
 		return false, 0, err
 	}
-	return decodeApply(resp)
+	applied, replicaSeq, err = decodeApply(resp)
+	putBuf(resp)
+	return applied, replicaSeq, err
 }
 
 // ApplyHinted replicates v to the peer as a sloppy-quorum spare write: the
@@ -553,28 +674,57 @@ func (p *peer) Apply(v kvstore.Version) (applied bool, replicaSeq uint64, err er
 func (p *peer) ApplyHinted(v kvstore.Version, target int) (applied bool, replicaSeq uint64, err error) {
 	// The wire payload is exactly a hint-log record: one format, one
 	// encoder (hintlog.go), decoded by handleRPC and replayHints alike.
-	resp, err := p.rpc(opApplyHint, encodeHintRecord(target, v))
+	if p.blocking {
+		resp, err := p.rpc(opApplyHint, encodeHintRecord(target, v))
+		if err != nil {
+			return false, 0, err
+		}
+		return decodeApply(resp)
+	}
+	resp, err := p.muxRPC(opApplyHint, 4+versionSizeHint(v), func(b []byte) []byte {
+		return appendHintRecord(b, target, v)
+	})
 	if err != nil {
 		return false, 0, err
 	}
-	return decodeApply(resp)
+	applied, replicaSeq, err = decodeApply(resp)
+	putBuf(resp)
+	return applied, replicaSeq, err
 }
 
 // Ping probes the peer's liveness with an empty round trip.
 func (p *peer) Ping() error {
-	_, err := p.rpc(opPing, nil)
-	return err
+	if p.blocking {
+		_, err := p.rpc(opPing, nil)
+		return err
+	}
+	resp, err := p.muxRPC(opPing, 0, nil)
+	if err != nil {
+		return err
+	}
+	putBuf(resp)
+	return nil
 }
 
 // GetVersion reads the peer's current version for key.
 func (p *peer) GetVersion(key string) (v kvstore.Version, found bool, err error) {
-	resp, err := p.rpc(opGet, appendString16(nil, key))
+	var resp []byte
+	if p.blocking {
+		resp, err = p.rpc(opGet, appendString16(nil, key))
+	} else {
+		resp, err = p.muxRPC(opGet, 2+len(key), func(b []byte) []byte {
+			return appendString16(b, key)
+		})
+	}
 	if err != nil {
 		return kvstore.Version{}, false, err
 	}
 	d := &decoder{b: resp}
 	found = d.u8() == 1
 	v = d.version()
+	if !p.blocking {
+		putBuf(resp)
+	}
 	if d.err != nil {
 		return kvstore.Version{}, false, d.err
 	}
@@ -678,7 +828,7 @@ func (p *peer) StreamRange(req streamRangeRequest) (streamRangeResponse, error) 
 	return decodeStreamRangeResponse(resp)
 }
 
-// close tears down every live connection.
+// close tears down every live connection, failing in-flight mux calls.
 func (p *peer) close() {
 	p.mu.Lock()
 	p.closed = true
@@ -687,5 +837,15 @@ func (p *peer) close() {
 	p.mu.Unlock()
 	for c := range conns {
 		c.Close()
+	}
+	p.muxMu.Lock()
+	p.muxClosed = true
+	muxes := p.muxes
+	p.muxes = [muxConnsPerPeer]*muxConn{}
+	p.muxMu.Unlock()
+	for _, mc := range muxes {
+		if mc != nil {
+			mc.teardown(errMuxClosed)
+		}
 	}
 }

@@ -1,10 +1,14 @@
 package server
 
-// Transport client regression coverage: a pooled connection that died
-// while idling in the free list (the replica paused, restarted, or an idle
-// timeout fired) must not surface as a replica failure — the RPC retries
-// once on a fresh connection. Failures on freshly dialed connections are
-// real and must still propagate.
+// v1 (blocking-pool) transport client regression coverage: a pooled
+// connection that died while idling in the free list (the replica paused,
+// restarted, or an idle timeout fired) must not surface as a replica
+// failure — the RPC retries once on a fresh connection. Failures on
+// freshly dialed connections are real and must still propagate. These
+// tests pin the blocking path explicitly (newBlockingPeer): frameEcho
+// speaks only v1, and the v1 pool stays live as the control-plane carrier
+// and the BlockingTransport baseline. The v2 mux transport's failure modes
+// are covered in mux_test.go.
 
 import (
 	"bufio"
@@ -71,7 +75,7 @@ func (e *frameEcho) killConns() {
 
 func TestStalePooledConnRetriesOnFreshConn(t *testing.T) {
 	e := startFrameEcho(t)
-	p := newPeer(e.ln.Addr().String())
+	p := newBlockingPeer(e.ln.Addr().String())
 	defer p.close()
 
 	// Populate the pool, then kill the server side of the idle connection.
@@ -93,7 +97,7 @@ func TestStalePooledConnRetriesOnFreshConn(t *testing.T) {
 func TestDownPeerStillFails(t *testing.T) {
 	e := startFrameEcho(t)
 	addr := e.ln.Addr().String()
-	p := newPeer(addr)
+	p := newBlockingPeer(addr)
 	defer p.close()
 	if err := p.Ping(); err != nil {
 		t.Fatalf("first rpc: %v", err)
