@@ -7,6 +7,10 @@
 // side by side with the wars Monte Carlo prediction — the live-cluster
 // counterpart of the pbs calculator.
 //
+// The load generator and probes speak the pipelined binary client
+// protocol by default; -proto http keeps them on the JSON compatibility
+// API instead.
+//
 // The cluster can additionally run degraded: -fail scripts fault
 // injection (crashed/paused replicas, dropped or delayed internal RPCs),
 // -handoff and -anti-entropy enable the recovery subsystems that converge
@@ -238,6 +242,7 @@ func main() {
 	leave := flag.Bool("leave", false, "single-node mode: drain and leave the ring (a committed config-log leave) on SIGINT/SIGTERM instead of just shutting down")
 	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy membership gossip interval (0 = server default)")
 	transport := flag.String("transport", "mux", "internal data-plane transport: mux (multiplexed tagged frames) or blocking (one pooled connection per in-flight RPC)")
+	proto := flag.String("proto", "binary", "client protocol for the load generator and probes: binary (pipelined tagged frames) or http (JSON compatibility API)")
 	flag.Parse()
 
 	var blockingTransport bool
@@ -247,6 +252,14 @@ func main() {
 		blockingTransport = true
 	default:
 		fatalf("unknown -transport %q (want mux or blocking)", *transport)
+	}
+	dialClient := client.DialBinary
+	switch *proto {
+	case "binary":
+	case "http":
+		dialClient = client.Dial
+	default:
+		fatalf("unknown -proto %q (want binary or http)", *proto)
 	}
 
 	model, ok := latencyModel(*modelName)
@@ -310,8 +323,8 @@ func main() {
 	defer cluster.Close()
 
 	fmt.Printf("pbs-serve: live PBS cluster on loopback\n")
-	fmt.Printf("  replicas=%d N=%d R=%d W=%d model=%s scale=%g read-repair=%v handoff=%v anti-entropy=%v sloppy=%v\n",
-		*replicas, *n, *r, *w, model.Name, *scale, *readRepair, *handoff || *sloppy, *antiEntropy, *sloppy)
+	fmt.Printf("  replicas=%d N=%d R=%d W=%d model=%s scale=%g read-repair=%v handoff=%v anti-entropy=%v sloppy=%v proto=%s\n",
+		*replicas, *n, *r, *w, model.Name, *scale, *readRepair, *handoff || *sloppy, *antiEntropy, *sloppy, *proto)
 	if *hintDir != "" {
 		fmt.Printf("  durable hints: %s\n", *hintDir)
 	}
@@ -336,10 +349,11 @@ func main() {
 	fmt.Printf("  predicted: P(consistent, t=0)=%.4f, t-visibility@99.9%%=%.1fms%s\n\n",
 		pred.PConsistent(0), pred.TVisibility(0.999), strict)
 
-	c, err := client.Dial(cluster.HTTPAddrs[0])
+	c, err := dialClient(cluster.HTTPAddrs[0])
 	if err != nil {
 		fatalf("%v", err)
 	}
+	defer c.Close()
 
 	var chooser workload.KeyChooser
 	if *zipf > 0 {

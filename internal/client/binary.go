@@ -1,0 +1,174 @@
+package client
+
+// binaryTransport speaks the pipelined tagged-frame client protocol
+// (internal/server/clientproto.go) to each member's internal TCP address:
+// one hello-upgraded connection pool per node, many in-flight calls
+// multiplexed per connection, ring epoch prefixed on every response
+// payload instead of an HTTP header. The BinClient layer deliberately
+// does not retry — a connection teardown fails its in-flight calls
+// exactly once, and the translation here turns those into retryable
+// errors so the Client's ring walk (the same one the HTTP path uses)
+// decides where the retry goes.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pbs/internal/server"
+)
+
+// DialBinary bootstraps the cluster view from any node's HTTP /config
+// endpoint (the one piece of HTTP a binary client still speaks — the seed
+// URL is an HTTP base URL), then returns a routing client whose data
+// plane speaks the binary protocol to every member's internal address.
+func DialBinary(seedURL string) (*Client, error) {
+	boot := newHTTPTransport()
+	defer boot.Close()
+	cfg, err := boot.FetchConfig(server.MemberInfo{Addr: strings.TrimRight(seedURL, "/")})
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("client: binary protocol needs a members list in the config")
+	}
+	for _, m := range cfg.Members {
+		if m.Internal == "" {
+			return nil, fmt.Errorf("client: member %d advertises no internal address", m.ID)
+		}
+	}
+	return newWith(cfg, newBinaryTransport())
+}
+
+type binaryTransport struct {
+	notify atomic.Value // func(uint64)
+
+	mu     sync.Mutex
+	conns  map[string]*server.BinClient
+	closed bool
+}
+
+func newBinaryTransport() *binaryTransport {
+	return &binaryTransport{conns: make(map[string]*server.BinClient)}
+}
+
+func (t *binaryTransport) SetEpochNotify(fn func(uint64)) { t.notify.Store(fn) }
+
+func (t *binaryTransport) conn(m server.MemberInfo) (*server.BinClient, error) {
+	if m.Internal == "" {
+		// A view without internal addresses cannot carry binary traffic;
+		// final, like a malformed request URL on the HTTP path.
+		return nil, fmt.Errorf("client: member %d advertises no internal address", m.ID)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("client: transport closed")
+	}
+	bc := t.conns[m.Internal]
+	if bc == nil {
+		bc = server.NewBinClient(m.Internal)
+		t.conns[m.Internal] = bc
+	}
+	return bc, nil
+}
+
+// translate maps binary-protocol failures onto the client's retry
+// vocabulary: typed server errors keep their own retryability verdict
+// (CodeUnavailable routes around, quorum verdicts are final), and
+// anything else is a transport-level failure (conn refused or reset, a
+// torn-down mux connection failing its in-flight calls exactly once)
+// where another node may well answer.
+func translate(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ce *server.ClientError
+	if errors.As(err, &ce) {
+		werr := fmt.Errorf("client: %s", ce.Msg)
+		if ce.Retryable() {
+			return &retryableError{err: werr}
+		}
+		return werr
+	}
+	return &retryableError{err: err}
+}
+
+// finish feeds the response's ring epoch into the refresh loop, then
+// translates the error.
+func (t *binaryTransport) finish(epoch uint64, err error) error {
+	if epoch > 0 {
+		if fn, ok := t.notify.Load().(func(uint64)); ok {
+			fn(epoch)
+		}
+	}
+	return translate(err)
+}
+
+func (t *binaryTransport) FetchConfig(m server.MemberInfo) (server.ConfigResponse, error) {
+	bc, err := t.conn(m)
+	if err != nil {
+		return server.ConfigResponse{}, err
+	}
+	// No epoch notify here: a config fetch IS the refresh, and notifying
+	// from inside it could chain redundant background refreshes.
+	cfg, _, err := bc.Config()
+	return cfg, translate(err)
+}
+
+func (t *binaryTransport) Put(m server.MemberInfo, key, value string, tombstone bool) (server.PutResponse, error) {
+	bc, err := t.conn(m)
+	if err != nil {
+		return server.PutResponse{}, err
+	}
+	var pr server.PutResponse
+	var epoch uint64
+	if tombstone {
+		pr, epoch, err = bc.Delete(key)
+	} else {
+		pr, epoch, err = bc.Put(key, value)
+	}
+	return pr, t.finish(epoch, err)
+}
+
+func (t *binaryTransport) Get(m server.MemberInfo, key string) (server.GetResponse, error) {
+	bc, err := t.conn(m)
+	if err != nil {
+		return server.GetResponse{}, err
+	}
+	gr, epoch, err := bc.Get(key)
+	return gr, t.finish(epoch, err)
+}
+
+func (t *binaryTransport) Stats(m server.MemberInfo) (server.StatsResponse, error) {
+	bc, err := t.conn(m)
+	if err != nil {
+		return server.StatsResponse{}, err
+	}
+	st, epoch, err := bc.Stats()
+	return st, t.finish(epoch, err)
+}
+
+func (t *binaryTransport) WARS(m server.MemberInfo) (server.WARSResponse, error) {
+	bc, err := t.conn(m)
+	if err != nil {
+		return server.WARSResponse{}, err
+	}
+	wr, epoch, err := bc.WARS()
+	return wr, t.finish(epoch, err)
+}
+
+// Close tears down every node's connections; in-flight calls fail exactly
+// once with the teardown error.
+func (t *binaryTransport) Close() {
+	t.mu.Lock()
+	conns := t.conns
+	t.conns = nil
+	t.closed = true
+	t.mu.Unlock()
+	for _, bc := range conns {
+		bc.Close()
+	}
+}

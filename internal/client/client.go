@@ -1,20 +1,17 @@
 // Package client is the client side of the live networked PBS store: a
-// ring-routing HTTP client for the internal/server key-value API, a
-// concurrent load generator driven by internal/workload, an online
-// staleness monitor streaming measured t-visibility/k-staleness and
-// latency quantiles, and the probe-based t-visibility measurement that
-// the end-to-end conformance suite compares against wars.SimulateBatch
-// predictions.
+// ring-routing client for the internal/server key-value API (speaking
+// either the HTTP+JSON compatibility protocol or the binary tagged-frame
+// protocol — see transport.go / binary.go), a concurrent load generator
+// driven by internal/workload, an online staleness monitor streaming
+// measured t-visibility/k-staleness and latency quantiles, and the
+// probe-based t-visibility measurement that the end-to-end conformance
+// suite compares against wars.SimulateBatch predictions.
 package client
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"net/http"
 	"net/url"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -30,13 +27,18 @@ import (
 // nodes round-robin — any node can coordinate a read. Safe for concurrent
 // use.
 //
+// The wire protocol lives behind the Transport seam: Dial speaks HTTP+JSON,
+// DialBinary speaks the pipelined tagged-frame protocol; routing, retry,
+// and view-refresh logic are protocol-independent and live here.
+//
 // The routing state is a versioned view of the cluster (ring epoch, member
 // set, consistent-hash ring) held behind an atomic pointer: every server
-// response carries the node's ring epoch, and when the cluster has moved
-// on (a node joined or left) the client refreshes its view from /config in
-// the background — no static node list, no restart.
+// response carries the node's ring epoch (header or frame prefix), and
+// when the cluster has moved on (a node joined or left) the client
+// refreshes its view from the config endpoint in the background — no
+// static node list, no restart.
 type Client struct {
-	hc *http.Client
+	tr Transport
 
 	view       atomic.Pointer[clientView]
 	refreshing atomic.Bool
@@ -47,48 +49,41 @@ type Client struct {
 // client. Members are kept in ID order; positional APIs (GetVia, Stats,
 // sticky sessions) index into that order.
 type clientView struct {
-	epoch  uint64
-	n      int
-	vnodes int
-	ids    []int          // member IDs, ascending
-	addrs  []string       // HTTP base URLs, same order as ids
-	byID   map[int]string // member ID -> HTTP base URL
-	ring   *ring.Ring
+	epoch   uint64
+	n       int
+	vnodes  int
+	ids     []int               // member IDs, ascending
+	members []server.MemberInfo // same order as ids
+	byID    map[int]server.MemberInfo
+	ring    *ring.Ring
 }
 
 // Dial fetches the cluster configuration from any node's /config endpoint
-// and returns a routing client.
+// and returns a routing client speaking HTTP+JSON.
 func Dial(seedURL string) (*Client, error) {
-	hc := newHTTPClient()
-	cfg, err := fetchConfig(hc, strings.TrimRight(seedURL, "/"))
+	tr := newHTTPTransport()
+	cfg, err := tr.FetchConfig(server.MemberInfo{Addr: strings.TrimRight(seedURL, "/")})
 	if err != nil {
+		tr.Close()
 		return nil, err
 	}
-	return New(cfg)
+	return newWith(cfg, tr)
 }
 
-func fetchConfig(hc *http.Client, base string) (server.ConfigResponse, error) {
-	var cfg server.ConfigResponse
-	resp, err := hc.Get(base + "/config")
-	if err != nil {
-		return cfg, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return cfg, fmt.Errorf("client: config fetch: %s", resp.Status)
-	}
-	err = json.NewDecoder(resp.Body).Decode(&cfg)
-	return cfg, err
-}
-
-// New builds a client from an already known configuration.
+// New builds an HTTP client from an already known configuration.
 func New(cfg server.ConfigResponse) (*Client, error) {
+	return newWith(cfg, newHTTPTransport())
+}
+
+func newWith(cfg server.ConfigResponse, tr Transport) (*Client, error) {
 	v, err := buildView(cfg)
 	if err != nil {
+		tr.Close()
 		return nil, err
 	}
-	c := &Client{hc: newHTTPClient()}
+	c := &Client{tr: tr}
 	c.view.Store(v)
+	tr.SetEpochNotify(c.noteEpoch)
 	return c, nil
 }
 
@@ -105,7 +100,7 @@ func buildView(cfg server.ConfigResponse) (*clientView, error) {
 		epoch:  cfg.RingEpoch,
 		n:      cfg.N,
 		vnodes: cfg.Vnodes,
-		byID:   make(map[int]string, cfg.Nodes),
+		byID:   make(map[int]server.MemberInfo, cfg.Nodes),
 	}
 	if len(cfg.Members) > 0 {
 		if len(cfg.Members) != cfg.Nodes {
@@ -121,14 +116,15 @@ func buildView(cfg server.ConfigResponse) (*clientView, error) {
 				return nil, fmt.Errorf("client: bad config: duplicate member id %d", m.ID)
 			}
 			v.ids = append(v.ids, m.ID)
-			v.addrs = append(v.addrs, m.Addr)
-			v.byID[m.ID] = m.Addr
+			v.members = append(v.members, m)
+			v.byID[m.ID] = m
 		}
 	} else {
 		for i, addr := range cfg.Addrs {
+			m := server.MemberInfo{ID: i, Addr: addr}
 			v.ids = append(v.ids, i)
-			v.addrs = append(v.addrs, addr)
-			v.byID[i] = addr
+			v.members = append(v.members, m)
+			v.byID[i] = m
 		}
 	}
 	v.ring = ring.NewWithIDs(v.ids, cfg.Vnodes)
@@ -144,8 +140,8 @@ func (c *Client) RingEpoch() uint64 { return c.view.Load().epoch }
 func (c *Client) Refresh() error {
 	v := c.view.Load()
 	var lastErr error
-	for _, addr := range v.addrs {
-		cfg, err := fetchConfig(c.hc, addr)
+	for _, m := range v.members {
+		cfg, err := c.tr.FetchConfig(m)
 		if err != nil {
 			lastErr = err
 			continue
@@ -174,17 +170,13 @@ func (c *Client) install(nv *clientView) {
 	}
 }
 
-// noteEpoch inspects a response's ring-epoch header and, when the cluster
-// is ahead of the cached view, triggers one background refresh. Routing
-// keeps working off the stale view meanwhile — the servers proxy
-// mis-routed operations to the right owners.
-func (c *Client) noteEpoch(resp *http.Response) {
-	h := resp.Header.Get(server.RingEpochHeader)
-	if h == "" {
-		return
-	}
-	e, err := strconv.ParseUint(h, 10, 64)
-	if err != nil || e <= c.view.Load().epoch {
+// noteEpoch is the transport's epoch-notify hook: every response carries
+// the responding node's ring epoch (HTTP header or binary frame prefix),
+// and when the cluster is ahead of the cached view one background refresh
+// is triggered. Routing keeps working off the stale view meanwhile — the
+// servers proxy mis-routed operations to the right owners.
+func (c *Client) noteEpoch(e uint64) {
+	if e <= c.view.Load().epoch {
 		return
 	}
 	if c.refreshing.CompareAndSwap(false, true) {
@@ -195,20 +187,13 @@ func (c *Client) noteEpoch(resp *http.Response) {
 	}
 }
 
-func newHTTPClient() *http.Client {
-	return &http.Client{
-		Transport: &http.Transport{
-			MaxIdleConns:        0, // unlimited
-			MaxIdleConnsPerHost: 256,
-			IdleConnTimeout:     90 * time.Second,
-			DisableCompression:  true,
-		},
-		Timeout: 30 * time.Second,
-	}
-}
+// Close releases the transport's connections. In-flight calls on the
+// binary transport fail exactly once; the HTTP transport just drops idle
+// connections.
+func (c *Client) Close() { c.tr.Close() }
 
 // Nodes returns the cluster size under the current view.
-func (c *Client) Nodes() int { return len(c.view.Load().addrs) }
+func (c *Client) Nodes() int { return len(c.view.Load().members) }
 
 // PutResult is the outcome of a write.
 type PutResult struct {
@@ -243,35 +228,7 @@ type GetResult struct {
 // reached" is returned immediately: it is the cluster's verdict, and
 // re-coordinating it at every other node would only repeat the failure.
 func (c *Client) Put(key, value string) (PutResult, error) {
-	start := time.Now()
-	v := c.view.Load()
-	var lastErr error
-	for _, id := range v.ring.PreferenceList(key, len(v.addrs)) {
-		req, err := http.NewRequest(http.MethodPut, v.byID[id]+"/kv/"+url.PathEscape(key), strings.NewReader(value))
-		if err != nil {
-			return PutResult{}, err
-		}
-		resp, err := c.hc.Do(req)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		var pr server.PutResponse
-		if err := c.decodeResponse(resp, &pr); err != nil {
-			if isRetryable(err) {
-				lastErr = err
-				continue
-			}
-			return PutResult{}, err
-		}
-		return PutResult{
-			Seq:         pr.Seq,
-			CommittedAt: time.Unix(0, pr.CommittedUnixNano),
-			CoordMs:     pr.CoordMs,
-			ClientMs:    float64(time.Since(start)) / float64(time.Millisecond),
-		}, nil
-	}
-	return PutResult{}, fmt.Errorf("client: put %q failed on every node: %w", key, lastErr)
+	return c.write(key, value, false)
 }
 
 // Delete removes key through the key's primary coordinator. On the server
@@ -282,21 +239,16 @@ func (c *Client) Put(key, value string) (PutResult, error) {
 // routing-level 502/503s fall through the key's ring order, a
 // coordinator's own quorum failure is final.
 func (c *Client) Delete(key string) (PutResult, error) {
+	return c.write(key, "", true)
+}
+
+func (c *Client) write(key, value string, tombstone bool) (PutResult, error) {
 	start := time.Now()
 	v := c.view.Load()
 	var lastErr error
-	for _, id := range v.ring.PreferenceList(key, len(v.addrs)) {
-		req, err := http.NewRequest(http.MethodDelete, v.byID[id]+"/kv/"+url.PathEscape(key), nil)
+	for _, id := range v.ring.PreferenceList(key, len(v.members)) {
+		pr, err := c.tr.Put(v.byID[id], key, value, tombstone)
 		if err != nil {
-			return PutResult{}, err
-		}
-		resp, err := c.hc.Do(req)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		var pr server.PutResponse
-		if err := c.decodeResponse(resp, &pr); err != nil {
 			if isRetryable(err) {
 				lastErr = err
 				continue
@@ -310,7 +262,11 @@ func (c *Client) Delete(key string) (PutResult, error) {
 			ClientMs:    float64(time.Since(start)) / float64(time.Millisecond),
 		}, nil
 	}
-	return PutResult{}, fmt.Errorf("client: delete %q failed on every node: %w", key, lastErr)
+	verb := "put"
+	if tombstone {
+		verb = "delete"
+	}
+	return PutResult{}, fmt.Errorf("client: %s %q failed on every node: %w", verb, key, lastErr)
 }
 
 // Get reads key through a round-robin coordinator. A coordinator that is
@@ -357,16 +313,12 @@ func isRetryable(err error) bool {
 // tests). node indexes the current member list positionally (ID order).
 func (c *Client) GetVia(node int, key string) (GetResult, error) {
 	v := c.view.Load()
-	if node < 0 || node >= len(v.addrs) {
-		return GetResult{}, fmt.Errorf("client: node %d outside cluster of %d", node, len(v.addrs))
+	if node < 0 || node >= len(v.members) {
+		return GetResult{}, fmt.Errorf("client: node %d outside cluster of %d", node, len(v.members))
 	}
 	start := time.Now()
-	resp, err := c.hc.Get(v.addrs[node] + "/kv/" + url.PathEscape(key))
+	gr, err := c.tr.Get(v.members[node], key)
 	if err != nil {
-		return GetResult{}, err
-	}
-	var gr server.GetResponse
-	if err := c.decodeResponse(resp, &gr); err != nil {
 		return GetResult{}, err
 	}
 	return GetResult{
@@ -387,14 +339,9 @@ func (c *Client) GetVia(node int, key string) (GetResult, error) {
 func (c *Client) WARSSamples() (w, a, r, s []float64, err error) {
 	var lastErr error
 	answered := 0
-	for _, addr := range c.view.Load().addrs {
-		resp, err := c.hc.Get(addr + "/wars")
+	for _, m := range c.view.Load().members {
+		wr, err := c.tr.WARS(m)
 		if err != nil {
-			lastErr = err
-			continue
-		}
-		var wr server.WARSResponse
-		if err := c.decodeResponse(resp, &wr); err != nil {
 			lastErr = err
 			continue
 		}
@@ -420,7 +367,7 @@ func (c *Client) ClusterStats() (server.StatsResponse, error) {
 	agg.Node = -1
 	var lastErr error
 	answered := 0
-	for node := range c.view.Load().addrs {
+	for node := range c.view.Load().members {
 		st, err := c.Stats(node)
 		if err != nil {
 			lastErr = err
@@ -440,42 +387,10 @@ func (c *Client) ClusterStats() (server.StatsResponse, error) {
 func (c *Client) Stats(node int) (server.StatsResponse, error) {
 	var st server.StatsResponse
 	v := c.view.Load()
-	if node < 0 || node >= len(v.addrs) {
-		return st, fmt.Errorf("client: node %d outside cluster of %d", node, len(v.addrs))
+	if node < 0 || node >= len(v.members) {
+		return st, fmt.Errorf("client: node %d outside cluster of %d", node, len(v.members))
 	}
-	resp, err := c.hc.Get(v.addrs[node] + "/stats")
-	if err != nil {
-		return st, err
-	}
-	err = c.decodeResponse(resp, &st)
-	return st, err
-}
-
-// decodeResponse folds the ring-epoch header into the view-refresh logic,
-// then decodes the body.
-func (c *Client) decodeResponse(resp *http.Response, v any) error {
-	c.noteEpoch(resp)
-	return decodeResponse(resp, v)
-}
-
-func decodeResponse(resp *http.Response, v any) error {
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		err := fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-		// 502/503 mark a node worth routing around (crashed node, dead
-		// forward hop) — EXCEPT a coordinator's own "quorum not reached":
-		// that is the cluster's verdict on the operation, every other
-		// coordinator fans out to the same replicas, and retrying it
-		// elsewhere would just re-run (and re-count) the same failure at
-		// each node in turn.
-		if (resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable) &&
-			!strings.Contains(string(msg), "quorum not reached") {
-			return &retryableError{err: err}
-		}
-		return err
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	return c.tr.Stats(v.members[node])
 }
 
 // Session is a client session with monotonic-reads tracking (paper

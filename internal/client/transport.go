@@ -1,0 +1,169 @@
+package client
+
+// The Transport seam separates the ring-routing client from the wire
+// protocol it speaks. httpTransport is the HTTP+JSON compatibility
+// implementation (one request per operation, ring epoch in the
+// X-Pbs-Ring-Epoch header); binary.go holds the pipelined tagged-frame
+// implementation. Both translate their protocol's failure vocabulary into
+// the same two client-side classes — retryableError (another node might
+// answer: conn failure, routing-level 502/503) versus final errors
+// (quorum verdicts, malformed requests) — so the walk/retry logic in
+// client.go is protocol-independent.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pbs/internal/server"
+)
+
+// Transport performs single operations against single members; routing
+// across members is the Client's job. Implementations must be safe for
+// concurrent use.
+type Transport interface {
+	FetchConfig(m server.MemberInfo) (server.ConfigResponse, error)
+	Put(m server.MemberInfo, key, value string, tombstone bool) (server.PutResponse, error)
+	Get(m server.MemberInfo, key string) (server.GetResponse, error)
+	Stats(m server.MemberInfo) (server.StatsResponse, error)
+	WARS(m server.MemberInfo) (server.WARSResponse, error)
+	// SetEpochNotify registers the hook invoked with the ring epoch
+	// carried on each response, feeding the client's view-refresh loop.
+	SetEpochNotify(fn func(epoch uint64))
+	Close()
+}
+
+type httpTransport struct {
+	hc     *http.Client
+	notify atomic.Value // func(uint64)
+}
+
+func newHTTPTransport() *httpTransport { return &httpTransport{hc: newHTTPClient()} }
+
+func newHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        0, // unlimited
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+			DisableCompression:  true,
+		},
+		Timeout: 30 * time.Second,
+	}
+}
+
+func (t *httpTransport) SetEpochNotify(fn func(uint64)) { t.notify.Store(fn) }
+
+func (t *httpTransport) noteEpoch(resp *http.Response) {
+	h := resp.Header.Get(server.RingEpochHeader)
+	if h == "" {
+		return
+	}
+	e, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return
+	}
+	if fn, ok := t.notify.Load().(func(uint64)); ok {
+		fn(e)
+	}
+}
+
+// decode folds the ring-epoch header into the view-refresh logic, then
+// decodes the body.
+func (t *httpTransport) decode(resp *http.Response, v any) error {
+	t.noteEpoch(resp)
+	return decodeResponse(resp, v)
+}
+
+func (t *httpTransport) FetchConfig(m server.MemberInfo) (server.ConfigResponse, error) {
+	var cfg server.ConfigResponse
+	resp, err := t.hc.Get(m.Addr + "/config")
+	if err != nil {
+		return cfg, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cfg, fmt.Errorf("client: config fetch: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cfg)
+	return cfg, err
+}
+
+func (t *httpTransport) Put(m server.MemberInfo, key, value string, tombstone bool) (server.PutResponse, error) {
+	var pr server.PutResponse
+	method := http.MethodPut
+	var body io.Reader
+	if tombstone {
+		method = http.MethodDelete
+	} else {
+		body = strings.NewReader(value)
+	}
+	req, err := http.NewRequest(method, m.Addr+"/kv/"+url.PathEscape(key), body)
+	if err != nil {
+		return pr, err
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return pr, err
+	}
+	err = t.decode(resp, &pr)
+	return pr, err
+}
+
+func (t *httpTransport) Get(m server.MemberInfo, key string) (server.GetResponse, error) {
+	var gr server.GetResponse
+	resp, err := t.hc.Get(m.Addr + "/kv/" + url.PathEscape(key))
+	if err != nil {
+		return gr, err
+	}
+	err = t.decode(resp, &gr)
+	return gr, err
+}
+
+func (t *httpTransport) Stats(m server.MemberInfo) (server.StatsResponse, error) {
+	var st server.StatsResponse
+	resp, err := t.hc.Get(m.Addr + "/stats")
+	if err != nil {
+		return st, err
+	}
+	err = t.decode(resp, &st)
+	return st, err
+}
+
+func (t *httpTransport) WARS(m server.MemberInfo) (server.WARSResponse, error) {
+	var wr server.WARSResponse
+	resp, err := t.hc.Get(m.Addr + "/wars")
+	if err != nil {
+		return wr, err
+	}
+	err = t.decode(resp, &wr)
+	return wr, err
+}
+
+func (t *httpTransport) Close() { t.hc.CloseIdleConnections() }
+
+func decodeResponse(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		// 502/503 mark a node worth routing around (crashed node, dead
+		// forward hop) — EXCEPT a coordinator's own "quorum not reached":
+		// that is the cluster's verdict on the operation, every other
+		// coordinator fans out to the same replicas, and retrying it
+		// elsewhere would just re-run (and re-count) the same failure at
+		// each node in turn.
+		if (resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable) &&
+			!strings.Contains(string(msg), "quorum not reached") {
+			return &retryableError{err: err}
+		}
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -10,7 +10,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"math"
+	"net/http"
+	"sync"
 	"testing"
+	"time"
 
 	"pbs/internal/kvstore"
 	"pbs/internal/ring"
@@ -24,21 +28,40 @@ func frame(tag byte, payload []byte) []byte {
 	return append(out, payload...)
 }
 
-// fuzzNode builds a detached replica (storage and membership only, no
-// listeners) for dispatching RPCs against.
+var (
+	fuzzNodeOnce   sync.Once
+	sharedFuzzNode *Node
+)
+
+// fuzzNode returns a process-shared detached replica (storage and
+// membership, no listeners) for dispatching RPCs against. Shared, not
+// per-iteration: client ops (opClientPut/Get/...) fan out through the
+// persistent leg-worker queues, whose workers park on n.stop — a node per
+// fuzz iteration would leak its workers. The internal addresses point at
+// closed loopback ports so fan-out legs fail instantly; no assertion in
+// this file depends on accumulated store or membership state.
 func fuzzNode() *Node {
-	n := &Node{store: kvstore.New(), pendingJoins: make(map[string]int)}
-	m, err := ring.NewMembership([]ring.Member{
-		{ID: 0, HTTPAddr: "http://a", InternalAddr: "a:1"},
-		{ID: 1, HTTPAddr: "http://b", InternalAddr: "b:1"},
-	}, 4)
-	if err != nil {
-		panic(err)
-	}
-	n.nrep.Store(2)
-	n.installMembership(m)
-	n.applyLocal(kvstore.Version{Key: "seeded", Seq: 3, Value: "v", Clock: vclock.VC{0: 1}})
-	return n
+	fuzzNodeOnce.Do(func() {
+		n := &Node{
+			store:        kvstore.New(),
+			pendingJoins: make(map[string]int),
+			stop:         make(chan struct{}),
+			live:         newLiveness(),
+			proxyClient:  &http.Client{Timeout: time.Second},
+		}
+		m, err := ring.NewMembership([]ring.Member{
+			{ID: 0, HTTPAddr: "http://127.0.0.1:9", InternalAddr: "127.0.0.1:9"},
+			{ID: 1, HTTPAddr: "http://127.0.0.1:11", InternalAddr: "127.0.0.1:11"},
+		}, 4)
+		if err != nil {
+			panic(err)
+		}
+		n.nrep.Store(2)
+		n.installMembership(m)
+		n.applyLocal(kvstore.Version{Key: "seeded", Seq: 3, Value: "v", Clock: vclock.VC{0: 1}})
+		sharedFuzzNode = n
+	})
+	return sharedFuzzNode
 }
 
 func FuzzFrameDecoder(f *testing.F) {
@@ -158,6 +181,7 @@ func FuzzMuxStream(f *testing.F) {
 	f.Add([]byte{opGet, 0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff}) // oversized length
 	f.Add(taggedFrame(opApply, 4, []byte{0, 5, 'a'}))                    // truncated version
 	f.Add(taggedFrame(99, 5, []byte("junk")))                            // unknown opcode
+	f.Add(taggedFrame(opClientPut, 6, appendString32(appendString16(nil, "k"), "v")))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		n := fuzzNode()
 		br := bufio.NewReader(bytes.NewReader(data))
@@ -171,7 +195,7 @@ func FuzzMuxStream(f *testing.F) {
 			}
 			out := getBuf(64)
 			status, resp := n.handleRPCBuf(tag, payload, out[:0])
-			if status != statusOK && status != statusErr {
+			if status != statusOK && status != statusErr && status != statusClientOK && status != statusClientErr {
 				t.Fatalf("dispatcher returned unknown status %d", status)
 			}
 			if status == statusErr && len(resp) == 0 {
@@ -180,6 +204,125 @@ func FuzzMuxStream(f *testing.F) {
 			putBuf(payload)
 			putBuf(out)
 		}
+	})
+}
+
+// FuzzClientStream drives arbitrary bytes through the tagged reader the
+// way a server consumes an upgraded client connection: every decoded
+// frame dispatches through the client-op path. Malformed keys, truncated
+// values, garbage opcodes in the client range — all must produce a typed
+// client-status frame whose payload decodes (epoch prefix, error code +
+// message), never a panic or an unframeable response.
+func FuzzClientStream(f *testing.F) {
+	f.Add(taggedFrame(opClientPut, 1, appendString32(appendString16(nil, "k"), "v")))
+	f.Add(taggedFrame(opClientGet, 2, appendString16(nil, "seeded")))
+	f.Add(taggedFrame(opClientDelete, 3, appendString16(nil, "k")))
+	f.Add(taggedFrame(opClientConfig, 4, nil))
+	f.Add(taggedFrame(opClientStats, 5, nil))
+	f.Add(taggedFrame(opClientWARS, 6, nil))
+	f.Add(taggedFrame(opClientPut, 7, []byte{0, 5, 'a'}))       // truncated key
+	f.Add(taggedFrame(opClientPut, 8, appendString16(nil, ""))) // empty key, no value
+	f.Add(taggedFrame(opClientGet, 9, []byte{0xff, 0xff, 'x'})) // oversized key length
+	f.Add(taggedFrame(opClientHello, 10, []byte{clientProtoVersion}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := fuzzNode()
+		br := bufio.NewReader(bytes.NewReader(data))
+		for {
+			tag, _, payload, err := readTaggedFrame(br)
+			if err != nil {
+				return
+			}
+			// Coerce every opcode into the client range so the fuzzer spends
+			// its budget on the client dispatch path, not the peer ops.
+			op := opClientPut + tag%(opClientWARS-opClientPut+1)
+			out := getBuf(64)
+			status, resp := n.handleClientOp(op, payload, out[:0])
+			if status != statusClientOK && status != statusClientErr {
+				t.Fatalf("client dispatcher returned status %d", status)
+			}
+			epoch, body, err := decodeClientFrame(status, resp)
+			if status == statusClientOK {
+				if err != nil {
+					t.Fatalf("OK response failed to decode: %v", err)
+				}
+				switch op {
+				case opClientPut, opClientDelete:
+					if _, err := decodeClientPutBody(body); err != nil {
+						t.Fatalf("put response body failed to decode: %v", err)
+					}
+				case opClientGet:
+					if _, err := decodeClientGetBody(body); err != nil {
+						t.Fatalf("get response body failed to decode: %v", err)
+					}
+				}
+			} else {
+				ce, ok := err.(*ClientError)
+				if !ok || ce.Msg == "" {
+					t.Fatalf("error frame decoded to %v (want *ClientError with message)", err)
+				}
+			}
+			_ = epoch
+			putBuf(payload)
+			putBuf(out)
+		}
+	})
+}
+
+// FuzzClientFrameRoundTrip pins the client response codecs: any response
+// must survive encode → frame-split → decode bit-exactly (CoordMs
+// compared by bits so NaN payloads round-trip too), and the body decoders
+// must reject arbitrary bytes without panicking.
+func FuzzClientFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(7), int64(12345), 1.5, int32(2), "value", true, byte(CodeUnavailable), "server: replica down")
+	f.Add(uint64(0), uint64(0), int64(-1), math.Inf(1), int32(-1), "", false, byte(0), "")
+	f.Fuzz(func(t *testing.T, epoch, seq uint64, committed int64, coordMs float64, node int32, value string, found bool, code byte, msg string) {
+		pr := PutResponse{Seq: seq, CommittedUnixNano: committed, CoordMs: coordMs, Node: int(node)}
+		pb := appendClientPutResponse(nil, epoch, pr)
+		gotEpoch, body, err := decodeClientFrame(statusClientOK, pb)
+		if err != nil || gotEpoch != epoch {
+			t.Fatalf("put frame split: epoch %d->%d err=%v", epoch, gotEpoch, err)
+		}
+		gotPut, err := decodeClientPutBody(body)
+		if err != nil {
+			t.Fatalf("put body decode: %v", err)
+		}
+		if gotPut.Seq != pr.Seq || gotPut.CommittedUnixNano != pr.CommittedUnixNano ||
+			math.Float64bits(gotPut.CoordMs) != math.Float64bits(pr.CoordMs) || gotPut.Node != pr.Node {
+			t.Fatalf("put round trip changed response: %+v vs %+v", gotPut, pr)
+		}
+
+		gr := GetResponse{Found: found, Seq: seq, Value: value, CoordMs: coordMs, Node: int(node)}
+		gb := appendClientGetResponse(nil, epoch, gr)
+		gotEpoch, body, err = decodeClientFrame(statusClientOK, gb)
+		if err != nil || gotEpoch != epoch {
+			t.Fatalf("get frame split: epoch %d->%d err=%v", epoch, gotEpoch, err)
+		}
+		gotGet, err := decodeClientGetBody(body)
+		if err != nil {
+			t.Fatalf("get body decode: %v", err)
+		}
+		if gotGet.Found != gr.Found || gotGet.Seq != gr.Seq || gotGet.Value != gr.Value ||
+			math.Float64bits(gotGet.CoordMs) != math.Float64bits(gr.CoordMs) || gotGet.Node != gr.Node {
+			t.Fatalf("get round trip changed response: %+v vs %+v", gotGet, gr)
+		}
+
+		eb := appendClientError(nil, epoch, code, msg)
+		gotEpoch, _, err = decodeClientFrame(statusClientErr, eb)
+		if gotEpoch != epoch {
+			t.Fatalf("error frame epoch %d->%d", epoch, gotEpoch)
+		}
+		ce, ok := err.(*ClientError)
+		if !ok || ce.Code != code || ce.Msg != msg {
+			t.Fatalf("error round trip: %v (want code=%d msg=%q)", err, code, msg)
+		}
+
+		// The decoders must fail cleanly on arbitrary bytes (never panic,
+		// never read out of bounds).
+		raw := []byte(msg)
+		decodeClientPutBody(raw)
+		decodeClientGetBody(raw)
+		decodeClientError(raw)
+		decodeClientFrame(code, raw)
 	})
 }
 

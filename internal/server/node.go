@@ -29,6 +29,7 @@ import (
 	"net/http"
 	neturl "net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -629,13 +630,60 @@ func (n *Node) handler() http.Handler {
 // refresh when the cluster has moved on.
 const RingEpochHeader = "X-Pbs-Ring-Epoch"
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
-}
-
 // maxValueBytes bounds one value payload.
 const maxValueBytes = 1 << 20
+
+// opError is a coordination failure in front-end-neutral form: status is
+// the HTTP status the compatibility front end writes, code the binary
+// client protocol's error code (clientproto.go). Both front ends route
+// through the same typed entry points below, so they cannot drift on
+// failure semantics — in particular on which failures a client may retry
+// at another node (CodeUnavailable / routing-level 502-503) versus which
+// are the cluster's final verdict (quorum failures, bad requests).
+type opError struct {
+	status int
+	code   byte
+	msg    string
+}
+
+func (e *opError) Error() string { return e.msg }
+
+func errUnavailable(msg string) *opError {
+	return &opError{status: http.StatusServiceUnavailable, code: CodeUnavailable, msg: msg}
+}
+
+func errQuorumFailed(msg string) *opError {
+	return &opError{status: http.StatusServiceUnavailable, code: CodeQuorumFailed, msg: msg}
+}
+
+func errBadRequest(msg string) *opError {
+	return &opError{status: http.StatusBadRequest, code: CodeBadRequest, msg: msg}
+}
+
+func errInternal(msg string) *opError {
+	return &opError{status: http.StatusInternalServerError, code: CodeInternal, msg: msg}
+}
+
+// httpError writes e exactly the way the pre-refactor handlers called
+// http.Error, keeping the compatibility surface byte-identical.
+func httpError(w http.ResponseWriter, e *opError) { http.Error(w, e.msg, e.status) }
+
+// codeForStatus maps a proxied HTTP failure onto the binary protocol's
+// error codes, preserving client-visible retryability: 502/503 are
+// routing-level and retryable EXCEPT a coordinator's own quorum verdict.
+func codeForStatus(status int, msg string) byte {
+	switch status {
+	case http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		return CodeBadRequest
+	case http.StatusBadGateway, http.StatusServiceUnavailable:
+		if strings.Contains(msg, "quorum not reached") {
+			return CodeQuorumFailed
+		}
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}
 
 // forwardedHeader marks a write already proxied once, guarding against
 // forwarding loops if two nodes ever disagree about ring ownership.
@@ -663,7 +711,12 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 		}
 		return
 	}
-	n.routeWrite(w, req, key, body, false)
+	pr, oe := n.routeWriteOp(key, string(body), false, req.Header.Get(forwardedHeader) != "")
+	if oe != nil {
+		httpError(w, oe)
+		return
+	}
+	writeJSON(w, pr)
 }
 
 // handleDelete routes a delete, which is just a write whose version is a
@@ -673,56 +726,57 @@ func (n *Node) handlePut(w http.ResponseWriter, req *http.Request) {
 // replication-borne tombstone is exactly what keeps a stale replica from
 // resurrecting the key later.
 func (n *Node) handleDelete(w http.ResponseWriter, req *http.Request) {
-	n.routeWrite(w, req, req.PathValue("key"), nil, true)
-}
-
-// routeWrite is the shared PUT/DELETE routing path (see handlePut's doc
-// comment for the coordinator-election rules).
-func (n *Node) routeWrite(w http.ResponseWriter, req *http.Request, key string, body []byte, tombstone bool) {
-	v := n.view()
-	if v == nil {
-		http.Error(w, "server: node has no membership yet", http.StatusServiceUnavailable)
+	pr, oe := n.routeWriteOp(req.PathValue("key"), "", true, req.Header.Get(forwardedHeader) != "")
+	if oe != nil {
+		httpError(w, oe)
 		return
 	}
+	writeJSON(w, pr)
+}
+
+// routeWriteOp is the shared PUT/DELETE routing path (see handlePut's doc
+// comment for the coordinator-election rules), factored out of the HTTP
+// handlers so the binary client front end (clientproto.go) drives the
+// identical code: both enter here and leave with a typed response or a
+// typed failure.
+func (n *Node) routeWriteOp(key, value string, tombstone, forwarded bool) (PutResponse, *opError) {
+	v := n.view()
+	if v == nil {
+		return PutResponse{}, errUnavailable("server: node has no membership yet")
+	}
 	primary := v.m.Coordinator(key)
-	forwarded := req.Header.Get(forwardedHeader) != ""
 	if primary == n.id {
-		n.coordinatePut(w, v, key, body, tombstone, false)
-		return
+		return n.coordinatePutOp(v, key, value, tombstone, false)
 	}
 	if !n.params.SloppyQuorum {
 		if forwarded {
-			http.Error(w, "server: forwarding loop: not the primary coordinator", http.StatusInternalServerError)
-			return
+			return PutResponse{}, errInternal("server: forwarding loop: not the primary coordinator")
 		}
-		n.forwardPut(w, v, primary, key, body, tombstone)
-		return
+		return n.forwardPutOp(v, primary, key, value, tombstone)
 	}
 	if forwarded {
 		// The forwarder decided we are the first live preference replica.
 		// Accept the takeover if we really are on the preference list;
 		// re-forwarding here risks loops whenever liveness views disagree.
 		if !n.onPreferenceList(v, key) {
-			http.Error(w, "server: forwarded to a non-replica coordinator", http.StatusInternalServerError)
-			return
+			return PutResponse{}, errInternal("server: forwarded to a non-replica coordinator")
 		}
-		n.coordinatePut(w, v, key, body, tombstone, true)
-		return
+		return n.coordinatePutOp(v, key, value, tombstone, true)
 	}
 	// Sloppy routing: hand the write to the first live preference replica,
 	// falling through the list as candidates fail — ourselves included.
 	sawQuorumFail := false
 	for _, cand := range n.prefs(v, key) {
 		if cand == n.id {
-			n.coordinatePut(w, v, key, body, tombstone, true)
-			return
+			return n.coordinatePutOp(v, key, value, tombstone, true)
 		}
 		if !n.alive(v, cand) {
 			continue
 		}
-		switch n.tryForward(w, v, cand, key, body, tombstone) {
+		pr, oe, outcome := n.tryForwardOp(v, cand, key, value, tombstone)
+		switch outcome {
 		case forwardRelayed:
-			return
+			return pr, oe
 		case forwardUnreachable:
 			n.live.markDead(cand)
 		case forwardFailed:
@@ -737,15 +791,14 @@ func (n *Node) routeWrite(w http.ResponseWriter, req *http.Request, key string, 
 		// A live coordinator owned the failure and counted it; relaying
 		// its verdict without another failedOps increment keeps one failed
 		// client write from counting 2-3 times across the routing chain.
-		http.Error(w, "server: write quorum not reached", http.StatusServiceUnavailable)
-		return
+		return PutResponse{}, errQuorumFailed("server: write quorum not reached")
 	}
 	// No coordination happened here, so nothing is added to failedOps —
 	// that counter means failed coordinations, and a client walking the
 	// ring would otherwise count one dead key range once per live routing
 	// node it tried. Routing-level unavailability surfaces as the client's
 	// own error count.
-	http.Error(w, "server: no live coordinator for key", http.StatusServiceUnavailable)
+	return PutResponse{}, errUnavailable("server: no live coordinator for key")
 }
 
 // onPreferenceList reports whether this node replicates key under view v.
@@ -758,12 +811,12 @@ func (n *Node) onPreferenceList(v *memView, key string) bool {
 	return false
 }
 
-// coordinatePut coordinates a write at this node: assign the next version,
-// fan it out to all N preference replicas with injected W/A delays
+// coordinatePutOp coordinates a write at this node: assign the next
+// version, fan it out to all N preference replicas with injected W/A delays
 // (redirecting legs for unreachable replicas to hinted spares in sloppy
-// mode), respond at the W-th acknowledgment. The whole operation runs under
+// mode), answer at the W-th acknowledgment. The whole operation runs under
 // the membership view loaded at admission.
-func (n *Node) coordinatePut(w http.ResponseWriter, v *memView, key string, body []byte, tombstone, takeover bool) {
+func (n *Node) coordinatePutOp(v *memView, key, value string, tombstone, takeover bool) (PutResponse, *opError) {
 	n.coordWrites.Add(1)
 	if takeover {
 		n.failoverWrites.Add(1)
@@ -773,7 +826,7 @@ func (n *Node) coordinatePut(w http.ResponseWriter, v *memView, key string, body
 	ver := kvstore.Version{
 		Key:       key,
 		Seq:       seq,
-		Value:     string(body),
+		Value:     value,
 		Tombstone: tombstone,
 		Clock:     vclock.VC{n.id: n.clockTicks.Add(1)},
 	}
@@ -840,16 +893,15 @@ func (n *Node) coordinatePut(w http.ResponseWriter, v *memView, key string, body
 	}
 	if got < quorumW {
 		n.failedOps.Add(1)
-		http.Error(w, "server: write quorum not reached", http.StatusServiceUnavailable)
-		return
+		return PutResponse{}, errQuorumFailed("server: write quorum not reached")
 	}
 	committed := time.Now()
-	writeJSON(w, PutResponse{
+	return PutResponse{
 		Seq:               seq,
 		CommittedUnixNano: committed.UnixNano(),
 		CoordMs:           float64(committed.Sub(start)) / float64(time.Millisecond),
 		Node:              n.id,
-	})
+	}, nil
 }
 
 // sparePicker hands out each spare node (ring order beyond the preference
@@ -963,25 +1015,40 @@ func (n *Node) deliverWrite(v *memView, target int, ver kvstore.Version, spares 
 	return false
 }
 
-// forwardPut proxies a write to the key's primary coordinator and relays
-// the response verbatim (strict-quorum routing).
-func (n *Node) forwardPut(w http.ResponseWriter, v *memView, primary int, key string, body []byte, tombstone bool) {
+// forwardPutOp proxies a write to the key's primary coordinator
+// (strict-quorum routing) and relays its verdict in typed form.
+func (n *Node) forwardPutOp(v *memView, primary int, key, value string, tombstone bool) (PutResponse, *opError) {
 	url := v.httpAddr(primary) + "/kv/" + neturl.PathEscape(key)
-	freq, err := http.NewRequest(writeMethod(tombstone), url, bytes.NewReader(body))
+	freq, err := http.NewRequest(writeMethod(tombstone), url, strings.NewReader(value))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return PutResponse{}, errInternal(err.Error())
 	}
 	freq.Header.Set(forwardedHeader, "1")
 	resp, err := n.proxyClient.Do(freq)
 	if err != nil {
-		http.Error(w, "server: forward to primary: "+err.Error(), http.StatusBadGateway)
-		return
+		return PutResponse{}, &opError{status: http.StatusBadGateway, code: CodeUnavailable,
+			msg: "server: forward to primary: " + err.Error()}
 	}
+	return decodeForwarded(resp)
+}
+
+// decodeForwarded turns a proxied coordinator response back into typed
+// form: 200 bodies decode as PutResponse, anything else relays the proxied
+// status and message, so the client-visible verdict (and its retryability)
+// is exactly what the remote coordinator decided.
+func decodeForwarded(resp *http.Response) (PutResponse, *opError) {
 	defer resp.Body.Close()
-	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		msg := strings.TrimSpace(string(raw))
+		return PutResponse{}, &opError{status: resp.StatusCode, code: codeForStatus(resp.StatusCode, msg), msg: msg}
+	}
+	var pr PutResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return PutResponse{}, &opError{status: http.StatusBadGateway, code: CodeUnavailable,
+			msg: "server: decode forwarded response: " + err.Error()}
+	}
+	return pr, nil
 }
 
 // writeMethod maps a write's tombstone flag back to its HTTP verb, so
@@ -1007,39 +1074,37 @@ const (
 	forwardFailed
 )
 
-// tryForward proxies a write to candidate coordinator cand (sloppy-quorum
-// routing). Failures (connection error, 502/503) are NOT relayed: the
-// caller moves to the next candidate instead of surfacing a failure the
-// cluster can absorb. The outcome distinguishes a dead candidate from a
-// live one that couldn't commit, so only the former is marked dead in the
-// liveness cache.
-func (n *Node) tryForward(w http.ResponseWriter, v *memView, cand int, key string, body []byte, tombstone bool) forwardOutcome {
+// tryForwardOp proxies a write to candidate coordinator cand
+// (sloppy-quorum routing). Failures (connection error, 502/503) are NOT
+// relayed: the caller moves to the next candidate instead of surfacing a
+// failure the cluster can absorb. The outcome distinguishes a dead
+// candidate from a live one that couldn't commit, so only the former is
+// marked dead in the liveness cache; the response/error pair is meaningful
+// only on forwardRelayed.
+func (n *Node) tryForwardOp(v *memView, cand int, key, value string, tombstone bool) (PutResponse, *opError, forwardOutcome) {
 	url := v.httpAddr(cand) + "/kv/" + neturl.PathEscape(key)
-	freq, err := http.NewRequest(writeMethod(tombstone), url, bytes.NewReader(body))
+	freq, err := http.NewRequest(writeMethod(tombstone), url, strings.NewReader(value))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return forwardRelayed
+		return PutResponse{}, errInternal(err.Error()), forwardRelayed
 	}
 	freq.Header.Set(forwardedHeader, "1")
 	resp, err := n.proxyClient.Do(freq)
 	if err != nil {
-		return forwardUnreachable
+		return PutResponse{}, nil, forwardUnreachable
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
 		// A crashed node's whole HTTP surface answers 503 "replica down";
 		// a live coordinator that failed its quorum answers 503 too. Only
 		// the former means the candidate should be considered dead.
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		resp.Body.Close()
 		if bytes.Contains(msg, []byte(ErrReplicaDown.Error())) {
-			return forwardUnreachable
+			return PutResponse{}, nil, forwardUnreachable
 		}
-		return forwardFailed
+		return PutResponse{}, nil, forwardFailed
 	}
-	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
-	return forwardRelayed
+	pr, oe := decodeForwarded(resp)
+	return pr, oe, forwardRelayed
 }
 
 // readResp is one replica's answer during a coordinated read.
@@ -1089,21 +1154,30 @@ func (n *Node) readReplica(view *memView, target int, key string, spares *spareP
 	return readResp{node: target, err: fmt.Errorf("%w: replica %d and all spares unreachable", ErrReplicaDown, target)}
 }
 
-// handleGet coordinates a read: fan out to all N preference replicas with
-// injected R/S delays, answer with the newest of the first R responses,
-// then keep collecting in the background for the staleness detector and
-// read repair. With sloppy quorums, a leg whose preference replica is down
-// falls back to the next live spare beyond the preference list — the node
-// that absorbed the down replica's hinted writes — and the spare's response
-// counts toward R (the read-side mirror of the write-side spare behavior).
+// handleGet is the HTTP front end of coordinateGetOp.
 func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
-	key := req.PathValue("key")
+	gr, oe := n.coordinateGetOp(req.PathValue("key"))
+	if oe != nil {
+		httpError(w, oe)
+		return
+	}
+	writeJSON(w, gr)
+}
+
+// coordinateGetOp coordinates a read: fan out to all N preference replicas
+// with injected R/S delays, answer with the newest of the first R
+// responses, then keep collecting in the background for the staleness
+// detector and read repair. With sloppy quorums, a leg whose preference
+// replica is down falls back to the next live spare beyond the preference
+// list — the node that absorbed the down replica's hinted writes — and the
+// spare's response counts toward R (the read-side mirror of the write-side
+// spare behavior). Shared by the HTTP and binary client front ends.
+func (n *Node) coordinateGetOp(key string) (GetResponse, *opError) {
 	n.coordReads.Add(1)
 
 	v := n.view()
 	if v == nil {
-		http.Error(w, "server: node has no membership yet", http.StatusServiceUnavailable)
-		return
+		return GetResponse{}, errUnavailable("server: node has no membership yet")
 	}
 	prefs := n.prefs(v, key)
 	nReps := len(prefs)
@@ -1159,26 +1233,24 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 	best, bestFound, ok, finalizeNow := rs.answer()
 	if !ok {
 		n.failedOps.Add(1)
-		http.Error(w, "server: read quorum not reached", http.StatusServiceUnavailable)
-		return
+		return GetResponse{}, errQuorumFailed("server: read quorum not reached")
 	}
 	answered := time.Now()
 	// A tombstone wins the newest-of-R comparison like any version — that is
 	// what makes a delete stick against slower live writes — but the client
 	// sees the key as absent. Seq is still reported so callers can observe
 	// the delete's version (and tests can assert tombstone durability).
-	writeJSON(w, GetResponse{
+	resp := GetResponse{
 		Found:   bestFound && !best.Tombstone,
 		Seq:     best.Seq,
 		Value:   best.Value,
 		CoordMs: float64(answered.Sub(start)) / float64(time.Millisecond),
 		Node:    n.id,
-	})
+	}
 	// The staleness-detector / read-repair pass over the complete response
 	// set (the v1 finishRead) runs on whichever of {last leg, handler} gets
 	// there last; when it falls to the handler with read repair enabled it
-	// moves to a goroutine so repair RPCs never delay this handler's return
-	// (the response is already written, but the connection is held).
+	// moves to a goroutine so repair RPCs never delay the response.
 	if finalizeNow {
 		if n.params.ReadRepair {
 			go rs.finalize()
@@ -1186,13 +1258,24 @@ func (n *Node) handleGet(w http.ResponseWriter, req *http.Request) {
 			rs.finalize()
 		}
 	}
+	return resp, nil
 }
 
 func (n *Node) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	cfg, oe := n.configLocal()
+	if oe != nil {
+		httpError(w, oe)
+		return
+	}
+	writeJSON(w, cfg)
+}
+
+// configLocal assembles the routing configuration served at GET /config
+// and over the binary protocol's config op.
+func (n *Node) configLocal() (ConfigResponse, *opError) {
 	v := n.view()
 	if v == nil {
-		http.Error(w, "server: node has no membership yet", http.StatusServiceUnavailable)
-		return
+		return ConfigResponse{}, errUnavailable("server: node has no membership yet")
 	}
 	members := v.m.Members()
 	cfg := ConfigResponse{
@@ -1207,7 +1290,7 @@ func (n *Node) handleConfig(w http.ResponseWriter, _ *http.Request) {
 		cfg.Addrs = append(cfg.Addrs, mem.HTTPAddr)
 		cfg.Members = append(cfg.Members, MemberInfo{ID: mem.ID, Addr: mem.HTTPAddr, Internal: mem.InternalAddr})
 	}
-	writeJSON(w, cfg)
+	return cfg, nil
 }
 
 // statsLocal assembles this node's full counter snapshot — the single

@@ -275,6 +275,26 @@ func (n *Node) serveConn(conn net.Conn) {
 			n.serveMux(conn, br)
 			return
 		}
+		if op == opClientHello {
+			// Client-protocol upgrade: same v2 machinery, but the hello reply
+			// carries {version, node ID, ring epoch} so the client learns who
+			// answered and how fresh its routing view is before the first op.
+			if len(payload) != 1 || payload[0] != clientProtoVersion {
+				if err := writeFrame(bw, statusErr, []byte("server: unsupported client protocol version")); err != nil {
+					return
+				}
+				continue
+			}
+			hello := make([]byte, 0, 13)
+			hello = append(hello, clientProtoVersion)
+			hello = binary.BigEndian.AppendUint32(hello, uint32(n.id))
+			hello = binary.BigEndian.AppendUint64(hello, n.RingEpoch())
+			if err := writeFrame(bw, statusOK, hello); err != nil {
+				return
+			}
+			n.serveMux(conn, br)
+			return
+		}
 		status, resp := n.handleRPC(op, payload)
 		if err := writeFrame(bw, status, resp); err != nil {
 			return
@@ -294,6 +314,12 @@ func (n *Node) handleRPC(op byte, payload []byte) (status byte, resp []byte) {
 // this server-side check keeps the crash airtight for callers that reach
 // the TCP endpoint directly.
 func (n *Node) handleRPCBuf(op byte, payload, buf []byte) (status byte, resp []byte) {
+	if clientOp(op) {
+		// Client-protocol ops answer in the client status family and carry
+		// their own fault handling (typed retryable frames, not bare
+		// statusErr), so they branch before the peer-path fault checks.
+		return n.handleClientOp(op, payload, buf)
+	}
 	if n.faults.Down(n.id) {
 		return statusErr, []byte(ErrReplicaDown.Error())
 	}
