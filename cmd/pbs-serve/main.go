@@ -243,6 +243,8 @@ func main() {
 	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy membership gossip interval (0 = server default)")
 	transport := flag.String("transport", "mux", "internal data-plane transport: mux (multiplexed tagged frames) or blocking (one pooled connection per in-flight RPC)")
 	proto := flag.String("proto", "binary", "client protocol for the load generator and probes: binary (pipelined tagged frames) or http (JSON compatibility API)")
+	workloadName := flag.String("workload", "mixed", "load shape: mixed (single-key ops per -read-fraction) or mget-zipf (Zipf hot-key multi-get batches of -batch keys, writes batched too)")
+	batchSize := flag.Int("batch", 8, "keys per batched operation for -workload mget-zipf")
 	flag.Parse()
 
 	var blockingTransport bool
@@ -355,11 +357,31 @@ func main() {
 	}
 	defer c.Close()
 
+	loadBatch := 1
+	switch *workloadName {
+	case "mixed":
+	case "mget-zipf":
+		// The batched hot-key workload needs skewed popularity to mean
+		// anything; force a Zipf chooser even when -zipf was zeroed out.
+		if *zipf <= 0 {
+			*zipf = 0.99
+		}
+		if *batchSize < 1 {
+			fatalf("-batch must be at least 1")
+		}
+		loadBatch = *batchSize
+	default:
+		fatalf("unknown -workload %q (want mixed or mget-zipf)", *workloadName)
+	}
+
 	var chooser workload.KeyChooser
 	if *zipf > 0 {
 		chooser = workload.NewZipfKeys(*keys, *zipf, "key-")
 	} else {
 		chooser = workload.NewUniformKeys(*keys, "key-")
+	}
+	if loadBatch > 1 {
+		fmt.Printf("  workload: mget-zipf (batch=%d, zipf=%g)\n", loadBatch, *zipf)
 	}
 
 	// Load generator + live monitor in the background.
@@ -373,6 +395,7 @@ func main() {
 		loadRes, err = client.RunLoad(c, mon, client.LoadOptions{
 			Clients: *clients, Rate: *rate, Duration: *duration,
 			Keys: chooser, Mix: workload.NewMix(*readFraction), Seed: *seed,
+			BatchSize: loadBatch,
 		})
 		if err != nil {
 			fatalf("load generator: %v", err)

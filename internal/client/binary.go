@@ -142,6 +142,46 @@ func (t *binaryTransport) Get(m server.MemberInfo, key string) (server.GetRespon
 	return gr, t.finish(epoch, err)
 }
 
+func (t *binaryTransport) MPut(m server.MemberInfo, ops []server.BatchPutOp) ([]BatchPutOutcome, error) {
+	bc, err := t.conn(m)
+	if err != nil {
+		return nil, err
+	}
+	res, epoch, err := bc.MPut(ops)
+	if err := t.finish(epoch, err); err != nil {
+		return nil, err
+	}
+	outs := make([]BatchPutOutcome, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			outs[i].Err = translate(r.Err)
+		} else {
+			outs[i].Resp = r.Resp
+		}
+	}
+	return outs, nil
+}
+
+func (t *binaryTransport) MGet(m server.MemberInfo, keys []string) ([]BatchGetOutcome, error) {
+	bc, err := t.conn(m)
+	if err != nil {
+		return nil, err
+	}
+	res, epoch, err := bc.MGet(keys)
+	if err := t.finish(epoch, err); err != nil {
+		return nil, err
+	}
+	outs := make([]BatchGetOutcome, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			outs[i].Err = translate(r.Err)
+		} else {
+			outs[i].Resp = r.Resp
+		}
+	}
+	return outs, nil
+}
+
 func (t *binaryTransport) Stats(m server.MemberInfo) (server.StatsResponse, error) {
 	bc, err := t.conn(m)
 	if err != nil {

@@ -330,6 +330,181 @@ func (c *Client) GetVia(node int, key string) (GetResult, error) {
 	}, nil
 }
 
+// PutOp is one write inside a batched Client.MPut.
+type PutOp struct {
+	Key, Value string
+	Delete     bool
+}
+
+// PutOutcome is one op's outcome inside a batched write: Err nil means the
+// embedded PutResult is valid.
+type PutOutcome struct {
+	PutResult
+	Err error
+}
+
+// GetOutcome is one key's outcome inside a batched read.
+type GetOutcome struct {
+	GetResult
+	Err error
+}
+
+// MGet reads many keys with one request per coordinator: keys are grouped
+// by their ring primary under the current view (so the receiving node
+// coordinates its own keys and the server's grouped fan-out stays local),
+// the per-group requests run concurrently, and results come back
+// index-aligned with keys. Per-key verdicts follow Get's retryable/final
+// discipline: a retryable verdict (the group's node was unreachable or
+// answered a routing-level failure) falls back to the single-key walk for
+// that key; final verdicts (quorum failures, bad requests) are returned
+// as-is.
+func (c *Client) MGet(keys []string) ([]GetOutcome, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	outs := make([]GetOutcome, len(keys))
+	v := c.view.Load()
+	start := time.Now()
+	groups := make(map[int][]int)
+	for i, key := range keys {
+		id := v.ring.Coordinator(key)
+		groups[id] = append(groups[id], i)
+	}
+	var wg sync.WaitGroup
+	for id, idxs := range groups {
+		wg.Add(1)
+		go func(id int, idxs []int) {
+			defer wg.Done()
+			gkeys := make([]string, len(idxs))
+			for j, i := range idxs {
+				gkeys[j] = keys[i]
+			}
+			res, err := c.tr.MGet(v.byID[id], gkeys)
+			if err != nil {
+				for _, i := range idxs {
+					outs[i].Err = err
+				}
+				return
+			}
+			elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+			for j, i := range idxs {
+				if res[j].Err != nil {
+					outs[i].Err = res[j].Err
+					continue
+				}
+				gr := res[j].Resp
+				outs[i].GetResult = GetResult{
+					Found:    gr.Found,
+					Seq:      gr.Seq,
+					Value:    gr.Value,
+					CoordMs:  gr.CoordMs,
+					ClientMs: elapsed,
+				}
+			}
+		}(id, idxs)
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].Err != nil && isRetryable(outs[i].Err) {
+			res, err := c.Get(keys[i])
+			outs[i] = GetOutcome{GetResult: res, Err: err}
+		}
+	}
+	return outs, nil
+}
+
+// MGetVia reads many keys through one specific coordinator in a single
+// request (sticky sessions, tests) — no grouping, no per-key retry.
+func (c *Client) MGetVia(node int, keys []string) ([]GetOutcome, error) {
+	v := c.view.Load()
+	if node < 0 || node >= len(v.members) {
+		return nil, fmt.Errorf("client: node %d outside cluster of %d", node, len(v.members))
+	}
+	start := time.Now()
+	res, err := c.tr.MGet(v.members[node], keys)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	outs := make([]GetOutcome, len(res))
+	for i, r := range res {
+		if r.Err != nil {
+			outs[i].Err = r.Err
+			continue
+		}
+		outs[i].GetResult = GetResult{
+			Found:    r.Resp.Found,
+			Seq:      r.Resp.Seq,
+			Value:    r.Resp.Value,
+			CoordMs:  r.Resp.CoordMs,
+			ClientMs: elapsed,
+		}
+	}
+	return outs, nil
+}
+
+// MPut writes many ops with one request per coordinator, grouped like
+// MGet. Per-op retryable failures fall back to the single-key write walk
+// (which tries the key's whole ring order); final verdicts are returned
+// as-is, index-aligned with ops.
+func (c *Client) MPut(ops []PutOp) ([]PutOutcome, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	outs := make([]PutOutcome, len(ops))
+	v := c.view.Load()
+	start := time.Now()
+	sops := make([]server.BatchPutOp, len(ops))
+	for i, op := range ops {
+		sops[i] = server.BatchPutOp{Key: op.Key, Value: op.Value, Tombstone: op.Delete}
+	}
+	groups := make(map[int][]int)
+	for i := range ops {
+		id := v.ring.Coordinator(ops[i].Key)
+		groups[id] = append(groups[id], i)
+	}
+	var wg sync.WaitGroup
+	for id, idxs := range groups {
+		wg.Add(1)
+		go func(id int, idxs []int) {
+			defer wg.Done()
+			gops := make([]server.BatchPutOp, len(idxs))
+			for j, i := range idxs {
+				gops[j] = sops[i]
+			}
+			res, err := c.tr.MPut(v.byID[id], gops)
+			if err != nil {
+				for _, i := range idxs {
+					outs[i].Err = err
+				}
+				return
+			}
+			elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+			for j, i := range idxs {
+				if res[j].Err != nil {
+					outs[i].Err = res[j].Err
+					continue
+				}
+				pr := res[j].Resp
+				outs[i].PutResult = PutResult{
+					Seq:         pr.Seq,
+					CommittedAt: time.Unix(0, pr.CommittedUnixNano),
+					CoordMs:     pr.CoordMs,
+					ClientMs:    elapsed,
+				}
+			}
+		}(id, idxs)
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].Err != nil && isRetryable(outs[i].Err) {
+			res, err := c.write(ops[i].Key, ops[i].Value, ops[i].Delete)
+			outs[i] = PutOutcome{PutResult: res, Err: err}
+		}
+	}
+	return outs, nil
+}
+
 // WARSSamples fetches every node's measured WARS leg samples (GET /wars)
 // and pools them: the cluster-wide empirical W/A/R/S distributions the
 // tuner fits online (Section 6's dynamic configuration). Unreachable
@@ -441,6 +616,44 @@ func (s *Session) Get(key string) (res GetResult, violated bool, err error) {
 	}
 	s.mu.Unlock()
 	return res, violated, nil
+}
+
+// MGet reads a batch of keys within the session (one frame per
+// coordinator — or a single frame through the sticky coordinator),
+// applying the same per-key monotonic-reads accounting as Get. violated
+// is index-aligned with keys; failed keys count neither as reads nor as
+// violations.
+func (s *Session) MGet(keys []string) (res []GetOutcome, violated []bool, err error) {
+	if s.sticky >= 0 {
+		res, err = s.c.MGetVia(s.sticky, keys)
+	} else {
+		res, err = s.c.MGet(keys)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	violated = make([]bool, len(res))
+	s.mu.Lock()
+	for i := range res {
+		if res[i].Err != nil {
+			continue
+		}
+		s.reads++
+		if res[i].Seq < s.lastSeen[keys[i]] {
+			violated[i] = true
+			s.violations++
+		} else {
+			s.lastSeen[keys[i]] = res[i].Seq
+		}
+	}
+	s.mu.Unlock()
+	return res, violated, nil
+}
+
+// MPut writes a batch of ops within the session (one frame per
+// coordinator, per-key verdicts).
+func (s *Session) MPut(ops []PutOp) ([]PutOutcome, error) {
+	return s.c.MPut(ops)
 }
 
 // Stats returns the session's read and monotonic-reads violation counts.

@@ -44,6 +44,13 @@ type LoadOptions struct {
 	Mix workload.Mix
 	// Seed drives key, mix, and arrival sampling.
 	Seed uint64
+	// BatchSize groups operations into multi-key batches (default 1 =
+	// single-key ops). With BatchSize > 1 each worker draws one op kind
+	// per batch, then BatchSize keys, and issues one MGet/MPut — modeling
+	// scan-ish multi-get traffic. Every key counts as one operation, so
+	// Throughput stays keys per second, and the open-loop Rate still
+	// paces individual operations (one batch consumes BatchSize tokens).
+	BatchSize int
 }
 
 func (o *LoadOptions) setDefaults() error {
@@ -61,6 +68,9 @@ func (o *LoadOptions) setDefaults() error {
 	}
 	if o.Rate < 0 {
 		return errors.New("client: rate must be non-negative")
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
 	}
 	return nil
 }
@@ -131,11 +141,82 @@ func RunLoad(c *Client, mon *Monitor, opt LoadOptions) (LoadResult, error) {
 		go func(w int) {
 			defer wg.Done()
 			r := rng.NewStream(opt.Seed, uint64(w))
+			// Per-worker batch buffers, reused across batches.
+			var (
+				keys      []string
+				baselines []uint64
+				puts      []PutOp
+			)
+			if opt.BatchSize > 1 {
+				keys = make([]string, 0, opt.BatchSize)
+				baselines = make([]uint64, 0, opt.BatchSize)
+				puts = make([]PutOp, 0, opt.BatchSize)
+			}
 			for ctx.Err() == nil && budgetLeft() {
 				if tokens != nil {
 					if _, ok := <-tokens; !ok {
 						return
 					}
+				}
+				if opt.BatchSize > 1 {
+					// One kind draw per batch, then BatchSize key draws: a
+					// batch is all-reads or all-writes, like a scan or a bulk
+					// load. Each key is one operation for accounting and
+					// pacing (the token above paid for the first key).
+					kind := opt.Mix.Op(r)
+					size := opt.BatchSize
+					if tokens != nil {
+						for extra := 1; extra < size; extra++ {
+							if _, ok := <-tokens; !ok {
+								size = extra
+								break
+							}
+						}
+					}
+					if kind == workload.OpRead {
+						keys, baselines = keys[:0], baselines[:0]
+						for j := 0; j < size; j++ {
+							k := opt.Keys.Key(r)
+							keys = append(keys, k)
+							baselines = append(baselines, mon.Committed(k))
+						}
+						outs, err := c.MGet(keys)
+						if err != nil {
+							errs.Add(int64(size))
+						} else {
+							for j, out := range outs {
+								if out.Err != nil {
+									errs.Add(1)
+									continue
+								}
+								reads.Add(1)
+								mon.RecordRead(keys[j], out.Seq, baselines[j], out.ClientMs, out.CoordMs)
+							}
+						}
+					} else {
+						puts = puts[:0]
+						for j := 0; j < size; j++ {
+							puts = append(puts, PutOp{
+								Key:   opt.Keys.Key(r),
+								Value: fmt.Sprintf("v%d", opSerial.Add(1)),
+							})
+						}
+						outs, err := c.MPut(puts)
+						if err != nil {
+							errs.Add(int64(size))
+						} else {
+							for j, out := range outs {
+								if out.Err != nil {
+									errs.Add(1)
+									continue
+								}
+								writes.Add(1)
+								mon.RecordWrite(puts[j].Key, out.Seq, out.ClientMs, out.CoordMs)
+							}
+						}
+					}
+					ops.Add(int64(size))
+					continue
 				}
 				key := opt.Keys.Key(r)
 				if opt.Mix.Op(r) == workload.OpRead {

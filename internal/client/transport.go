@@ -31,12 +31,36 @@ type Transport interface {
 	FetchConfig(m server.MemberInfo) (server.ConfigResponse, error)
 	Put(m server.MemberInfo, key, value string, tombstone bool) (server.PutResponse, error)
 	Get(m server.MemberInfo, key string) (server.GetResponse, error)
+	// MPut writes a batch of ops through m's coordinator in one request,
+	// answering per op, index-aligned. The call-level error covers whole-
+	// request failures (transport, malformed frame); per-op failures come
+	// back inside the outcomes, already translated into the retryable/final
+	// vocabulary.
+	MPut(m server.MemberInfo, ops []server.BatchPutOp) ([]BatchPutOutcome, error)
+	// MGet reads a batch of keys through m's coordinator in one request,
+	// answering per key, index-aligned, with MPut's error split.
+	MGet(m server.MemberInfo, keys []string) ([]BatchGetOutcome, error)
 	Stats(m server.MemberInfo) (server.StatsResponse, error)
 	WARS(m server.MemberInfo) (server.WARSResponse, error)
 	// SetEpochNotify registers the hook invoked with the ring epoch
 	// carried on each response, feeding the client's view-refresh loop.
 	SetEpochNotify(fn func(epoch uint64))
 	Close()
+}
+
+// BatchPutOutcome is one op's outcome inside a transport-level batched
+// write: exactly one of Resp and Err is meaningful. Err follows the same
+// retryable/final classification as single-op transport errors.
+type BatchPutOutcome struct {
+	Resp server.PutResponse
+	Err  error
+}
+
+// BatchGetOutcome is one key's outcome inside a transport-level batched
+// read.
+type BatchGetOutcome struct {
+	Resp server.GetResponse
+	Err  error
 }
 
 type httpTransport struct {
@@ -124,6 +148,58 @@ func (t *httpTransport) Get(m server.MemberInfo, key string) (server.GetResponse
 	}
 	err = t.decode(resp, &gr)
 	return gr, err
+}
+
+// MPut has no HTTP wire format of its own: the compatibility surface
+// decomposes the batch into single PUT/DELETE requests (this transport is
+// the slow path by definition; batching gains live on the binary path).
+func (t *httpTransport) MPut(m server.MemberInfo, ops []server.BatchPutOp) ([]BatchPutOutcome, error) {
+	outs := make([]BatchPutOutcome, len(ops))
+	for i, op := range ops {
+		outs[i].Resp, outs[i].Err = t.Put(m, op.Key, op.Value, op.Tombstone)
+	}
+	return outs, nil
+}
+
+// MGet rides the GET /kv?keys=a,b,c shim, which shares the server's
+// batched coordinator entry point with the binary frames. A key containing
+// a comma cannot be carried by the comma-separated query parameter, so
+// those decompose into single GETs.
+func (t *httpTransport) MGet(m server.MemberInfo, keys []string) ([]BatchGetOutcome, error) {
+	for _, k := range keys {
+		if strings.Contains(k, ",") {
+			outs := make([]BatchGetOutcome, len(keys))
+			for i, key := range keys {
+				outs[i].Resp, outs[i].Err = t.Get(m, key)
+			}
+			return outs, nil
+		}
+	}
+	resp, err := t.hc.Get(m.Addr + "/kv?keys=" + url.QueryEscape(strings.Join(keys, ",")))
+	if err != nil {
+		return nil, err
+	}
+	var items []server.BatchGetHTTPResult
+	if err := t.decode(resp, &items); err != nil {
+		return nil, err
+	}
+	if len(items) != len(keys) {
+		return nil, fmt.Errorf("client: batch get answered %d of %d keys", len(items), len(keys))
+	}
+	outs := make([]BatchGetOutcome, len(keys))
+	for i, item := range items {
+		if item.Code != 0 || item.Error != "" {
+			kerr := fmt.Errorf("client: %s", item.Error)
+			if item.Code == server.CodeUnavailable {
+				outs[i].Err = &retryableError{err: kerr}
+			} else {
+				outs[i].Err = kerr
+			}
+			continue
+		}
+		outs[i].Resp = item.GetResponse
+	}
+	return outs, nil
 }
 
 func (t *httpTransport) Stats(m server.MemberInfo) (server.StatsResponse, error) {

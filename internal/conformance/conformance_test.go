@@ -49,6 +49,12 @@ type scenario struct {
 	// strictQuorum additionally asserts R+W > N semantics: zero measured
 	// staleness, flat measured curve at 1.
 	strictQuorum bool
+	// batch > 1 drives the load phase through batched MGet/MPut client ops
+	// (grouped per coordinator, one frame per node) instead of single-key
+	// ops. Staleness and latency are still recorded per key, and on
+	// WARS-injected clusters the coordinator decomposes batches into
+	// concurrent per-key operations, so the same conformance bounds apply.
+	batch int
 }
 
 // expModel builds the paper's Section 5.2 validation models: exponential
@@ -234,6 +240,37 @@ func TestBinaryClientConformance(t *testing.T) {
 	}
 }
 
+// TestBatchedClientConformance re-runs a cross-section of the matrix with
+// the load phase issuing batched multi-key MGet/MPut frames (batch 8)
+// over the binary protocol: one validation-tier scenario and the
+// strict-quorum cell. On these WARS-injected clusters the coordinator's
+// batch entry point decomposes into concurrent per-key operations — the
+// same injected legs, the same per-key latency semantics — so measured
+// t-visibility must stay inside the same RMSE band, and the strict-quorum
+// cell must still read zero staleness through the batch path.
+func TestBatchedClientConformance(t *testing.T) {
+	readOv, writeOv := calibrate(t, client.DialBinary)
+	picked := map[string]bool{
+		"val-exp20-10-N3-R1W1-readheavy":      true,
+		"prod-ymmr-N5-R3W3-writeheavy-strict": true,
+	}
+	ran := 0
+	for _, sc := range scenarios() {
+		if !picked[sc.name] {
+			continue
+		}
+		sc := sc
+		sc.batch = 8
+		ran++
+		t.Run(sc.name+"-batch8", func(t *testing.T) {
+			runScenario(t, sc, client.DialBinary, readOv, writeOv)
+		})
+	}
+	if ran != len(picked) {
+		t.Errorf("batched conformance ran %d of %d picked scenarios (matrix renamed?)", ran, len(picked))
+	}
+}
+
 func runScenario(t *testing.T, sc scenario, dial func(string) (*client.Client, error), readOv, writeOv []float64) (ops int64) {
 	model := dist.ScaleModel(sc.model, sc.scale)
 	pred, err := wars.Simulate(wars.NewIID(sc.n, model), wars.Config{R: sc.r, W: sc.w},
@@ -266,6 +303,7 @@ func runScenario(t *testing.T, sc scenario, dial func(string) (*client.Client, e
 		Clients: loadClients, MaxOps: latencyPhaseOps,
 		Keys: workload.NewZipfKeys(256, 0.99, "lg"),
 		Mix:  workload.NewMix(sc.mix), Seed: 3,
+		BatchSize: sc.batch,
 	})
 	if err != nil {
 		t.Fatal(err)

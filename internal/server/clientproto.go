@@ -47,7 +47,16 @@ const (
 	opClientConfig = 17 // empty
 	opClientStats  = 18 // empty
 	opClientWARS   = 19 // empty
+	// Batched ops: one frame carries a length-prefixed op list; the
+	// response carries one typed verdict per entry, index-aligned, so one
+	// key's failure never fails its batch (clientproto batch codecs below;
+	// coordination in batch.go).
+	opClientMPut = 20 // count u16 | (key string16 | flags u8 | value string32)*
+	opClientMGet = 21 // count u16 | (key string16)*
 )
+
+// batchFlagTombstone marks a delete inside an opClientMPut op list.
+const batchFlagTombstone byte = 1 << 0
 
 // Client response statuses, disjoint from the peer statuses (statusOK = 0,
 // statusErr = 1) so a stream fuzzer — and a misdirected peer — can tell
@@ -147,6 +156,159 @@ func decodeClientGetBody(body []byte) (GetResponse, error) {
 	return gr, nil
 }
 
+// --- batch codecs ---------------------------------------------------------
+
+// A batch response body is `count u16` followed by one entry per request
+// op, index-aligned: `verdict u8 | entry-body`. Verdict 0 is success and
+// the entry body is exactly the single-op response body; a nonzero
+// verdict is the entry's client error code and the body is `msg string16`.
+
+// BatchPutResult is one op's outcome inside a batched write: exactly one
+// of Resp and Err is meaningful (Err nil on success).
+type BatchPutResult struct {
+	Resp PutResponse
+	Err  *ClientError
+}
+
+// BatchGetResult is one key's outcome inside a batched read.
+type BatchGetResult struct {
+	Resp GetResponse
+	Err  *ClientError
+}
+
+func appendClientMPutResponse(b []byte, epoch uint64, outs []batchPutOut) []byte {
+	b = binary.BigEndian.AppendUint64(b, epoch)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(outs)))
+	for i := range outs {
+		if oe := outs[i].oe; oe != nil {
+			b = append(b, oe.code)
+			b = appendString16(b, oe.msg)
+			continue
+		}
+		pr := outs[i].pr
+		b = append(b, 0)
+		b = binary.BigEndian.AppendUint64(b, pr.Seq)
+		b = binary.BigEndian.AppendUint64(b, uint64(pr.CommittedUnixNano))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(pr.CoordMs))
+		b = binary.BigEndian.AppendUint32(b, uint32(pr.Node))
+	}
+	return b
+}
+
+func decodeClientMPutBody(body []byte) ([]BatchPutResult, error) {
+	d := &decoder{b: body}
+	count := int(d.u16())
+	if d.err != nil || count > maxBatchOps {
+		return nil, errors.New("server: malformed batch put response")
+	}
+	outs := make([]BatchPutResult, count)
+	for i := range outs {
+		verdict := d.u8()
+		if verdict == 0 {
+			outs[i].Resp = PutResponse{
+				Seq:               d.u64(),
+				CommittedUnixNano: int64(d.u64()),
+				CoordMs:           math.Float64frombits(d.u64()),
+				Node:              int(int32(d.u32())),
+			}
+		} else {
+			outs[i].Err = &ClientError{Code: verdict, Msg: d.string16()}
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("server: malformed batch put response: %w", d.err)
+	}
+	return outs, nil
+}
+
+func appendClientMGetResponse(b []byte, epoch uint64, outs []batchGetOut) []byte {
+	b = binary.BigEndian.AppendUint64(b, epoch)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(outs)))
+	for i := range outs {
+		if oe := outs[i].oe; oe != nil {
+			b = append(b, oe.code)
+			b = appendString16(b, oe.msg)
+			continue
+		}
+		gr := outs[i].gr
+		b = append(b, 0)
+		var flags byte
+		if gr.Found {
+			flags |= clientGetFlagFound
+		}
+		b = append(b, flags)
+		b = binary.BigEndian.AppendUint64(b, gr.Seq)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(gr.CoordMs))
+		b = binary.BigEndian.AppendUint32(b, uint32(gr.Node))
+		b = appendString32(b, gr.Value)
+	}
+	return b
+}
+
+func decodeClientMGetBody(body []byte) ([]BatchGetResult, error) {
+	d := &decoder{b: body}
+	count := int(d.u16())
+	if d.err != nil || count > maxBatchOps {
+		return nil, errors.New("server: malformed batch get response")
+	}
+	outs := make([]BatchGetResult, count)
+	for i := range outs {
+		verdict := d.u8()
+		if verdict == 0 {
+			flags := d.u8()
+			outs[i].Resp = GetResponse{
+				Found:   flags&clientGetFlagFound != 0,
+				Seq:     d.u64(),
+				CoordMs: math.Float64frombits(d.u64()),
+				Node:    int(int32(d.u32())),
+			}
+			outs[i].Resp.Value = d.string32()
+		} else {
+			outs[i].Err = &ClientError{Code: verdict, Msg: d.string16()}
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("server: malformed batch get response: %w", d.err)
+	}
+	return outs, nil
+}
+
+// decodeBatchPutOps parses an opClientMPut payload. Frame-level failures
+// (bad count, truncation) reject the whole batch; per-op semantic
+// problems (empty key, oversized value) become per-op verdicts in
+// coordinateMPut so the rest of the batch proceeds.
+func decodeBatchPutOps(d *decoder) ([]BatchPutOp, *opError) {
+	count := int(d.u16())
+	if d.err != nil || count == 0 || count > maxBatchOps {
+		return nil, errBadRequest("server: malformed batch request")
+	}
+	ops := make([]BatchPutOp, count)
+	for i := range ops {
+		ops[i].Key = d.string16()
+		ops[i].Tombstone = d.u8()&batchFlagTombstone != 0
+		ops[i].Value = d.string32()
+	}
+	if d.err != nil {
+		return nil, errBadRequest("server: malformed batch request")
+	}
+	return ops, nil
+}
+
+func decodeBatchKeys(d *decoder) ([]string, *opError) {
+	count := int(d.u16())
+	if d.err != nil || count == 0 || count > maxBatchOps {
+		return nil, errBadRequest("server: malformed batch request")
+	}
+	keys := make([]string, count)
+	for i := range keys {
+		keys[i] = d.string16()
+	}
+	if d.err != nil {
+		return nil, errBadRequest("server: malformed batch request")
+	}
+	return keys, nil
+}
+
 // decodeClientFrame splits a client response into its ring-epoch prefix
 // and op-specific body. A statusClientErr frame comes back as a
 // *ClientError; any other status (a v1 statusErr from a server that does
@@ -171,7 +333,7 @@ func decodeClientFrame(status byte, resp []byte) (epoch uint64, body []byte, err
 
 // --- server dispatch ------------------------------------------------------
 
-func clientOp(op byte) bool { return op >= opClientPut && op <= opClientWARS }
+func clientOp(op byte) bool { return op >= opClientPut && op <= opClientMGet }
 
 // handleClientOp serves one client-protocol request. It runs on the mux
 // worker pool (client ops block on quorums, so they never run inline in
@@ -220,6 +382,18 @@ func (n *Node) handleClientOp(op byte, payload, buf []byte) (byte, []byte) {
 			return fail(oe)
 		}
 		return statusClientOK, appendClientGetResponse(buf[:0], epoch, gr)
+	case opClientMPut:
+		ops, oe := decodeBatchPutOps(d)
+		if oe != nil {
+			return fail(oe)
+		}
+		return statusClientOK, appendClientMPutResponse(buf[:0], epoch, n.coordinateMPut(ops))
+	case opClientMGet:
+		keys, oe := decodeBatchKeys(d)
+		if oe != nil {
+			return fail(oe)
+		}
+		return statusClientOK, appendClientMGetResponse(buf[:0], epoch, n.coordinateMGet(keys))
 	case opClientConfig:
 		cfg, oe := n.configLocal()
 		if oe != nil {
@@ -394,6 +568,90 @@ func (bc *BinClient) Get(key string) (GetResponse, uint64, error) {
 	}
 	gr, err := decodeClientGetBody(body)
 	return gr, epoch, err
+}
+
+// MPut writes a batch of operations through the node's coordinator in one
+// frame, answering per op (index-aligned with ops). A transport- or
+// frame-level failure returns err; per-op failures come back as typed
+// verdicts in the result slice.
+func (bc *BinClient) MPut(ops []BatchPutOp) ([]BatchPutResult, uint64, error) {
+	if len(ops) == 0 {
+		return nil, 0, nil
+	}
+	if len(ops) > maxBatchOps {
+		return nil, 0, fmt.Errorf("server: batch of %d ops exceeds %d", len(ops), maxBatchOps)
+	}
+	hint := 2
+	for i := range ops {
+		hint += 7 + len(ops[i].Key) + len(ops[i].Value)
+	}
+	st, resp, err := bc.do(opClientMPut, hint, func(b []byte) []byte {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(ops)))
+		for i := range ops {
+			b = appendString16(b, ops[i].Key)
+			var flags byte
+			if ops[i].Tombstone {
+				flags |= batchFlagTombstone
+			}
+			b = append(b, flags)
+			b = appendString32(b, ops[i].Value)
+		}
+		return b
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer putBuf(resp)
+	epoch, body, err := decodeClientFrame(st, resp)
+	if err != nil {
+		return nil, epoch, err
+	}
+	outs, err := decodeClientMPutBody(body)
+	if err == nil && len(outs) != len(ops) {
+		err = errors.New("server: batch put response count mismatch")
+	}
+	if err != nil {
+		return nil, epoch, err
+	}
+	return outs, epoch, nil
+}
+
+// MGet reads a batch of keys through the node's coordinator in one frame,
+// answering per key (index-aligned with keys).
+func (bc *BinClient) MGet(keys []string) ([]BatchGetResult, uint64, error) {
+	if len(keys) == 0 {
+		return nil, 0, nil
+	}
+	if len(keys) > maxBatchOps {
+		return nil, 0, fmt.Errorf("server: batch of %d keys exceeds %d", len(keys), maxBatchOps)
+	}
+	hint := 2
+	for _, k := range keys {
+		hint += 2 + len(k)
+	}
+	st, resp, err := bc.do(opClientMGet, hint, func(b []byte) []byte {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(keys)))
+		for _, k := range keys {
+			b = appendString16(b, k)
+		}
+		return b
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer putBuf(resp)
+	epoch, body, err := decodeClientFrame(st, resp)
+	if err != nil {
+		return nil, epoch, err
+	}
+	outs, err := decodeClientMGetBody(body)
+	if err == nil && len(outs) != len(keys) {
+		err = errors.New("server: batch get response count mismatch")
+	}
+	if err != nil {
+		return nil, epoch, err
+	}
+	return outs, epoch, nil
 }
 
 func (bc *BinClient) jsonOp(op byte, out any) (uint64, error) {

@@ -120,19 +120,29 @@ func (n *Node) submitLeg(id int, t *legTask) {
 }
 
 // legTask is one enqueued fan-out leg. Pooled: the worker that runs it
-// releases it, so the steady-state hot path allocates no task objects.
+// releases it, so the steady-state hot path allocates no task objects. A
+// batch leg carries one peer's whole share of a multi-key client batch
+// (parallel per-key slices) and costs one RPC frame for all of them.
 type legTask struct {
 	n      *Node
 	view   *memView
 	target int
 	read   bool
+	batch  bool
 
 	// Write legs.
-	ver  kvstore.Version
-	acks chan bool
+	ver kvstore.Version
+	ws  *writeState
 	// Read legs.
 	key string
 	rs  *readState
+
+	// Batched legs (coordinateMGet/coordinateMPut): index-aligned per-key
+	// slices, capacity preserved across pool cycles.
+	bvers []kvstore.Version
+	bws   []*writeState
+	bkeys []string
+	brs   []*readState
 
 	spares *sparePicker
 }
@@ -142,19 +152,45 @@ var legTaskPool = sync.Pool{New: func() any { return new(legTask) }}
 func newLegTask() *legTask { return legTaskPool.Get().(*legTask) }
 
 func (t *legTask) run() {
-	if t.read {
+	switch {
+	case t.batch && t.read:
+		t.n.runReadBatchLeg(t.view, t.target, t.bkeys, t.brs)
+	case t.batch:
+		t.n.runWriteBatchLeg(t.view, t.target, t.bvers, t.bws)
+	case t.read:
 		t.n.runReadLeg(t.view, t.target, t.key, t.spares, t.rs)
-	} else {
-		t.n.runWriteLeg(t.view, t.target, t.ver, t.spares, t.acks)
+	default:
+		t.n.runWriteLeg(t.view, t.target, t.ver, t.spares, t.ws)
 	}
-	*t = legTask{}
+	t.reset()
 	legTaskPool.Put(t)
+}
+
+// reset clears the task for pooling, zeroing the batch slices' elements
+// (they hold strings and pooled state pointers) while keeping their
+// capacity — the per-peer grouping buffers are the batch path's hottest
+// allocation.
+func (t *legTask) reset() {
+	for i := range t.bvers {
+		t.bvers[i] = kvstore.Version{}
+	}
+	for i := range t.bws {
+		t.bws[i] = nil
+	}
+	for i := range t.bkeys {
+		t.bkeys[i] = ""
+	}
+	for i := range t.brs {
+		t.brs[i] = nil
+	}
+	bvers, bws, bkeys, brs := t.bvers[:0], t.bws[:0], t.bkeys[:0], t.brs[:0]
+	*t = legTask{bvers: bvers, bws: bws, bkeys: bkeys, brs: brs}
 }
 
 // runWriteLeg delivers one write leg and acks the coordinator. The leg
 // sampler sees the same observation as the goroutine path with zero
 // injected delays: the real RPC time as W, zero A.
-func (n *Node) runWriteLeg(v *memView, target int, ver kvstore.Version, spares *sparePicker, acks chan<- bool) {
+func (n *Node) runWriteLeg(v *memView, target int, ver kvstore.Version, spares *sparePicker, ws *writeState) {
 	var sent time.Time
 	if n.legs != nil {
 		sent = time.Now()
@@ -163,7 +199,64 @@ func (n *Node) runWriteLeg(v *memView, target int, ver kvstore.Version, spares *
 	if ok && n.legs != nil {
 		n.legs.observeWrite(float64(time.Since(sent))/float64(time.Millisecond), 0)
 	}
-	acks <- ok
+	ws.ack(ok)
+}
+
+// runWriteBatchLeg delivers one peer's share of a batched write fan-out as
+// a single ApplyBatch round trip and acks each key's write state from the
+// peer's per-version answers, so ackable's stale-epoch refusal applies per
+// key exactly as on the single-key path. A transport failure fails every
+// key's leg and buffers one hint per version, mirroring deliverWrite.
+// Batch legs only run on the strict-quorum hot path, so there is no spare
+// walk here.
+func (n *Node) runWriteBatchLeg(v *memView, target int, vers []kvstore.Version, wss []*writeState) {
+	var sent time.Time
+	if n.legs != nil {
+		sent = time.Now()
+	}
+	acks, err := v.peers[target].ApplyBatch(vers)
+	if err != nil {
+		if n.handoff != nil {
+			for i := range vers {
+				n.handoff.store(target, vers[i])
+			}
+		}
+		for _, ws := range wss {
+			ws.ack(false)
+		}
+		return
+	}
+	if n.legs != nil {
+		// One observation per batch RPC: the keys shared one round trip.
+		n.legs.observeWrite(float64(time.Since(sent))/float64(time.Millisecond), 0)
+	}
+	for i, ws := range wss {
+		ws.ack(n.ackable(vers[i], acks[i].Applied, acks[i].Seq))
+	}
+}
+
+// runReadBatchLeg performs one peer's share of a batched read fan-out as a
+// single GetVersionBatch round trip, distributing per-key responses to
+// each key's shared read state. A transport failure completes every key's
+// leg with the error (each key's quorum accounting stays independent).
+func (n *Node) runReadBatchLeg(v *memView, target int, keys []string, rss []*readState) {
+	var sent time.Time
+	if n.legs != nil {
+		sent = time.Now()
+	}
+	vs, found, err := v.peers[target].GetVersionBatch(keys)
+	if err != nil {
+		for _, rs := range rss {
+			rs.complete(readResp{node: target, err: err})
+		}
+		return
+	}
+	if n.legs != nil {
+		n.legs.observeRead(float64(time.Since(sent))/float64(time.Millisecond), 0)
+	}
+	for i, rs := range rss {
+		rs.complete(readResp{node: target, v: vs[i], found: found[i]})
+	}
 }
 
 // runReadLeg performs one read leg and hands the response to the shared
@@ -208,13 +301,39 @@ type readState struct {
 	returned  kvstore.Version
 }
 
+// readStatePool recycles read states across coordinated reads. The waiter
+// is a capacity-1 channel reused across pool cycles: the signaled flag
+// already guarantees exactly one send per read, and the handler performs
+// exactly one receive, so the channel is always drained at release time.
+var readStatePool = sync.Pool{New: func() any {
+	return &readState{waiter: make(chan struct{}, 1)}
+}}
+
 func (n *Node) newReadState(v *memView, quorum, total int) *readState {
-	return &readState{
-		n: n, view: v,
-		quorum: quorum, total: total,
-		waiter: make(chan struct{}),
-		resps:  make([]readResp, 0, total),
+	rs := readStatePool.Get().(*readState)
+	rs.n, rs.view = n, v
+	rs.quorum, rs.total = quorum, total
+	if cap(rs.resps) < total {
+		rs.resps = make([]readResp, 0, total)
 	}
+	return rs
+}
+
+// release returns the state to the pool. Callers must guarantee no leg can
+// still touch rs: either every leg has completed (don == total — the
+// failed-read and last-leg-finalize paths), or the releasing goroutine is
+// the finalizer, which by construction runs after the last leg's critical
+// section.
+func (rs *readState) release() {
+	for i := range rs.resps {
+		rs.resps[i] = readResp{}
+	}
+	rs.resps = rs.resps[:0]
+	rs.n, rs.view = nil, nil
+	rs.quorum, rs.total, rs.succ, rs.don = 0, 0, 0, 0
+	rs.signaled, rs.answered, rs.finalized = false, false, false
+	rs.returned = kvstore.Version{}
+	readStatePool.Put(rs)
 }
 
 // complete records one leg's response, waking the handler once the quorum
@@ -237,10 +356,11 @@ func (rs *readState) complete(r readResp) {
 	}
 	rs.mu.Unlock()
 	if signal {
-		close(rs.waiter)
+		rs.waiter <- struct{}{}
 	}
 	if fin {
 		rs.finalize()
+		rs.release()
 	}
 }
 
@@ -302,4 +422,77 @@ func (rs *readState) finalize() {
 			}
 		}
 	}
+}
+
+// --- coordinated-write state --------------------------------------------
+
+// writeState collects one coordinated write's fan-out acks. It replaces
+// the per-op buffered ack channel: the waiter fires exactly once — when
+// the quorum is reached or every leg has answered — and the struct is
+// pooled, released by whichever of {last leg, handler} finishes second,
+// so a straggler leg on a send-to-all write can never touch a recycled
+// struct.
+type writeState struct {
+	quorum, total int
+	waiter        chan struct{}
+
+	mu          sync.Mutex
+	got, don    int
+	signaled    bool
+	handlerDone bool
+}
+
+var writeStatePool = sync.Pool{New: func() any {
+	return &writeState{waiter: make(chan struct{}, 1)}
+}}
+
+func newWriteState(quorum, total int) *writeState {
+	ws := writeStatePool.Get().(*writeState)
+	ws.quorum, ws.total = quorum, total
+	return ws
+}
+
+// ack records one leg's outcome, waking the handler once the quorum (or
+// every leg) is in. Exactly one of the last leg and finish releases the
+// struct: both decide under the mutex, so exactly one critical section
+// observes don == total && handlerDone both true.
+func (ws *writeState) ack(ok bool) {
+	ws.mu.Lock()
+	ws.don++
+	if ok {
+		ws.got++
+	}
+	signal := !ws.signaled && (ws.got >= ws.quorum || ws.don == ws.total)
+	if signal {
+		ws.signaled = true
+	}
+	release := ws.don == ws.total && ws.handlerDone
+	ws.mu.Unlock()
+	if signal {
+		ws.waiter <- struct{}{}
+	}
+	if release {
+		ws.release()
+	}
+}
+
+// finish returns the quorum verdict after waiter fired. Handlers call it
+// exactly once; it releases the state when every leg has already answered
+// (otherwise the last straggler leg does).
+func (ws *writeState) finish() bool {
+	ws.mu.Lock()
+	ok := ws.got >= ws.quorum
+	ws.handlerDone = true
+	release := ws.don == ws.total
+	ws.mu.Unlock()
+	if release {
+		ws.release()
+	}
+	return ok
+}
+
+func (ws *writeState) release() {
+	ws.quorum, ws.total, ws.got, ws.don = 0, 0, 0, 0
+	ws.signaled, ws.handlerDone = false, false
+	writeStatePool.Put(ws)
 }

@@ -224,6 +224,15 @@ func FuzzClientStream(f *testing.F) {
 	f.Add(taggedFrame(opClientPut, 8, appendString16(nil, ""))) // empty key, no value
 	f.Add(taggedFrame(opClientGet, 9, []byte{0xff, 0xff, 'x'})) // oversized key length
 	f.Add(taggedFrame(opClientHello, 10, []byte{clientProtoVersion}))
+	mputReq := binary.BigEndian.AppendUint16(nil, 2)
+	mputReq = appendString32(append(appendString16(mputReq, "a"), 0), "v1")
+	mputReq = appendString32(append(appendString16(mputReq, "b"), batchFlagTombstone), "")
+	f.Add(taggedFrame(opClientMPut, 11, mputReq))
+	mgetReq := binary.BigEndian.AppendUint16(nil, 2)
+	mgetReq = appendString16(appendString16(mgetReq, "seeded"), "missing")
+	f.Add(taggedFrame(opClientMGet, 12, mgetReq))
+	f.Add(taggedFrame(opClientMGet, 13, binary.BigEndian.AppendUint16(nil, 0)))      // zero-op batch
+	f.Add(taggedFrame(opClientMPut, 14, binary.BigEndian.AppendUint16(nil, 0xffff))) // oversized count
 	f.Fuzz(func(t *testing.T, data []byte) {
 		n := fuzzNode()
 		br := bufio.NewReader(bytes.NewReader(data))
@@ -234,7 +243,7 @@ func FuzzClientStream(f *testing.F) {
 			}
 			// Coerce every opcode into the client range so the fuzzer spends
 			// its budget on the client dispatch path, not the peer ops.
-			op := opClientPut + tag%(opClientWARS-opClientPut+1)
+			op := opClientPut + tag%(opClientMGet-opClientPut+1)
 			out := getBuf(64)
 			status, resp := n.handleClientOp(op, payload, out[:0])
 			if status != statusClientOK && status != statusClientErr {
@@ -253,6 +262,14 @@ func FuzzClientStream(f *testing.F) {
 				case opClientGet:
 					if _, err := decodeClientGetBody(body); err != nil {
 						t.Fatalf("get response body failed to decode: %v", err)
+					}
+				case opClientMPut:
+					if _, err := decodeClientMPutBody(body); err != nil {
+						t.Fatalf("mput response body failed to decode: %v", err)
+					}
+				case opClientMGet:
+					if _, err := decodeClientMGetBody(body); err != nil {
+						t.Fatalf("mget response body failed to decode: %v", err)
 					}
 				}
 			} else {
@@ -323,6 +340,102 @@ func FuzzClientFrameRoundTrip(f *testing.F) {
 		decodeClientGetBody(raw)
 		decodeClientError(raw)
 		decodeClientFrame(code, raw)
+	})
+}
+
+// FuzzClientBatchFrameRoundTrip pins the batched-op codecs: a request
+// encoded the way BinClient.MPut/MGet does must decode back op for op, and
+// batch response bodies (mixed success and per-op error verdicts) must
+// survive encode → frame-split → decode bit-exactly. The decoders must
+// also reject arbitrary bytes without panicking.
+func FuzzClientBatchFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(3), "k1", "v1", true, true, uint64(9), 1.25, int32(2), byte(CodeQuorumFailed), "server: write quorum not reached")
+	f.Add(uint64(0), "", "", false, false, uint64(0), math.Inf(-1), int32(-1), byte(CodeUnavailable), "")
+	f.Fuzz(func(t *testing.T, epoch uint64, key, value string, found, tomb bool, seq uint64, coordMs float64, node int32, code byte, msg string) {
+		if len(key) > 1024 {
+			key = key[:1024] // string16 carries at most 64 KiB; keep keys key-sized
+		}
+		if len(msg) > 1024 {
+			msg = msg[:1024]
+		}
+		if code == 0 {
+			code = CodeInternal // verdict 0 means success on the wire
+		}
+
+		// Request round trips: MPut ops and MGet keys.
+		req := binary.BigEndian.AppendUint16(nil, 2)
+		var flags byte
+		if tomb {
+			flags = batchFlagTombstone
+		}
+		req = appendString32(append(appendString16(req, key), flags), value)
+		req = appendString32(append(appendString16(req, key+"2"), 0), "")
+		ops, oe := decodeBatchPutOps(&decoder{b: req})
+		if oe != nil {
+			t.Fatalf("mput request decode: %v", oe.msg)
+		}
+		if len(ops) != 2 || ops[0].Key != key || ops[0].Value != value || ops[0].Tombstone != tomb ||
+			ops[1].Key != key+"2" || ops[1].Tombstone {
+			t.Fatalf("mput request round trip changed ops: %+v", ops)
+		}
+		kreq := appendString16(appendString16(binary.BigEndian.AppendUint16(nil, 2), key), key+"2")
+		keys, oe := decodeBatchKeys(&decoder{b: kreq})
+		if oe != nil {
+			t.Fatalf("mget request decode: %v", oe.msg)
+		}
+		if len(keys) != 2 || keys[0] != key || keys[1] != key+"2" {
+			t.Fatalf("mget request round trip changed keys: %v", keys)
+		}
+
+		// Response round trips: one success verdict, one error verdict.
+		pr := PutResponse{Seq: seq, CommittedUnixNano: int64(seq) - 1, CoordMs: coordMs, Node: int(node)}
+		pb := appendClientMPutResponse(nil, epoch, []batchPutOut{
+			{pr: pr},
+			{oe: &opError{code: code, msg: msg}},
+		})
+		gotEpoch, body, err := decodeClientFrame(statusClientOK, pb)
+		if err != nil || gotEpoch != epoch {
+			t.Fatalf("mput frame split: epoch %d->%d err=%v", epoch, gotEpoch, err)
+		}
+		prs, err := decodeClientMPutBody(body)
+		if err != nil || len(prs) != 2 {
+			t.Fatalf("mput body decode: %v (%d results)", err, len(prs))
+		}
+		if got := prs[0].Resp; prs[0].Err != nil || got.Seq != pr.Seq || got.CommittedUnixNano != pr.CommittedUnixNano ||
+			math.Float64bits(got.CoordMs) != math.Float64bits(pr.CoordMs) || got.Node != pr.Node {
+			t.Fatalf("mput round trip changed response: %+v vs %+v", prs[0], pr)
+		}
+		if prs[1].Err == nil || prs[1].Err.Code != code || prs[1].Err.Msg != msg {
+			t.Fatalf("mput round trip changed verdict: %+v (want code=%d msg=%q)", prs[1].Err, code, msg)
+		}
+
+		gr := GetResponse{Found: found, Seq: seq, Value: value, CoordMs: coordMs, Node: int(node)}
+		gb := appendClientMGetResponse(nil, epoch, []batchGetOut{
+			{gr: gr},
+			{oe: &opError{code: code, msg: msg}},
+		})
+		gotEpoch, body, err = decodeClientFrame(statusClientOK, gb)
+		if err != nil || gotEpoch != epoch {
+			t.Fatalf("mget frame split: epoch %d->%d err=%v", epoch, gotEpoch, err)
+		}
+		grs, err := decodeClientMGetBody(body)
+		if err != nil || len(grs) != 2 {
+			t.Fatalf("mget body decode: %v (%d results)", err, len(grs))
+		}
+		if got := grs[0].Resp; grs[0].Err != nil || got.Found != gr.Found || got.Seq != gr.Seq || got.Value != gr.Value ||
+			math.Float64bits(got.CoordMs) != math.Float64bits(gr.CoordMs) || got.Node != gr.Node {
+			t.Fatalf("mget round trip changed response: %+v vs %+v", grs[0], gr)
+		}
+		if grs[1].Err == nil || grs[1].Err.Code != code || grs[1].Err.Msg != msg {
+			t.Fatalf("mget round trip changed verdict: %+v (want code=%d msg=%q)", grs[1].Err, code, msg)
+		}
+
+		// The decoders must fail cleanly on arbitrary bytes.
+		raw := []byte(msg)
+		decodeClientMPutBody(raw)
+		decodeClientMGetBody(raw)
+		decodeBatchPutOps(&decoder{b: raw})
+		decodeBatchKeys(&decoder{b: raw})
 	})
 }
 

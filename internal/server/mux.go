@@ -75,27 +75,36 @@ var errMuxClosed = errors.New("server: mux connection closed")
 const taggedHdrLen = 13 // tag(1) + id(8) + len(4)
 
 // writeTaggedFrame appends one v2 frame to w without flushing — the writer
-// loops flush once their submission queue goes idle.
+// loops flush once their submission queue goes idle. The header goes out
+// byte by byte: handing a stack array to Write's []byte parameter makes it
+// escape (one malloc per frame), while WriteByte stays on the stack.
 func writeTaggedFrame(w *bufio.Writer, tag byte, id uint64, payload []byte) error {
 	var hdr [taggedHdrLen]byte
 	hdr[0] = tag
 	binary.BigEndian.PutUint64(hdr[1:], id)
 	binary.BigEndian.PutUint32(hdr[9:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	for _, b := range hdr {
+		if err := w.WriteByte(b); err != nil {
+			return err
+		}
 	}
 	_, err := w.Write(payload)
 	return err
 }
 
 // readTaggedFrame reads one v2 frame, returning its payload in a pooled
-// buffer the caller must putBuf after decoding.
+// buffer the caller must putBuf after decoding. The header is parsed in
+// place via Peek/Discard — no escaping scratch array, no copy.
 func readTaggedFrame(r *bufio.Reader) (tag byte, id uint64, payload []byte, err error) {
-	var hdr [taggedHdrLen]byte
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+	hdr, err := r.Peek(taggedHdrLen)
+	if err != nil {
 		return 0, 0, nil, err
 	}
+	tag, id = hdr[0], binary.BigEndian.Uint64(hdr[1:])
 	n := binary.BigEndian.Uint32(hdr[9:])
+	if _, err = r.Discard(taggedHdrLen); err != nil {
+		return 0, 0, nil, err
+	}
 	if n > maxFrame {
 		return 0, 0, nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
 	}
@@ -104,7 +113,7 @@ func readTaggedFrame(r *bufio.Reader) (tag byte, id uint64, payload []byte, err 
 		putBuf(payload)
 		return 0, 0, nil, err
 	}
-	return hdr[0], binary.BigEndian.Uint64(hdr[1:]), payload, nil
+	return tag, id, payload, nil
 }
 
 // --- client side ---------------------------------------------------------
@@ -384,7 +393,8 @@ func (n *Node) serveMux(conn net.Conn, br *bufio.Reader) {
 		// instead of paying two channel hops and a worker wakeup — reads are
 		// the serving path's highest-rate op. Anything that can block
 		// (durable applies, hinted handoff, range streams) goes to the pool.
-		if op == opGet || op == opPing || (inMemApply && op == opApply) {
+		if op == opGet || op == opPing || op == opGetBatch ||
+			(inMemApply && (op == opApply || op == opApplyBatch)) {
 			buf := getBuf(64)
 			status, resp := n.handleRPCBuf(op, payload, buf[:0])
 			putBuf(payload)

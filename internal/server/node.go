@@ -603,6 +603,7 @@ func (n *Node) handler() http.Handler {
 	mux.HandleFunc("PUT /kv/{key}", n.handlePut)
 	mux.HandleFunc("DELETE /kv/{key}", n.handleDelete)
 	mux.HandleFunc("GET /kv/{key}", n.handleGet)
+	mux.HandleFunc("GET /kv", n.handleMGet)
 	mux.HandleFunc("GET /config", n.handleConfig)
 	mux.HandleFunc("GET /stats", n.handleStats)
 	mux.HandleFunc("GET /wars", n.handleWARS)
@@ -843,7 +844,7 @@ func (n *Node) coordinatePutOp(v *memView, key, value string, tombstone, takeove
 		spares = n.sparePicker(v, key)
 	}
 	start := time.Now()
-	acks := make(chan bool, nReps) // buffered: stragglers never block (send-to-all)
+	ws := newWriteState(quorumW, nReps)
 	if n.inj == nil && !n.params.BlockingTransport {
 		// Hot path: no WARS model, so legs go straight to the persistent
 		// per-peer workers (fanout.go) — no per-op goroutines, no delay
@@ -851,7 +852,7 @@ func (n *Node) coordinatePutOp(v *memView, key, value string, tombstone, takeove
 		for _, nodeID := range prefs {
 			t := newLegTask()
 			t.n, t.view, t.target = n, v, nodeID
-			t.ver, t.spares, t.acks = ver, spares, acks
+			t.ver, t.spares, t.ws = ver, spares, ws
 			n.submitLeg(nodeID, t)
 		}
 	} else {
@@ -879,19 +880,13 @@ func (n *Node) coordinatePutOp(v *memView, key, value string, tombstone, takeove
 					n.legs.observeWrite(wd[i]+rpcMs, ad[i])
 				}
 				sleepMs(ad[i])
-				acks <- ok
+				ws.ack(ok)
 			}(i, nodeID)
 		}
 	}
 
-	got, done := 0, 0
-	for done < nReps && got < quorumW {
-		if <-acks {
-			got++
-		}
-		done++
-	}
-	if got < quorumW {
+	<-ws.waiter
+	if !ws.finish() {
 		n.failedOps.Add(1)
 		return PutResponse{}, errQuorumFailed("server: write quorum not reached")
 	}
@@ -1232,7 +1227,10 @@ func (n *Node) coordinateGetOp(key string) (GetResponse, *opError) {
 	<-rs.waiter
 	best, bestFound, ok, finalizeNow := rs.answer()
 	if !ok {
+		// The waiter only fired with succ < quorum because every leg had
+		// answered, so nothing can still touch rs: release it here.
 		n.failedOps.Add(1)
+		rs.release()
 		return GetResponse{}, errQuorumFailed("server: read quorum not reached")
 	}
 	answered := time.Now()
@@ -1253,9 +1251,13 @@ func (n *Node) coordinateGetOp(key string) (GetResponse, *opError) {
 	// moves to a goroutine so repair RPCs never delay the response.
 	if finalizeNow {
 		if n.params.ReadRepair {
-			go rs.finalize()
+			go func() {
+				rs.finalize()
+				rs.release()
+			}()
 		} else {
 			rs.finalize()
+			rs.release()
 		}
 	}
 	return resp, nil

@@ -28,6 +28,13 @@ type Peer interface {
 	Ping() error
 	// GetVersion reads the peer's current version for key.
 	GetVersion(key string) (v kvstore.Version, found bool, err error)
+	// ApplyBatch replicates many versions in one round trip (one batched
+	// coordinator leg), answering per version with Apply's
+	// (applied, replicaSeq) pair, index-aligned with vers.
+	ApplyBatch(vers []kvstore.Version) ([]ApplyAck, error)
+	// GetVersionBatch reads the peer's current versions for many keys in
+	// one round trip, index-aligned with keys.
+	GetVersionBatch(keys []string) ([]kvstore.Version, []bool, error)
 	// MerkleNodes returns the peer's Merkle content summary at the given
 	// depth, in heap layout (merkle.Tree.Nodes).
 	MerkleNodes(depth int) ([]uint64, error)
@@ -87,6 +94,20 @@ func (fp *faultPeer) GetVersion(key string) (kvstore.Version, bool, error) {
 		return kvstore.Version{}, false, err
 	}
 	return fp.next.GetVersion(key)
+}
+
+func (fp *faultPeer) ApplyBatch(vers []kvstore.Version) ([]ApplyAck, error) {
+	if err := fp.f.allow(fp.from, fp.to); err != nil {
+		return nil, err
+	}
+	return fp.next.ApplyBatch(vers)
+}
+
+func (fp *faultPeer) GetVersionBatch(keys []string) ([]kvstore.Version, []bool, error) {
+	if err := fp.f.allow(fp.from, fp.to); err != nil {
+		return nil, nil, err
+	}
+	return fp.next.GetVersionBatch(keys)
 }
 
 func (fp *faultPeer) MerkleNodes(depth int) ([]uint64, error) {

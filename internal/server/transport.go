@@ -58,6 +58,12 @@ const (
 	// and decide messages arbitrating membership epochs.
 	opGossip    byte = 10
 	opConfigLog byte = 11
+	// Batched data-plane ops (12 is opMuxHello, 13–21 the client protocol):
+	// one frame carries one coordinator's whole share of a multi-key batch
+	// for one peer — a length-prefixed version list for opApplyBatch, a key
+	// list for opGetBatch — answered per entry, index-aligned.
+	opApplyBatch byte = 22
+	opGetBatch   byte = 23
 
 	statusOK  byte = 0
 	statusErr byte = 1
@@ -182,6 +188,27 @@ func encodeVersion(b []byte, v kvstore.Version) []byte {
 func (d *decoder) version() kvstore.Version {
 	var v kvstore.Version
 	v.Key = d.string16()
+	v.Seq = d.u64()
+	v.Tombstone = d.u8()&versionFlagTombstone != 0
+	v.Value = d.string32()
+	v.Clock = d.clock()
+	return v
+}
+
+// versionForKey decodes a version whose key the caller already holds (a
+// get response echoes the requested key), reusing the caller's string
+// instead of allocating a copy — one leg per replica per coordinated
+// read, so this alone is worth a few allocs/op on the serving hot path.
+// The comparison below does not allocate; a mismatched echo (never
+// expected) falls back to copying.
+func (d *decoder) versionForKey(key string) kvstore.Version {
+	var v kvstore.Version
+	kb := d.take(int(d.u16()))
+	if string(kb) == key {
+		v.Key = key
+	} else {
+		v.Key = string(kb)
+	}
 	v.Seq = d.u64()
 	v.Tombstone = d.u8()&versionFlagTombstone != 0
 	v.Value = d.string32()
@@ -370,6 +397,40 @@ func (n *Node) handleRPCBuf(op byte, payload, buf []byte) (status byte, resp []b
 			out[len(out)-1] = 1
 		}
 		return statusOK, encodeVersion(out, v)
+	case opApplyBatch:
+		count := int(d.u16())
+		if d.err != nil || count == 0 || count > maxBatchOps {
+			return statusErr, []byte("server: malformed batch apply")
+		}
+		out := buf
+		for i := 0; i < count; i++ {
+			v := d.version()
+			if d.err != nil {
+				return statusErr, []byte(d.err.Error())
+			}
+			out = n.applyResponse(v, out)
+		}
+		return statusOK, out
+	case opGetBatch:
+		count := int(d.u16())
+		if d.err != nil || count == 0 || count > maxBatchOps {
+			return statusErr, []byte("server: malformed batch get")
+		}
+		out := buf
+		for i := 0; i < count; i++ {
+			key := d.string16()
+			if d.err != nil {
+				return statusErr, []byte(d.err.Error())
+			}
+			v, found := n.getLocal(key)
+			if found {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+			out = encodeVersion(out, v)
+		}
+		return statusOK, out
 	case opTree:
 		depth := int(d.u8())
 		if d.err != nil {
@@ -747,7 +808,7 @@ func (p *peer) GetVersion(key string) (v kvstore.Version, found bool, err error)
 	}
 	d := &decoder{b: resp}
 	found = d.u8() == 1
-	v = d.version()
+	v = d.versionForKey(key)
 	if !p.blocking {
 		putBuf(resp)
 	}
@@ -755,6 +816,95 @@ func (p *peer) GetVersion(key string) (v kvstore.Version, found bool, err error)
 		return kvstore.Version{}, false, d.err
 	}
 	return v, found, nil
+}
+
+// ApplyAck is one version's answer inside a batched apply: Apply's
+// (applied, replicaSeq) pair.
+type ApplyAck struct {
+	Applied bool
+	Seq     uint64
+}
+
+// ApplyBatch replicates many versions to the peer in one round trip (one
+// batched coordinator leg), answering per version, index-aligned with
+// vers. The answer carries the same per-version information as Apply, so
+// the coordinator's stale-epoch refusal (ackable) applies per key.
+func (p *peer) ApplyBatch(vers []kvstore.Version) ([]ApplyAck, error) {
+	enc := func(b []byte) []byte {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(vers)))
+		for i := range vers {
+			b = encodeVersion(b, vers[i])
+		}
+		return b
+	}
+	var resp []byte
+	var err error
+	if p.blocking {
+		resp, err = p.rpc(opApplyBatch, enc(nil))
+	} else {
+		hint := 2
+		for i := range vers {
+			hint += versionSizeHint(vers[i])
+		}
+		resp, err = p.muxRPC(opApplyBatch, hint, enc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{b: resp}
+	acks := make([]ApplyAck, len(vers))
+	for i := range acks {
+		acks[i] = ApplyAck{Applied: d.u8() == 1, Seq: d.u64()}
+	}
+	derr := d.err
+	if !p.blocking {
+		putBuf(resp)
+	}
+	if derr != nil {
+		return nil, derr
+	}
+	return acks, nil
+}
+
+// GetVersionBatch reads the peer's current versions for many keys in one
+// round trip, index-aligned with keys.
+func (p *peer) GetVersionBatch(keys []string) ([]kvstore.Version, []bool, error) {
+	enc := func(b []byte) []byte {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(keys)))
+		for _, k := range keys {
+			b = appendString16(b, k)
+		}
+		return b
+	}
+	var resp []byte
+	var err error
+	if p.blocking {
+		resp, err = p.rpc(opGetBatch, enc(nil))
+	} else {
+		hint := 2
+		for _, k := range keys {
+			hint += 2 + len(k)
+		}
+		resp, err = p.muxRPC(opGetBatch, hint, enc)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &decoder{b: resp}
+	vs := make([]kvstore.Version, len(keys))
+	found := make([]bool, len(keys))
+	for i := range vs {
+		found[i] = d.u8() == 1
+		vs[i] = d.versionForKey(keys[i])
+	}
+	derr := d.err
+	if !p.blocking {
+		putBuf(resp)
+	}
+	if derr != nil {
+		return nil, nil, derr
+	}
+	return vs, found, nil
 }
 
 // MerkleNodes fetches the peer's Merkle content summary at the given

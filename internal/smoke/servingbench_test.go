@@ -52,12 +52,13 @@ import (
 type servingRow struct {
 	Transport   string  `json:"transport"` // internal data plane: "mux" or "blocking"
 	Proto       string  `json:"proto"`     // client front end: "http" or "binary"
-	Op          string  `json:"op"`        // "put" or "get"
+	Op          string  `json:"op"`        // "put", "get", "mput" or "mget"
 	Clients     int     `json:"clients"`
 	Pipeline    int     `json:"pipeline"`
-	InFlight    int     `json:"in_flight"` // Clients × Pipeline
-	Ops         int64   `json:"ops"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
+	InFlight    int     `json:"in_flight"`       // Clients × Pipeline
+	Batch       int     `json:"batch,omitempty"` // keys per batched op (mput/mget rows)
+	Ops         int64   `json:"ops"`             // keys, for batched rows
+	OpsPerSec   float64 `json:"ops_per_sec"`     // keys/s, for batched rows
 	P50Ms       float64 `json:"p50_ms"`
 	P999Ms      float64 `json:"p999_ms"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
@@ -92,10 +93,10 @@ const servingKeys = 256
 // AllocsPerOp counts whole-process mallocs (client and all three replicas
 // share the process), so it is a harness-level number: comparable across
 // transports within one run, not an absolute per-RPC figure.
-func measureServing(t *testing.T, cl *client.Client, transport, proto, op string, clients, pipeline int) servingRow {
+func measureServing(t *testing.T, cl *client.Client, transport, proto, op string, clients, pipeline, batch int) servingRow {
 	t.Helper()
 	readFrac := 0.0
-	if op == "get" {
+	if op == "get" || op == "mget" {
 		readFrac = 1.0
 	}
 	mon := client.NewMonitor()
@@ -103,12 +104,13 @@ func measureServing(t *testing.T, cl *client.Client, transport, proto, op string
 	runtime.GC()
 	runtime.ReadMemStats(&memBefore)
 	res, err := client.RunLoad(cl, mon, client.LoadOptions{
-		Clients:  clients,
-		Pipeline: pipeline,
-		Duration: 1200 * time.Millisecond,
-		Keys:     workload.NewUniformKeys(servingKeys, "sv"),
-		Mix:      workload.NewMix(readFrac),
-		Seed:     23,
+		Clients:   clients,
+		Pipeline:  pipeline,
+		Duration:  1200 * time.Millisecond,
+		Keys:      workload.NewUniformKeys(servingKeys, "sv"),
+		Mix:       workload.NewMix(readFrac),
+		Seed:      23,
+		BatchSize: batch,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +121,7 @@ func measureServing(t *testing.T, cl *client.Client, transport, proto, op string
 	}
 	snap := mon.Snapshot([]float64{0.50, 0.999})
 	lat := snap.WriteClientMs
-	if op == "get" {
+	if op == "get" || op == "mget" {
 		lat = snap.ReadClientMs
 	}
 	row := servingRow{
@@ -127,6 +129,9 @@ func measureServing(t *testing.T, cl *client.Client, transport, proto, op string
 		Clients: clients, Pipeline: pipeline, InFlight: clients * pipeline,
 		Ops:       res.Ops,
 		OpsPerSec: res.Throughput,
+	}
+	if batch > 1 {
+		row.Batch = batch
 	}
 	if len(lat) == 2 {
 		row.P50Ms, row.P999Ms = lat[0], lat[1]
@@ -154,9 +159,10 @@ func TestServingBenchJSON(t *testing.T) {
 
 	rows := make([]servingRow, 0, 18)
 	rpcRows := make([]server.RPCBenchResult, 0, 4)
-	at64 := make(map[string]float64)    // "transport/proto/op" → ops/s at 64 in flight
-	rpcAt64 := make(map[string]float64) // "transport/op" → raw RPC ops/s at 64 callers
-	binGetAllocs := 0.0                 // binary GET allocs/op at 64 in flight
+	at64 := make(map[string]float64)      // "transport/proto/op" → ops/s at 64 in flight
+	rpcAt64 := make(map[string]float64)   // "transport/op" → raw RPC ops/s at 64 callers
+	batchAt64 := make(map[string]float64) // "op/batch" → batched keys/s at 64 in flight
+	binGetAllocs := 0.0                   // binary GET allocs/op at 64 in flight
 	for _, tr := range []struct {
 		name     string
 		blocking bool
@@ -170,8 +176,10 @@ func TestServingBenchJSON(t *testing.T) {
 			proto string
 			cl    *client.Client
 		}{{"http", cl}}
+		var bcl *client.Client
 		if !tr.blocking {
-			bcl, err := client.DialBinary(cluster.HTTPAddrs[0])
+			var err error
+			bcl, err = client.DialBinary(cluster.HTTPAddrs[0])
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -187,8 +195,8 @@ func TestServingBenchJSON(t *testing.T) {
 					// Best of two rounds, like the raw RPC rows: scheduler
 					// noise on a shared host only ever slows a cell down, and
 					// the speedup gates divide one cell by another.
-					row := measureServing(t, fe.cl, tr.name, fe.proto, op, lv.clients, lv.pipeline)
-					if again := measureServing(t, fe.cl, tr.name, fe.proto, op, lv.clients, lv.pipeline); again.OpsPerSec > row.OpsPerSec {
+					row := measureServing(t, fe.cl, tr.name, fe.proto, op, lv.clients, lv.pipeline, 1)
+					if again := measureServing(t, fe.cl, tr.name, fe.proto, op, lv.clients, lv.pipeline, 1); again.OpsPerSec > row.OpsPerSec {
 						row = again
 					}
 					rows = append(rows, row)
@@ -200,6 +208,25 @@ func TestServingBenchJSON(t *testing.T) {
 					}
 					t.Logf("%-8s %-6s %-3s %3d×%d  %9.0f ops/s  p50 %6.2fms  p99.9 %7.2fms  %6.1f allocs/op",
 						row.Transport, row.Proto, row.Op, row.Clients, row.Pipeline,
+						row.OpsPerSec, row.P50Ms, row.P999Ms, row.AllocsPerOp)
+				}
+			}
+		}
+		// Batched multi-key cells, binary protocol only (the HTTP front end
+		// decomposes MPut and the comparison would measure JSON, not
+		// batching). Throughput is keys per second: a batch of 64 keys that
+		// completes in one round trip counts 64 ops.
+		if bcl != nil {
+			for _, op := range []string{"mput", "mget"} {
+				for _, batch := range []int{8, 64} {
+					row := measureServing(t, bcl, tr.name, "binary", op, 64, 1, batch)
+					if again := measureServing(t, bcl, tr.name, "binary", op, 64, 1, batch); again.OpsPerSec > row.OpsPerSec {
+						row = again
+					}
+					rows = append(rows, row)
+					batchAt64[op+"/"+fmt.Sprint(batch)] = row.OpsPerSec
+					t.Logf("%-8s %-6s %-4s %3d×%d b%-2d %9.0f keys/s  p50 %6.2fms  p99.9 %7.2fms  %6.1f allocs/key",
+						row.Transport, row.Proto, row.Op, row.Clients, row.Pipeline, batch,
 						row.OpsPerSec, row.P50Ms, row.P999Ms, row.AllocsPerOp)
 				}
 			}
@@ -230,10 +257,13 @@ func TestServingBenchJSON(t *testing.T) {
 	rpcGetSpeedup := rpcAt64["mux/get"] / rpcAt64["blocking/get"]
 	binPutSpeedup := at64["mux/binary/put"] / at64["mux/http/put"]
 	binGetSpeedup := at64["mux/binary/get"] / at64["mux/http/get"]
+	mgetSpeedup := batchAt64["mget/64"] / at64["mux/binary/get"]
+	mputSpeedup := batchAt64["mput/64"] / at64["mux/binary/put"]
 	t.Logf("mux/blocking end-to-end speedup at 64 in flight: put %.2fx, get %.2fx", putSpeedup, getSpeedup)
 	t.Logf("mux/blocking raw transport speedup at 64 callers: apply %.2fx, get %.2fx", rpcApplySpeedup, rpcGetSpeedup)
 	t.Logf("binary/http client protocol speedup at 64 in flight: put %.2fx, get %.2fx (binary get %.1f allocs/op)",
 		binPutSpeedup, binGetSpeedup, binGetAllocs)
+	t.Logf("batched/single binary speedup at 64 in flight, batch 64: mget %.2fx, mput %.2fx", mgetSpeedup, mputSpeedup)
 
 	if out != "" {
 		payload := map[string]any{
@@ -248,11 +278,15 @@ func TestServingBenchJSON(t *testing.T) {
 			"binary_put_speedup_at_64":    binPutSpeedup,
 			"binary_get_speedup_at_64":    binGetSpeedup,
 			"binary_get_allocs_per_op_64": binGetAllocs,
+			"mget_speedup_at_64":          mgetSpeedup,
+			"mput_speedup_at_64":          mputSpeedup,
 			"gomaxprocs":                  runtime.GOMAXPROCS(0),
 			"race_instrumented":           raceEnabled,
 			"floor_enforced":              !raceEnabled && runtime.GOMAXPROCS(0) >= 2,
 			"rpc_speedup_floor_x100":      200,
 			"binary_speedup_floor_x100":   150,
+			"mget_speedup_floor_x100":     200,
+			"binary_get_allocs_ceiling":   40,
 		}
 		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
@@ -294,5 +328,20 @@ func TestServingBenchJSON(t *testing.T) {
 	if binPutSpeedup < binFloor || binGetSpeedup < binFloor {
 		t.Fatalf("binary client protocol speedup at 64 in flight below %.1fx: put %.2fx, get %.2fx",
 			binFloor, binPutSpeedup, binGetSpeedup)
+	}
+	// The batching bar: one 64-key MGET frame per coordinator per round trip
+	// must move ≥2× the keys per second of 64 single-key GET streams — the
+	// number the batched frames and pooled fan-out exist to buy.
+	const mgetFloor = 2.0
+	if mgetSpeedup < mgetFloor {
+		t.Fatalf("batched mget (batch 64) speedup at 64 in flight below %.1fx: %.2fx",
+			mgetFloor, mgetSpeedup)
+	}
+	// The allocation bar for the single-key decode tightening + pooled
+	// read-state work: a whole-process (client + 3 replicas) malloc budget.
+	const allocCeiling = 40.0
+	if binGetAllocs >= allocCeiling {
+		t.Fatalf("binary single-key GET allocs/op at 64 in flight: %.1f, want < %.0f",
+			binGetAllocs, allocCeiling)
 	}
 }

@@ -25,6 +25,8 @@ type KeyChooser interface {
 type UniformKeys struct {
 	N      int
 	Prefix string
+
+	names []string
 }
 
 // NewUniformKeys returns a uniform chooser over n keys. Panics if n < 1.
@@ -32,11 +34,30 @@ func NewUniformKeys(n int, prefix string) UniformKeys {
 	if n < 1 {
 		panic("workload: keyspace must have at least one key")
 	}
-	return UniformKeys{N: n, Prefix: prefix}
+	return UniformKeys{N: n, Prefix: prefix, names: keyNames(n, prefix)}
+}
+
+// keyNames precomputes the key strings for modest keyspaces so the
+// per-draw hot path allocates nothing (the serving benchmark counts
+// whole-process allocs/op, and a Sprintf per draw was one of the biggest
+// client-side contributors). Large keyspaces fall back to formatting.
+func keyNames(n int, prefix string) []string {
+	if n > 1<<16 {
+		return nil
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return names
 }
 
 func (u UniformKeys) Key(r *rng.RNG) string {
-	return fmt.Sprintf("%s%d", u.Prefix, r.Intn(u.N))
+	i := r.Intn(u.N)
+	if u.names != nil {
+		return u.names[i]
+	}
+	return fmt.Sprintf("%s%d", u.Prefix, i)
 }
 
 func (u UniformKeys) Cardinality() int { return u.N }
@@ -49,6 +70,7 @@ type ZipfKeys struct {
 	S      float64
 	Prefix string
 	cdf    []float64
+	names  []string
 }
 
 // NewZipfKeys precomputes the popularity CDF. Panics if n < 1 or s < 0.
@@ -59,7 +81,7 @@ func NewZipfKeys(n int, s float64, prefix string) *ZipfKeys {
 	if s < 0 {
 		panic("workload: zipf exponent must be non-negative")
 	}
-	z := &ZipfKeys{N: n, S: s, Prefix: prefix, cdf: make([]float64, n)}
+	z := &ZipfKeys{N: n, S: s, Prefix: prefix, cdf: make([]float64, n), names: keyNames(n, prefix)}
 	var total float64
 	for i := 0; i < n; i++ {
 		total += 1 / math.Pow(float64(i+1), s)
@@ -81,6 +103,9 @@ func (z *ZipfKeys) Key(r *rng.RNG) string {
 		} else {
 			hi = mid
 		}
+	}
+	if z.names != nil {
+		return z.names[lo]
 	}
 	return fmt.Sprintf("%s%d", z.Prefix, lo)
 }
